@@ -1,0 +1,45 @@
+"""Fig. 1: the STP AllSAT solving tree (Section II-A, Example 4).
+
+Benchmarks the canonical-form construction and column-extraction
+solver on the liar puzzle and on random formulas, checking the
+paper's unique solution (only ``b`` is honest).
+"""
+
+import random
+
+import pytest
+
+from repro.stp import STPSolver, all_sat, parse
+from repro.truthtable import TruthTable
+
+
+LIAR_PUZZLE = "(a <-> ~b) & (b <-> ~c) & (c <-> (~a & ~b))"
+
+
+def test_fig1_liar_puzzle_allsat(benchmark):
+    expr = parse(LIAR_PUZZLE)
+
+    def solve():
+        return all_sat(expr)
+
+    solutions = benchmark(solve)
+    assert solutions == [(0, 1, 0)]  # a liar, b honest, c liar
+
+
+def test_fig1_canonical_form(benchmark):
+    expr = parse(LIAR_PUZZLE)
+    matrix = benchmark(lambda: expr.canonical_form())
+    assert matrix.shape == (2, 8)
+    assert int(matrix[0].sum()) == 1  # exactly one satisfying column
+
+
+@pytest.mark.parametrize("num_vars", [6, 8, 10])
+def test_fig1_random_allsat(benchmark, num_vars):
+    rng = random.Random(num_vars)
+    table = TruthTable(rng.getrandbits(1 << num_vars), num_vars)
+
+    def solve():
+        return STPSolver(table).all_solutions()
+
+    solutions = benchmark(solve)
+    assert len(solutions) == table.count_ones()

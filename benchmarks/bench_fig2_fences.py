@@ -1,0 +1,29 @@
+"""Fig. 2: Boolean fence families before and after the paper's pruning.
+
+Regenerates the fence counts of ``F_k`` (Fig. 2a is the unpruned
+family, Fig. 2b the single-top-node capacity-pruned family used by the
+synthesizer) and benchmarks the enumeration itself.
+"""
+
+import pytest
+
+from repro.topology import all_fences, valid_fences
+
+
+def test_fig2_f3_families(benchmark):
+    def enumerate_families():
+        return all_fences(3), valid_fences(3)
+
+    unpruned, pruned = benchmark(enumerate_families)
+    # Fig. 2a: the four compositions of 3.
+    assert sorted(unpruned) == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+    # Fig. 2b: pruning keeps single-output, 2-input-consumable fences.
+    assert sorted(pruned) == [(1, 1, 1), (2, 1)]
+
+
+@pytest.mark.parametrize("k", [4, 6, 8, 10])
+def test_fig2_fence_scaling(benchmark, k):
+    counts = benchmark(lambda: (len(all_fences(k)), len(valid_fences(k))))
+    total, pruned = counts
+    assert total == 2 ** (k - 1)  # compositions of k
+    assert 0 < pruned < total

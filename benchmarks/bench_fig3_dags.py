@@ -1,0 +1,58 @@
+"""Fig. 3: all valid DAGs of the fence family ``F_3``.
+
+Regenerates the structural pDAG skeletons of the pruned ``F_3``
+fences (the paper's Fig. 3) and the fully PI-labelled pDAG counts the
+synthesizer actually searches (Example 7 draws one of the labelled
+DAGs of fence ``(2, 1)`` with four inputs).
+"""
+
+import pytest
+
+from repro.topology import enumerate_dags, enumerate_skeletons, valid_fences
+
+
+def test_fig3_f3_skeletons(benchmark):
+    def skeletons():
+        return {
+            fence: len(enumerate_skeletons(fence))
+            for fence in valid_fences(3)
+        }
+
+    counts = benchmark(skeletons)
+    assert counts[(2, 1)] >= 1
+    assert counts[(1, 1, 1)] >= 1
+
+
+@pytest.mark.parametrize("num_pis", [3, 4, 5])
+def test_fig3_labelled_dags(benchmark, num_pis):
+    # Three 2-input gates can touch at most four distinct PIs when all
+    # must be used, so for five PIs we count partial-coverage DAGs.
+    require_all = num_pis <= 4
+
+    def labelled():
+        return sum(
+            sum(
+                1
+                for _ in enumerate_dags(
+                    fence, num_pis, require_all_pis=require_all
+                )
+            )
+            for fence in valid_fences(3)
+        )
+
+    count = benchmark(labelled)
+    assert count > 0
+
+
+def test_fig3_example7_dag_present(benchmark):
+    """The DAG of Example 7 — x6=(a,b), x5=(c,d), x7=(x5,x6) — must be
+    among the labelled DAGs of fence (2,1) with four inputs."""
+
+    def find():
+        return [
+            dag.fanins
+            for dag in enumerate_dags((2, 1), 4)
+        ]
+
+    fanin_sets = benchmark(find)
+    assert ((0, 1), (2, 3), (4, 5)) in fanin_sets

@@ -1,0 +1,49 @@
+"""Benchmarks of the application layer: cut enumeration and
+exact-synthesis-based rewriting over random LUT networks."""
+
+import random
+
+import pytest
+
+from repro.core import NPNDatabase
+from repro.network import LogicNetwork, enumerate_cuts, rewrite_network
+from repro.truthtable import TruthTable
+
+
+def random_network(seed, num_pis=5, num_nodes=12):
+    rnd = random.Random(seed)
+    net = LogicNetwork()
+    nodes = [net.add_pi() for _ in range(num_pis)]
+    for _ in range(num_nodes):
+        k = rnd.choice([1, 2, 2, 3])
+        fanins = [rnd.choice(nodes) for _ in range(k)]
+        nodes.append(
+            net.add_node(TruthTable(rnd.getrandbits(1 << k), k), fanins)
+        )
+    net.add_po(nodes[-1])
+    return net
+
+
+@pytest.mark.parametrize("num_nodes", [10, 20, 40])
+def test_bench_cut_enumeration(benchmark, num_nodes):
+    net = random_network(3, num_nodes=num_nodes)
+    cuts = benchmark(lambda: enumerate_cuts(net, k=4))
+    assert len(cuts) >= num_nodes
+
+
+def test_bench_rewrite_pass(benchmark):
+    database = NPNDatabase(timeout=30)
+    # Warm the database outside the measured region.
+    warm = random_network(1)
+    rewrite_network(warm, database=database)
+
+    def once():
+        net = random_network(2)
+        before = [t.bits for t in net.simulate()]
+        result = rewrite_network(net, database=database)
+        after = [t.bits for t in net.simulate()]
+        assert before == after
+        return result
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert result.gates_after <= result.gates_before

@@ -1,0 +1,62 @@
+"""Microbenchmarks of the substrates the synthesizer is built on:
+STP matrix algebra, canonical forms, the CDCL SAT solver, NPN
+canonicalization and DSD decomposition."""
+
+import random
+
+import pytest
+
+from repro.sat import CNF, solve_cnf
+from repro.stp import stp, truth_table_to_canonical
+from repro.truthtable import TruthTable, canonicalize, dsd_decompose
+import numpy as np
+
+
+def test_bench_stp_product(benchmark):
+    rng = np.random.default_rng(7)
+    x = rng.integers(0, 2, size=(2, 16))
+    y = rng.integers(0, 2, size=(4, 4))
+
+    result = benchmark(lambda: stp(x, y))
+    assert result.shape[0] == 2
+
+
+def test_bench_canonical_form_8var(benchmark):
+    rng = random.Random(11)
+    table = TruthTable(rng.getrandbits(256), 8)
+    matrix = benchmark(lambda: truth_table_to_canonical(table))
+    assert matrix.shape == (2, 256)
+
+
+def test_bench_cdcl_random3sat(benchmark):
+    rng = random.Random(3)
+    n, m = 40, 160
+    cnf = CNF(n)
+    for _ in range(m):
+        clause = set()
+        while len(clause) < 3:
+            v = rng.randint(1, n)
+            clause.add(v if rng.random() < 0.5 else -v)
+        cnf.add_clause(clause)
+
+    benchmark(lambda: solve_cnf(cnf))
+
+
+def test_bench_npn_canonicalize(benchmark):
+    rng = random.Random(5)
+    tables = [TruthTable(rng.getrandbits(16), 4) for _ in range(5)]
+
+    def canon_all():
+        return [canonicalize(t)[0] for t in tables]
+
+    reps = benchmark(canon_all)
+    assert len(reps) == 5
+
+
+def test_bench_dsd_decompose(benchmark):
+    from repro.truthtable import random_fully_dsd
+
+    rng = random.Random(9)
+    table = random_fully_dsd(8, rng)
+    tree = benchmark(lambda: dsd_decompose(table))
+    assert tree.max_prime_arity() == 0

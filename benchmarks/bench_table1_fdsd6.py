@@ -1,0 +1,13 @@
+"""Table I, fdsd6 row: BMS / FEN / ABC(lutexact) / STP on a
+scaled-down fdsd6 sample (full row: `python -m repro.bench.table1
+--suite fdsd6`).  Paper reference values are recorded in
+EXPERIMENTS.md."""
+
+import pytest
+
+from conftest import run_table1_row
+
+
+@pytest.mark.parametrize("algorithm", ["BMS", "FEN", "ABC", "STP"])
+def test_table1_fdsd6(benchmark, algorithm):
+    run_table1_row(benchmark, "fdsd6", algorithm)

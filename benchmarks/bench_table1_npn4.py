@@ -1,0 +1,13 @@
+"""Table I, npn4 row: BMS / FEN / ABC(lutexact) / STP on a
+scaled-down npn4 sample (full row: `python -m repro.bench.table1
+--suite npn4`).  Paper reference values are recorded in
+EXPERIMENTS.md."""
+
+import pytest
+
+from conftest import run_table1_row
+
+
+@pytest.mark.parametrize("algorithm", ["BMS", "FEN", "ABC", "STP"])
+def test_table1_npn4(benchmark, algorithm):
+    run_table1_row(benchmark, "npn4", algorithm)

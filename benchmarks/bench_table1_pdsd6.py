@@ -1,0 +1,13 @@
+"""Table I, pdsd6 row: BMS / FEN / ABC(lutexact) / STP on a
+scaled-down pdsd6 sample (full row: `python -m repro.bench.table1
+--suite pdsd6`).  Paper reference values are recorded in
+EXPERIMENTS.md."""
+
+import pytest
+
+from conftest import run_table1_row
+
+
+@pytest.mark.parametrize("algorithm", ["BMS", "FEN", "ABC", "STP"])
+def test_table1_pdsd6(benchmark, algorithm):
+    run_table1_row(benchmark, "pdsd6", algorithm)

@@ -1,0 +1,59 @@
+"""Shared helpers for the Table-I / figure benchmarks.
+
+Each ``bench_table1_*.py`` file regenerates one row of the paper's
+Table I on a scaled-down sample (pure-Python engines are orders of
+magnitude slower than the paper's C++; see EXPERIMENTS.md for the
+mapping).  The full-size rows are produced by the CLI harness::
+
+    python -m repro.bench.table1 --suite npn4 --full
+
+Benchmarks run each measurement exactly once (``pedantic`` mode): the
+workloads are seconds-scale searches, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import default_algorithms, run_suite
+from repro.bench.suites import get_suite
+
+#: Per-suite scaled-down sample sizes and timeouts for CI-speed runs.
+BENCH_SCALE = {
+    "npn4": (5, 30.0),
+    "fdsd6": (8, 30.0),
+    "fdsd8": (4, 30.0),
+    "pdsd6": (3, 30.0),
+    "pdsd8": (2, 45.0),
+}
+
+
+def run_table1_row(benchmark, suite_name: str, algorithm_name: str):
+    """Benchmark one algorithm on a scaled-down sample of one suite and
+    attach the paper's Table-I statistics as extra info."""
+    count, timeout = BENCH_SCALE[suite_name]
+    functions = get_suite(suite_name, count)
+    algorithms = [
+        a
+        for a in default_algorithms(max_solutions=128)
+        if a.name == algorithm_name
+    ]
+    assert algorithms, f"unknown algorithm {algorithm_name}"
+
+    def once():
+        return run_suite(suite_name, functions, algorithms, timeout)
+
+    reports = benchmark.pedantic(once, rounds=1, iterations=1)
+    report = reports[0]
+    benchmark.extra_info["suite"] = suite_name
+    benchmark.extra_info["instances"] = len(functions)
+    benchmark.extra_info["mean_s"] = report.mean_time
+    benchmark.extra_info["timeouts"] = report.num_timeouts
+    benchmark.extra_info["ok"] = report.num_ok
+    if algorithm_name == "STP":
+        benchmark.extra_info["total_s"] = report.total_time
+        benchmark.extra_info["mean_solutions"] = report.mean_solutions
+    # Timeouts are legitimate row content (the paper's #t/o column):
+    # every instance must be accounted for, solved or timed out.
+    assert report.num_ok + report.num_timeouts == len(functions)
+    return report

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Head-to-head: STP vs the three baselines on sample functions.
+
+A miniature of the paper's Table I: runs BMS (plain SSV SAT), FEN
+(fence-constrained SAT), the ABC ``lutexact``-style CEGAR engine and
+the STP synthesizer on a handful of functions from each suite family
+and prints per-instance timings.
+
+Run::
+
+    python examples/compare_solvers.py
+"""
+
+import time
+
+from repro.bench.runner import default_algorithms
+from repro.truthtable import fdsd_suite, from_hex, majority, parity, pdsd_suite
+
+
+def main() -> None:
+    cases = [
+        ("maj3 (prime)", majority(3)),
+        ("parity4", parity(4)),
+        ("0x8ff8 (Example 7)", from_hex("8ff8", 4)),
+        ("fdsd6 sample", fdsd_suite(6, 1, seed=42)[0]),
+        ("pdsd6 sample", pdsd_suite(6, 1, seed=42)[0]),
+    ]
+    algorithms = default_algorithms(max_solutions=64)
+
+    header = f"{'function':22s}" + "".join(
+        f"{a.name:>14s}" for a in algorithms
+    )
+    print(header)
+    print("-" * len(header))
+    for name, function in cases:
+        row = f"{name:22s}"
+        gates = {}
+        for algorithm in algorithms:
+            start = time.perf_counter()
+            try:
+                result = algorithm.run(function, 60.0)
+                elapsed = time.perf_counter() - start
+                gates[algorithm.name] = result.num_gates
+                suffix = (
+                    f"[{result.num_solutions}]"
+                    if algorithm.all_solutions
+                    else ""
+                )
+                row += f"{elapsed:10.3f}s{suffix:>4s}"
+            except TimeoutError:
+                row += f"{'t/o':>14s}"
+        print(row + f"   (gates: {gates})")
+        sizes = set(gates.values())
+        if len(sizes) > 1:
+            print(f"   NOTE: engines disagree on gate count: {gates}")
+
+    print("\nSTP numbers in [brackets] are all-solutions counts; the")
+    print("baselines return a single chain per run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Generating and analysing the FDSD/PDSD workloads.
+
+Shows the benchmark-suite machinery end to end: generate fully and
+partially DSD-decomposable functions, print their decomposition trees,
+and synthesize them with the hierarchical STP engine — the fast path
+that makes the paper's FDSD speedups possible.
+
+Run::
+
+    python examples/dsd_workloads.py
+"""
+
+from repro.core import hierarchical_synthesize
+from repro.truthtable import (
+    dsd_decompose,
+    dsd_kind,
+    fdsd_suite,
+    pdsd_suite,
+)
+
+
+def main() -> None:
+    print("=== fully DSD-decomposable (FDSD6) ===")
+    for function in fdsd_suite(6, 3, seed=7):
+        tree = dsd_decompose(function)
+        result = hierarchical_synthesize(
+            function, timeout=60, max_solutions=32
+        )
+        print(f"0x{function.to_hex()}  [{dsd_kind(function)}]")
+        print(f"  tree : {tree.format()}")
+        print(
+            f"  synth: {result.num_gates} gates, "
+            f"{result.num_solutions} solutions, {result.runtime:.3f}s"
+        )
+        assert result.num_gates == function.support_size() - 1
+
+    print("\n=== partially DSD-decomposable (PDSD6) ===")
+    for function in pdsd_suite(6, 2, seed=7):
+        tree = dsd_decompose(function)
+        result = hierarchical_synthesize(
+            function, timeout=120, max_solutions=32
+        )
+        print(f"0x{function.to_hex()}  [{dsd_kind(function)}]")
+        print(f"  tree : {tree.format()}")
+        print(
+            f"  synth: {result.num_gates} gates "
+            f"(prime block of {tree.max_prime_arity()} inputs "
+            f"synthesized exactly), {result.runtime:.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

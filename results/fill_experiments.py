@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Insert measured Table-I rows from results/*.json into EXPERIMENTS.md."""
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent
+EXPERIMENTS = RESULTS.parent / "EXPERIMENTS.md"
+
+PARAMS = {
+    "npn4": "first 20 classes, 30 s timeout",
+    "fdsd6": "25 instances, 30 s timeout",
+    "fdsd8": "4 instances, 30 s timeout",
+    "pdsd6": "4 instances, 30 s timeout",
+    "pdsd8": "2 instances, 30 s timeout",
+}
+
+
+def fmt_alg(row: dict, name: str) -> str:
+    data = row.get(name)
+    if data is None:
+        return "—"
+    mean = data["mean_s"]
+    mean_text = f"{mean:.3f}" if mean == mean else "t/o"
+    return f"{mean_text} / {data['timeouts']} / {data['ok']}"
+
+
+def main() -> int:
+    lines = [
+        "| suite (params) | BMS | FEN | ABC | STP | STP #sols |",
+        "|---|---|---|---|---|---|",
+    ]
+    for suite in ("npn4", "fdsd6", "fdsd8", "pdsd6", "pdsd8"):
+        path = RESULTS / f"{suite}.json"
+        if not path.exists():
+            lines.append(
+                f"| {suite} ({PARAMS[suite]}) | *(not collected — "
+                f"regenerate with the command above)* | | | | |"
+            )
+            continue
+        data = json.loads(path.read_text())
+        row = data["suites"][suite]
+        stp = row.get("STP", {})
+        sols = stp.get("mean_solutions", float("nan"))
+        lines.append(
+            f"| {suite} ({PARAMS[suite]}) | {fmt_alg(row, 'BMS')} | "
+            f"{fmt_alg(row, 'FEN')} | {fmt_alg(row, 'ABC')} | "
+            f"{fmt_alg(row, 'STP')} | {sols:.1f} |"
+        )
+    table = "\n".join(lines)
+    text = EXPERIMENTS.read_text()
+    marker = "<!-- MEASURED-TABLE -->"
+    if marker not in text:
+        print("marker missing", file=sys.stderr)
+        return 1
+    text = text.replace(marker, table + "\n\n" + marker)
+    EXPERIMENTS.write_text(text)
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

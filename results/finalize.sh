@@ -1,0 +1,16 @@
+#!/bin/sh
+# Post-test finalization: benchmark run + small Table-I rows + EXPERIMENTS fill.
+set -x
+cd /root/repo
+
+# Required deliverable: full benchmark run.
+timeout 2400 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt | tail -4
+
+# Quick Table-I rows for the suites that were not collected yet.
+timeout 420 python -m repro.bench.table1 --suite fdsd6 --count 8 --timeout 30 --json results/fdsd6.json > results/fdsd6.txt 2>results/fdsd6.err
+timeout 420 python -m repro.bench.table1 --suite fdsd8 --count 3 --timeout 30 --json results/fdsd8.json > results/fdsd8.txt 2>results/fdsd8.err
+timeout 420 python -m repro.bench.table1 --suite pdsd6 --count 3 --timeout 30 --json results/pdsd6.json > results/pdsd6.txt 2>results/pdsd6.err
+timeout 300 python -m repro.bench.table1 --suite pdsd8 --count 2 --timeout 30 --json results/pdsd8.json > results/pdsd8.txt 2>results/pdsd8.err
+
+python results/fill_experiments.py
+echo FINALIZE_DONE

@@ -1,0 +1,6 @@
+"""Setup shim so the package installs in environments without the
+``wheel`` module (offline legacy ``pip install -e`` path)."""
+
+from setuptools import setup
+
+setup()

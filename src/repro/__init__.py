@@ -1,0 +1,49 @@
+"""repro — exact logic synthesis based on a semi-tensor product (STP)
+circuit solver.
+
+A from-scratch Python reproduction of *"Exact Synthesis Based on
+Semi-Tensor Product Circuit Solver"* (Pan & Chu, DATE 2023): the STP
+matrix substrate, the STP canonical-form AllSAT solver, DAG topology
+families, STP matrix factorization, the circuit-based AllSAT verifier,
+and the surrounding evaluation machinery (NPN/DSD workloads, a CDCL
+SAT solver, and three baseline exact synthesizers).
+
+Quick start::
+
+    from repro import synthesize, from_hex
+
+    result = synthesize(from_hex("8ff8", 4))
+    for chain in result.chains:        # ALL optimal 2-LUT chains
+        print(chain.format())
+"""
+
+from .truthtable import TruthTable, from_function, from_hex, projection
+from .chain import BooleanChain, select_best
+from .core import (
+    HierarchicalSynthesizer,
+    STPSynthesizer,
+    SynthesisResult,
+    hierarchical_synthesize,
+    synthesize,
+    synthesize_all,
+    verify_chain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TruthTable",
+    "from_function",
+    "from_hex",
+    "projection",
+    "BooleanChain",
+    "select_best",
+    "HierarchicalSynthesizer",
+    "STPSynthesizer",
+    "SynthesisResult",
+    "hierarchical_synthesize",
+    "synthesize",
+    "synthesize_all",
+    "verify_chain",
+    "__version__",
+]

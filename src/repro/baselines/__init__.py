@@ -1,0 +1,15 @@
+"""Comparison algorithms for Table I: BMS (plain SSV SAT), FEN
+(fence-constrained SAT), and an ABC lutexact-style CEGAR engine."""
+
+from .bms import BMSSynthesizer, bms_synthesize
+from .fence_synth import FenceSynthesizer, fence_synthesize
+from .lutexact import LutExactSynthesizer, lutexact_synthesize
+
+__all__ = [
+    "BMSSynthesizer",
+    "bms_synthesize",
+    "FenceSynthesizer",
+    "fence_synthesize",
+    "LutExactSynthesizer",
+    "lutexact_synthesize",
+]

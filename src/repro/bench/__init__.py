@@ -1,0 +1,17 @@
+"""Benchmark suites, runner and the Table I regenerator."""
+
+from .runner import Algorithm, InstanceOutcome, SuiteReport, default_algorithms, run_suite
+from .suites import NPN4_CLASSES_HEX, SUITE_NAMES, SUITE_SIZES, get_suite, npn4_suite
+
+__all__ = [
+    "Algorithm",
+    "InstanceOutcome",
+    "SuiteReport",
+    "default_algorithms",
+    "run_suite",
+    "NPN4_CLASSES_HEX",
+    "SUITE_NAMES",
+    "SUITE_SIZES",
+    "get_suite",
+    "npn4_suite",
+]

@@ -1,0 +1,179 @@
+"""Benchmark runner: Table-I style measurements.
+
+Runs a set of synthesis algorithms over a suite of functions with a
+per-instance wall-clock timeout, validating every returned chain by
+simulation, and aggregates the paper's columns: mean solve time over
+solved instances, the number of timeouts, the number of instances
+solved, and — for the all-solutions STP algorithm — total time, mean
+time per solution, and the average solution count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..baselines.bms import BMSSynthesizer
+from ..baselines.fence_synth import FenceSynthesizer
+from ..baselines.lutexact import LutExactSynthesizer
+from ..core.hierarchical import HierarchicalSynthesizer
+from ..core.spec import SynthesisResult
+from ..truthtable.table import TruthTable
+
+__all__ = [
+    "Algorithm",
+    "InstanceOutcome",
+    "SuiteReport",
+    "default_algorithms",
+    "run_suite",
+]
+
+SynthesisFn = Callable[[TruthTable, float], SynthesisResult]
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """A named synthesis engine adapter."""
+
+    name: str
+    run: SynthesisFn
+    all_solutions: bool = False
+
+
+def default_algorithms(max_solutions: int = 256) -> list[Algorithm]:
+    """The paper's four contenders: BMS, FEN, ABC(lutexact), STP."""
+    bms = BMSSynthesizer()
+    fen = FenceSynthesizer()
+    lut = LutExactSynthesizer()
+    stp = HierarchicalSynthesizer(
+        all_solutions=True, max_solutions=max_solutions
+    )
+    return [
+        Algorithm("BMS", lambda f, t: bms.synthesize(f, timeout=t)),
+        Algorithm("FEN", lambda f, t: fen.synthesize(f, timeout=t)),
+        Algorithm("ABC", lambda f, t: lut.synthesize(f, timeout=t)),
+        Algorithm(
+            "STP",
+            lambda f, t: stp.synthesize(f, timeout=t),
+            all_solutions=True,
+        ),
+    ]
+
+
+@dataclass
+class InstanceOutcome:
+    """One (function, algorithm) measurement."""
+
+    function_hex: str
+    solved: bool
+    runtime: float
+    num_gates: int = -1
+    num_solutions: int = 0
+    error: str = ""
+
+
+@dataclass
+class SuiteReport:
+    """Aggregated Table-I row for one algorithm on one suite."""
+
+    algorithm: str
+    suite: str
+    outcomes: list[InstanceOutcome] = field(default_factory=list)
+
+    @property
+    def num_ok(self) -> int:
+        """Instances solved before the timeout (#ok)."""
+        return sum(1 for o in self.outcomes if o.solved)
+
+    @property
+    def num_timeouts(self) -> int:
+        """Instances not solved in time (#t/o)."""
+        return sum(1 for o in self.outcomes if not o.solved)
+
+    @property
+    def mean_time(self) -> float:
+        """Mean runtime over solved instances (the paper's ``mean``)."""
+        solved = [o.runtime for o in self.outcomes if o.solved]
+        return sum(solved) / len(solved) if solved else float("nan")
+
+    @property
+    def total_time(self) -> float:
+        """Total runtime over solved instances (STP's ``Total``)."""
+        return sum(o.runtime for o in self.outcomes if o.solved)
+
+    @property
+    def mean_solutions(self) -> float:
+        """Average number of solutions per solved instance."""
+        solved = [o.num_solutions for o in self.outcomes if o.solved]
+        return sum(solved) / len(solved) if solved else 0.0
+
+    @property
+    def mean_time_per_solution(self) -> float:
+        """Mean time divided by the average solution count."""
+        if not self.mean_solutions:
+            return float("nan")
+        return self.mean_time / self.mean_solutions
+
+
+def run_suite(
+    suite_name: str,
+    functions: Sequence[TruthTable],
+    algorithms: Iterable[Algorithm],
+    timeout: float,
+    verbose: bool = False,
+) -> list[SuiteReport]:
+    """Run every algorithm over every function; returns one report per
+    algorithm.  Every returned chain is validated by simulation."""
+    reports = []
+    for algorithm in algorithms:
+        report = SuiteReport(algorithm.name, suite_name)
+        for function in functions:
+            outcome = _run_instance(algorithm, function, timeout)
+            report.outcomes.append(outcome)
+            if verbose:
+                status = (
+                    f"{outcome.runtime:.3f}s g={outcome.num_gates}"
+                    if outcome.solved
+                    else f"t/o ({outcome.error})" if outcome.error else "t/o"
+                )
+                print(
+                    f"  [{algorithm.name}] 0x{outcome.function_hex}: {status}"
+                )
+        reports.append(report)
+    return reports
+
+
+def _run_instance(
+    algorithm: Algorithm, function: TruthTable, timeout: float
+) -> InstanceOutcome:
+    start = time.perf_counter()
+    try:
+        result = algorithm.run(function, timeout)
+    except TimeoutError:
+        return InstanceOutcome(
+            function.to_hex(), False, time.perf_counter() - start
+        )
+    except Exception as exc:  # pragma: no cover - defensive reporting
+        return InstanceOutcome(
+            function.to_hex(),
+            False,
+            time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    runtime = time.perf_counter() - start
+    for chain in result.chains:
+        if chain.simulate_output() != function:
+            return InstanceOutcome(
+                function.to_hex(),
+                False,
+                runtime,
+                error="invalid chain returned",
+            )
+    return InstanceOutcome(
+        function.to_hex(),
+        True,
+        runtime,
+        num_gates=result.num_gates,
+        num_solutions=result.num_solutions,
+    )

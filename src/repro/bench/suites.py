@@ -1,0 +1,86 @@
+"""The paper's five benchmark suites (Section IV).
+
+* ``npn4``  — all 222 NPN classes of 4-input functions,
+* ``fdsd6`` / ``fdsd8`` — fully DSD-decomposable functions,
+* ``pdsd6`` / ``pdsd8`` — partially DSD-decomposable functions.
+
+The NPN4 representatives are embedded below (orbit-minimal members, as
+recomputed by :func:`repro.truthtable.npn.npn_classes`; the test suite
+cross-checks the embedded list against a fresh enumeration).  The DSD
+suites are regenerated deterministically from seeds — the paper's own
+collections came from unpublished mapping runs, so ours are synthetic
+equivalents (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from ..truthtable.generate import fdsd_suite, pdsd_suite
+from ..truthtable.table import TruthTable, from_hex
+
+__all__ = ["NPN4_CLASSES_HEX", "npn4_suite", "get_suite", "SUITE_NAMES", "SUITE_SIZES"]
+
+#: All 222 four-input NPN class representatives (orbit-minimal).
+NPN4_CLASSES_HEX: tuple[str, ...] = (
+    "0000,0001,0003,0006,0007,000f,0016,0017,0018,0019,001b,001e,001f,"
+    "003c,003d,003f,0069,006b,006f,007e,007f,00ff,0116,0117,0118,0119,"
+    "011a,011b,011e,011f,012c,012d,012f,013c,013d,013e,013f,0168,0169,"
+    "016a,016b,016e,016f,017e,017f,0180,0181,0182,0183,0186,0187,0189,"
+    "018b,018f,0196,0197,0198,0199,019a,019b,019e,019f,01a8,01a9,01aa,"
+    "01ab,01ac,01ad,01ae,01af,01bc,01bd,01be,01bf,01e8,01e9,01ea,01eb,"
+    "01ee,01ef,01fe,033c,033d,033f,0356,0357,0358,0359,035a,035b,035e,"
+    "035f,0368,0369,036a,036b,036c,036d,036e,036f,037c,037d,037e,03c0,"
+    "03c1,03c3,03c5,03c6,03c7,03cf,03d4,03d5,03d6,03d7,03d8,03d9,03db,"
+    "03dc,03dd,03de,03fc,0660,0661,0662,0663,0666,0667,0669,066b,066f,"
+    "0672,0673,0676,0678,0679,067a,067b,067e,0690,0691,0693,0696,0697,"
+    "069f,06b0,06b1,06b2,06b3,06b4,06b5,06b6,06b7,06b9,06bd,06f0,06f1,"
+    "06f2,06f6,06f9,0776,0778,0779,077a,077e,07b0,07b1,07b4,07b5,07b6,"
+    "07bc,07e0,07e1,07e2,07e3,07e6,07e9,07f0,07f1,07f2,07f8,0ff0,1668,"
+    "1669,166a,166b,166e,167e,1681,1683,1686,1687,1689,168b,168e,1696,"
+    "1697,1698,1699,169a,169b,169e,16a9,16ac,16ad,16bc,16e9,177e,178e,"
+    "1796,1798,179a,17ac,17e8,18e7,19e1,19e3,19e6,1bd8,1be4,1ee1,3cc3,"
+    "6996"
+).split(",")
+
+#: Instance counts the paper uses per suite.
+SUITE_SIZES: dict[str, int] = {
+    "npn4": 222,
+    "fdsd6": 1000,
+    "fdsd8": 100,
+    "pdsd6": 1000,
+    "pdsd8": 100,
+}
+
+SUITE_NAMES: tuple[str, ...] = ("npn4", "fdsd6", "fdsd8", "pdsd6", "pdsd8")
+
+
+def npn4_suite(count: int | None = None) -> list[TruthTable]:
+    """The NPN4 suite (optionally truncated for scaled-down runs)."""
+    tables = [from_hex(h, 4) for h in NPN4_CLASSES_HEX]
+    if count is not None:
+        tables = tables[:count]
+    return tables
+
+
+def get_suite(
+    name: str, count: int | None = None, seed: int = 2023
+) -> list[TruthTable]:
+    """Instantiate a suite by name.
+
+    ``count=None`` gives the paper's full instance count; smaller
+    values subsample deterministically (first ``count`` instances).
+    """
+    key = name.lower()
+    if key not in SUITE_SIZES:
+        raise ValueError(
+            f"unknown suite {name!r}; pick one of {SUITE_NAMES}"
+        )
+    size = count if count is not None else SUITE_SIZES[key]
+    if key == "npn4":
+        return npn4_suite(size)
+    if key == "fdsd6":
+        return fdsd_suite(6, size, seed=seed)
+    if key == "fdsd8":
+        return fdsd_suite(8, size, seed=seed)
+    if key == "pdsd6":
+        return pdsd_suite(6, size, seed=seed, prime_arity=3)
+    return pdsd_suite(8, size, seed=seed, prime_arity=3)

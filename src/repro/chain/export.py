@@ -1,0 +1,125 @@
+"""Chain export: expression trees and structural Verilog.
+
+The paper's output format is 2-LUT chains; downstream flows want them
+as readable Boolean expressions or as Verilog netlists.  Both exports
+are pure functions of the chain and round-trip through simulation in
+the tests.
+"""
+
+from __future__ import annotations
+
+from ..stp.expression import BinOp, Const, Expression, Not, Var
+from ..truthtable.operations import binary_op_name
+from .chain import BooleanChain
+
+__all__ = ["chain_to_expression", "chain_to_verilog"]
+
+#: 2-input code → expression builder over (x0, x1) sub-expressions.
+_CODE_EXPR = {
+    0x1: lambda a, b: Not(BinOp("or", a, b)),
+    0x2: lambda a, b: BinOp("and", a, Not(b)),
+    0x4: lambda a, b: BinOp("and", Not(a), b),
+    0x6: lambda a, b: BinOp("xor", a, b),
+    0x7: lambda a, b: Not(BinOp("and", a, b)),
+    0x8: lambda a, b: BinOp("and", a, b),
+    0x9: lambda a, b: BinOp("xnor", a, b),
+    0xB: lambda a, b: BinOp("or", a, Not(b)),
+    0xD: lambda a, b: BinOp("or", Not(a), b),
+    0xE: lambda a, b: BinOp("or", a, b),
+    0x0: lambda a, b: Const(False),
+    0xF: lambda a, b: Const(True),
+    0x3: lambda a, b: Not(b),
+    0x5: lambda a, b: Not(a),
+    0xA: lambda a, b: a,
+    0xC: lambda a, b: b,
+}
+
+
+def chain_to_expression(
+    chain: BooleanChain, output: int = 0
+) -> Expression:
+    """One output of a 2-input chain as an expression AST.
+
+    Variable names are ``x0 … x{n-1}``; shared gates are duplicated in
+    the tree (expressions have no sharing).
+    """
+    for gate in chain.gates:
+        if gate.arity != 2:
+            raise ValueError("expression export supports 2-input chains")
+    exprs: list[Expression] = [
+        Var(f"x{i}") for i in range(chain.num_inputs)
+    ]
+    for gate in chain.gates:
+        a, b = (exprs[f] for f in gate.fanins)
+        exprs.append(_CODE_EXPR[gate.op](a, b))
+    signal, complemented = chain.outputs[output]
+    if signal == BooleanChain.CONST0:
+        expr: Expression = Const(False)
+    else:
+        expr = exprs[signal]
+    return Not(expr) if complemented else expr
+
+
+_VERILOG_OPS = {
+    0x1: "~({a} | {b})",
+    0x2: "{a} & ~{b}",
+    0x4: "~{a} & {b}",
+    0x6: "{a} ^ {b}",
+    0x7: "~({a} & {b})",
+    0x8: "{a} & {b}",
+    0x9: "~({a} ^ {b})",
+    0xB: "{a} | ~{b}",
+    0xD: "~{a} | {b}",
+    0xE: "{a} | {b}",
+    0x0: "1'b0",
+    0xF: "1'b1",
+    0x3: "~{b}",
+    0x5: "~{a}",
+    0xA: "{a}",
+    0xC: "{b}",
+}
+
+
+def chain_to_verilog(
+    chain: BooleanChain, module_name: str = "chain"
+) -> str:
+    """Structural Verilog for a 2-input chain (assign-style netlist)."""
+    for gate in chain.gates:
+        if gate.arity != 2:
+            raise ValueError("verilog export supports 2-input chains")
+    n = chain.num_inputs
+    inputs = ", ".join(f"x{i}" for i in range(n))
+    outputs = ", ".join(f"y{i}" for i in range(len(chain.outputs)))
+    lines = [
+        f"module {module_name} ({inputs}, {outputs});",
+        f"  input {inputs};" if n else "",
+        f"  output {outputs};",
+    ]
+    wires = [
+        f"w{chain.num_inputs + i}" for i in range(chain.num_gates)
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+
+    def name_of(signal: int) -> str:
+        if signal < n:
+            return f"x{signal}"
+        return f"w{signal}"
+
+    for i, gate in enumerate(chain.gates):
+        a, b = (name_of(f) for f in gate.fanins)
+        rhs = _VERILOG_OPS[gate.op].format(a=a, b=b)
+        target = f"w{n + i}"
+        lines.append(
+            f"  assign {target} = {rhs};  // {binary_op_name(gate.op)}"
+        )
+    for i, (signal, complemented) in enumerate(chain.outputs):
+        if signal == BooleanChain.CONST0:
+            rhs = "1'b1" if complemented else "1'b0"
+        else:
+            rhs = name_of(signal)
+            if complemented:
+                rhs = f"~{rhs}"
+        lines.append(f"  assign y{i} = {rhs};")
+    lines.append("endmodule")
+    return "\n".join(line for line in lines if line) + "\n"

@@ -1,0 +1,133 @@
+"""Chain rewrites shared by the synthesizers.
+
+Exact synthesis engines work over the *functional support* of the
+target; these helpers shrink a function to its support and lift the
+resulting chains back to the original input space.  The polarity
+machinery rewrites chains by complementing internal signals — gate
+codes absorb the complement, so every variant realises the same
+function with the same gate count (a large part of the paper's
+"all optimal solutions" sets).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from ..truthtable.table import TruthTable
+from .chain import BooleanChain
+
+__all__ = [
+    "shrink_to_support",
+    "lift_chain",
+    "trivial_chain",
+    "flip_signal",
+    "polarity_variants",
+]
+
+
+def shrink_to_support(f: TruthTable) -> tuple[TruthTable, tuple[int, ...]]:
+    """Project ``f`` onto its support; local variable ``i`` corresponds
+    to original variable ``support[i]``."""
+    support = f.support()
+    local = f
+    for v in reversed(range(f.num_vars)):
+        if v not in support:
+            local = local.remove_vacuous_variable(v)
+    return local, support
+
+
+def lift_chain(
+    chain: BooleanChain, num_vars: int, support: tuple[int, ...]
+) -> BooleanChain:
+    """Re-express a support-local chain over the original inputs."""
+    s = len(support)
+    lifted = BooleanChain(num_vars)
+
+    def remap(signal: int) -> int:
+        if signal == BooleanChain.CONST0:
+            return signal
+        if signal < s:
+            return support[signal]
+        return num_vars + (signal - s)
+
+    for gate in chain.gates:
+        lifted.add_gate(gate.op, tuple(remap(f) for f in gate.fanins))
+    for signal, complemented in chain.outputs:
+        lifted.set_output(remap(signal), complemented)
+    return lifted
+
+
+def trivial_chain(f: TruthTable) -> BooleanChain | None:
+    """Zero-gate realisations: constants and (inverted) projections."""
+    n = f.num_vars
+    support = f.support()
+    if not support:
+        chain = BooleanChain(n)
+        chain.set_output(BooleanChain.CONST0, complemented=bool(f.bits & 1))
+        return chain
+    if len(support) == 1:
+        var = support[0]
+        chain = BooleanChain(n)
+        complemented = f.value(0) == 1
+        chain.set_output(var, complemented)
+        return chain
+    return None
+
+
+def _flip_code_input(code: int, arity: int, position: int) -> int:
+    """Gate code with local input ``position`` complemented."""
+    out = 0
+    for row in range(1 << arity):
+        if (code >> (row ^ (1 << position))) & 1:
+            out |= 1 << row
+    return out
+
+
+def flip_signal(chain: BooleanChain, signal: int) -> BooleanChain:
+    """Complement an internal signal, absorbing the inversion into the
+    driving gate's code and every reader's code — the chain's outputs
+    are unchanged."""
+    if chain.is_input(signal):
+        raise ValueError("primary inputs cannot be flipped")
+    flipped = BooleanChain(chain.num_inputs)
+    for i, gate in enumerate(chain.gates):
+        current = chain.num_inputs + i
+        code = gate.op
+        if current == signal:
+            code ^= (1 << (1 << gate.arity)) - 1
+        for pos, fanin in enumerate(gate.fanins):
+            if fanin == signal:
+                code = _flip_code_input(code, gate.arity, pos)
+        flipped.add_gate(code, gate.fanins)
+    for out_signal, complemented in chain.outputs:
+        flipped.set_output(
+            out_signal, complemented ^ (out_signal == signal)
+        )
+    return flipped
+
+
+def polarity_variants(
+    chain: BooleanChain, max_variants: int | None = None
+) -> Iterator[BooleanChain]:
+    """All polarity rewrites of a chain (the chain itself first).
+
+    Every subset of internal gate signals is complemented in turn;
+    each variant computes the same outputs with the same gate count.
+    Output-driving signals are included (the output complement flag
+    absorbs them).  ``2**num_gates`` variants exist; cap with
+    ``max_variants``.
+    """
+    signals = [
+        chain.num_inputs + i for i in range(chain.num_gates)
+    ]
+    emitted = 0
+    for size in range(len(signals) + 1):
+        for subset in combinations(signals, size):
+            variant = chain
+            for signal in subset:
+                variant = flip_signal(variant, signal)
+            yield variant
+            emitted += 1
+            if max_variants is not None and emitted >= max_variants:
+                return

@@ -1,0 +1,121 @@
+"""Command-line exact synthesis.
+
+Installed as ``repro-synth`` (also ``python -m repro.cli``)::
+
+    repro-synth 8ff8 --vars 4                 # all optimal chains
+    repro-synth 8ff8 --vars 4 --engine fen    # baseline comparison
+    repro-synth e8 --vars 3 --cost depth --best-only
+    repro-synth 8ff8 --vars 4 --blif out.blif # export the best chain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import bms_synthesize, fence_synthesize, lutexact_synthesize
+from .chain.costs import COST_MODELS, rank_solutions
+from .core import hierarchical_synthesize, synthesize
+from .network import LogicNetwork, network_to_blif
+from .truthtable import from_hex
+
+_ENGINES = {
+    "stp": synthesize,
+    "hier": hierarchical_synthesize,
+    "bms": bms_synthesize,
+    "fen": fence_synthesize,
+    "lutexact": lutexact_synthesize,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-synth`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-synth",
+        description="Exact synthesis of a Boolean function into "
+        "optimal 2-LUT chains.",
+    )
+    parser.add_argument(
+        "function",
+        help="truth table in hexadecimal (e.g. 8ff8)",
+    )
+    parser.add_argument(
+        "--vars", type=int, required=True, help="number of inputs"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(_ENGINES),
+        default="stp",
+        help="synthesis engine (default: stp)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="seconds"
+    )
+    parser.add_argument(
+        "--max-solutions", type=int, default=64, help="solution cap"
+    )
+    parser.add_argument(
+        "--cost",
+        choices=sorted(COST_MODELS),
+        default="gates",
+        help="ranking cost for the solution list",
+    )
+    parser.add_argument(
+        "--best-only",
+        action="store_true",
+        help="print only the cheapest chain",
+    )
+    parser.add_argument(
+        "--blif",
+        type=str,
+        default=None,
+        help="write the best chain as BLIF to this path",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        target = from_hex(args.function, args.vars)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    engine = _ENGINES[args.engine]
+    kwargs = {}
+    if args.engine in ("stp", "hier"):
+        kwargs["max_solutions"] = args.max_solutions
+    try:
+        result = engine(target, timeout=args.timeout, **kwargs)
+    except TimeoutError:
+        print(
+            f"timeout after {args.timeout:.0f}s", file=sys.stderr
+        )
+        return 1
+
+    ranked = rank_solutions(result.chains, args.cost)
+    shown = ranked[:1] if args.best_only else ranked
+    print(
+        f"0x{target.to_hex()}: optimum {result.num_gates} gates, "
+        f"{result.num_solutions} solution(s) in {result.runtime:.3f}s "
+        f"[{args.engine}]"
+    )
+    for rank, (cost, chain) in enumerate(shown, start=1):
+        print(f"-- solution {rank} ({args.cost}={cost:g})")
+        print(chain.format())
+
+    if args.blif and ranked:
+        network = LogicNetwork.from_chain(
+            ranked[0][1], name=f"f{target.to_hex()}"
+        )
+        with open(args.blif, "w") as handle:
+            handle.write(network_to_blif(network))
+        print(f"wrote {args.blif}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""NPN-indexed database of optimal chains.
+
+The practical consumer of exact synthesis (rewriting, technology
+mapping) synthesizes each NPN *class representative* once and serves
+every orbit member by transforming the stored chain — permuting and
+complementing its inputs and complementing its output, all absorbed
+into the 2-LUT gate codes.  This module provides both pieces: the
+chain-level NPN transform and a lazily-filled database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..chain.chain import BooleanChain
+from ..truthtable.npn import NPNTransform, canonicalize
+from ..truthtable.table import TruthTable
+from .spec import SynthesisResult
+from .synthesizer import STPSynthesizer
+
+__all__ = ["apply_transform_to_chain", "NPNDatabase"]
+
+
+def _flip_code_input(code: int, arity: int, position: int) -> int:
+    out = 0
+    for row in range(1 << arity):
+        if (code >> (row ^ (1 << position))) & 1:
+            out |= 1 << row
+    return out
+
+
+def apply_transform_to_chain(
+    chain: BooleanChain, transform: NPNTransform
+) -> BooleanChain:
+    """Chain computing ``transform.apply(g)`` given one computing ``g``.
+
+    The transform's input permutation reroutes primary-input fanins,
+    input complementations flip the corresponding gate-code positions,
+    and the output complementation toggles the output flag — gate count
+    and topology are untouched.
+    """
+    n = chain.num_inputs
+    if len(transform.perm) != n:
+        raise ValueError("transform arity does not match the chain")
+    out = BooleanChain(n)
+    for gate in chain.gates:
+        code = gate.op
+        fanins = []
+        for pos, f in enumerate(gate.fanins):
+            if f < n:
+                if (transform.input_flips >> f) & 1:
+                    code = _flip_code_input(code, gate.arity, pos)
+                fanins.append(transform.perm[f])
+            else:
+                fanins.append(f)
+        out.add_gate(code, tuple(fanins))
+    for signal, complemented in chain.outputs:
+        if signal != BooleanChain.CONST0 and signal < n:
+            if (transform.input_flips >> signal) & 1:
+                complemented = not complemented
+            signal = transform.perm[signal]
+        out.set_output(signal, complemented ^ transform.output_flip)
+    return out
+
+
+class NPNDatabase:
+    """Lazily-filled map from NPN classes to optimal chain sets.
+
+    ``lookup(f)`` canonicalizes ``f``, synthesizes the representative
+    on first sight (any callable with the :class:`STPSynthesizer`
+    signature may be plugged in), and returns chains *for f itself* by
+    transforming the stored solutions.
+    """
+
+    def __init__(
+        self,
+        synthesizer: STPSynthesizer | None = None,
+        timeout: float | None = 120.0,
+    ) -> None:
+        self._synthesizer = synthesizer or STPSynthesizer(
+            max_solutions=64
+        )
+        self._timeout = timeout
+        self._store: dict[tuple[int, int], SynthesisResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, function: TruthTable) -> list[BooleanChain]:
+        """All stored optimal chains, re-expressed for ``function``."""
+        rep, transform = canonicalize(function)
+        key = (rep.bits, rep.num_vars)
+        result = self._store.get(key)
+        if result is None:
+            result = self._synthesizer.synthesize(
+                rep, timeout=self._timeout
+            )
+            self._store[key] = result
+        # chain computes rep; we need f = transform.inverse()(rep).
+        inverse = transform.inverse()
+        chains = [
+            apply_transform_to_chain(chain, inverse)
+            for chain in result.chains
+        ]
+        return chains
+
+    def optimal_size(self, function: TruthTable) -> int:
+        """Gate count of the class optimum (fills the cache)."""
+        rep, _ = canonicalize(function)
+        key = (rep.bits, rep.num_vars)
+        if key not in self._store:
+            self.lookup(function)
+        return self._store[key].num_gates
+
+    def precompute(
+        self,
+        classes: list[TruthTable],
+        progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        """Fill the database for a list of class representatives."""
+        for index, rep in enumerate(classes):
+            self.lookup(rep)
+            if progress is not None:
+                progress(index + 1, len(classes))

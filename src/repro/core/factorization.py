@@ -1,0 +1,827 @@
+"""STP matrix factorization of canonical forms (Section III-B).
+
+Given a demanded function ``g_v`` at a DAG node whose two fanins reach
+primary-input sets ``S_a`` and ``S_b``, this module enumerates every
+way to write ``g_v = φ(g_a, g_b)`` with ``g_a`` over ``S_a``, ``g_b``
+over ``S_b`` and ``φ`` a 2-input operator — i.e. it factors the STP
+canonical form ``M_{g_v}`` into a structural matrix and two smaller
+logic matrices.
+
+*Disjoint* fanin supports use the paper's "two unique quartering
+parts" criterion (Examples 5–6): grouping the columns of ``M_{g_v}``
+by the assignment of ``S_a`` must produce at most two distinct column
+blocks, the block indicator *is* ``g_a`` (up to a polarity absorbed by
+``φ``), and ``g_b`` follows column-wise.  Reordering interleaved
+variables is Property 1's swap (``M_w``); we realise it by permuting
+truth-table variables, the same linear map.
+
+*Overlapping* supports are the power-reducing case (Properties 3–4):
+repeated variables introduce don't-care entries, so the factor pair is
+no longer block-determined.  We solve the induced binary constraint
+system — one constraint ``φ(g_a(α), g_b(β)) = g_v(γ)`` per joint
+assignment ``γ`` — by arc consistency plus backtracking, enumerating
+exactly the assignments the paper re-checks with the circuit AllSAT
+solver.
+
+Everything is computed on *cone-local* bit-packed tables and cached on
+the local shape, so structurally identical queries from different
+pDAGs (or different gate counts) are answered once.
+
+Demand pruning: at a *minimal* gate count no chain can contain a gate
+whose function is constant, a (complemented) projection, or equal
+(complemented) to its parent's function — any such gate could be
+dropped, contradicting minimality.  When the operator set is closed
+under input/output complementation these prunes are sound; for
+non-closed operator sets they are disabled automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..truthtable.table import TruthTable
+from .spec import Deadline
+
+__all__ = ["Factorization", "FactorizationEngine", "is_complement_closed"]
+
+
+def is_complement_closed(ops: Sequence[int]) -> bool:
+    """True when the operator set is closed under complementing either
+    input or the output (required for the minimality prunes)."""
+    op_set = set(ops)
+    for code in ops:
+        flip_a = _permute_code(code, flip0=True)
+        flip_b = _permute_code(code, flip1=True)
+        flip_out = code ^ 0xF
+        if not {flip_a, flip_b, flip_out} <= op_set:
+            return False
+    return True
+
+
+def _permute_code(code: int, flip0: bool = False, flip1: bool = False) -> int:
+    out = 0
+    for row in range(4):
+        src = row ^ (1 if flip0 else 0) ^ (2 if flip1 else 0)
+        if (code >> src) & 1:
+            out |= 1 << row
+    return out
+
+
+@dataclass(frozen=True)
+class Factorization:
+    """One factorization ``g_v = φ(g_a, g_b)``.
+
+    ``op`` is the gate code with the *first* fanin as the low
+    truth-table variable; ``g_a``/``g_b`` are global tables (over all
+    DAG inputs) whose support lies inside the fanin cones.
+    """
+
+    op: int
+    g_a: TruthTable
+    g_b: TruthTable
+
+
+class FactorizationEngine:
+    """Memoizing factorization over one synthesis run."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        operators: Sequence[int],
+        max_solutions_per_query: int = 4096,
+        deadline: Deadline | None = None,
+    ) -> None:
+        self._num_vars = num_vars
+        self._ops = tuple(operators)
+        self._closed = is_complement_closed(self._ops)
+        self._cap = max_solutions_per_query
+        self._deadline = deadline
+        # local-shape solution cache and assorted small caches
+        self._local_cache: dict[tuple, tuple] = {}
+        self._shape_cache: dict[tuple, tuple] = {}
+        self._localize_cache: dict[tuple, int | None] = {}
+        self._globalize_cache: dict[tuple, TruthTable] = {}
+        self._query_cache: dict[tuple, tuple] = {}
+
+    @property
+    def prunes_enabled(self) -> bool:
+        """Whether minimality prunes are active (operator set closed)."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # public query
+    # ------------------------------------------------------------------
+    def decompositions(
+        self,
+        g_v: TruthTable,
+        cone_a: Sequence[int],
+        cone_b: Sequence[int],
+        fixed_a: TruthTable | None = None,
+        fixed_b: TruthTable | None = None,
+        canonical: bool = True,
+    ) -> tuple[Factorization, ...]:
+        """Factorizations of ``g_v`` over the given fanin cones.
+
+        ``cone_a`` / ``cone_b`` are the PIs reachable through each fanin
+        (sorted tuples preferred — sets are normalised).  ``fixed_a`` /
+        ``fixed_b`` pin a child to an already-assigned function (e.g. a
+        primary-input projection).
+
+        With ``canonical=True`` (default) free child demands are pinned
+        to *normal* functions (value 0 on the all-zero row).  Every
+        polarity orbit has exactly one normal representative when the
+        operator set is complement-closed, so feasibility and optimal
+        size are unaffected while the branching halves per child; the
+        synthesizer recovers the full solution set by polarity
+        expansion.  ``canonical=False`` enumerates every polarity.
+        """
+        canonical = canonical and self._closed
+        a_vars = cone_a if isinstance(cone_a, tuple) else tuple(sorted(cone_a))
+        b_vars = cone_b if isinstance(cone_b, tuple) else tuple(sorted(cone_b))
+        key = (
+            g_v.bits,
+            a_vars,
+            b_vars,
+            None if fixed_a is None else fixed_a.bits,
+            None if fixed_b is None else fixed_b.bits,
+            canonical,
+        )
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._deadline is not None:
+            self._deadline.check()
+
+        u_vars = tuple(sorted(set(a_vars) | set(b_vars)))
+        nu = len(u_vars)
+
+        gv_local = self._localize(g_v.bits, u_vars)
+        result: tuple[Factorization, ...]
+        if gv_local is None:
+            result = ()  # support leaks outside the union cone
+        else:
+            position = {v: i for i, v in enumerate(u_vars)}
+            a_pos = tuple(position[v] for v in a_vars)
+            b_pos = tuple(position[v] for v in b_vars)
+            fixed_a_local = (
+                self._localize(fixed_a.bits, a_vars) if fixed_a is not None else None
+            )
+            fixed_b_local = (
+                self._localize(fixed_b.bits, b_vars) if fixed_b is not None else None
+            )
+            if (fixed_a is not None and fixed_a_local is None) or (
+                fixed_b is not None and fixed_b_local is None
+            ):
+                result = ()
+            else:
+                locals_ = self._solve_local(
+                    gv_local,
+                    nu,
+                    a_pos,
+                    b_pos,
+                    fixed_a_local,
+                    fixed_b_local,
+                    canonical,
+                )
+                out = []
+                for code, a_bits, b_bits in locals_:
+                    g_a = (
+                        fixed_a
+                        if fixed_a is not None
+                        else self._globalize(a_bits, a_vars)
+                    )
+                    g_b = (
+                        fixed_b
+                        if fixed_b is not None
+                        else self._globalize(b_bits, b_vars)
+                    )
+                    out.append(Factorization(code, g_a, g_b))
+                result = tuple(out)
+        self._query_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # local/global conversions (cached)
+    # ------------------------------------------------------------------
+    def _localize(self, bits: int, vars_sorted: tuple[int, ...]) -> int | None:
+        """Project a global table onto a cone; None if support leaks."""
+        key = (bits, vars_sorted)
+        if key in self._localize_cache:
+            return self._localize_cache[key]
+        n = self._num_vars
+        var_set = set(vars_sorted)
+        local_bits = 0
+        leak = False
+        # Verify the value only depends on the cone and read it off.
+        for alpha in range(1 << len(vars_sorted)):
+            row = 0
+            for i, v in enumerate(vars_sorted):
+                if (alpha >> i) & 1:
+                    row |= 1 << v
+            value = (bits >> row) & 1
+            if value:
+                local_bits |= 1 << alpha
+        # Leak check: rebuild and compare.
+        rebuilt = self._expand(local_bits, vars_sorted)
+        if rebuilt != bits:
+            leak = True
+        result = None if leak else local_bits
+        self._localize_cache[key] = result
+        return result
+
+    def _expand(self, local_bits: int, vars_sorted: tuple[int, ...]) -> int:
+        n = self._num_vars
+        out = 0
+        for m in range(1 << n):
+            alpha = 0
+            for i, v in enumerate(vars_sorted):
+                if (m >> v) & 1:
+                    alpha |= 1 << i
+            if (local_bits >> alpha) & 1:
+                out |= 1 << m
+        return out
+
+    def _globalize(
+        self, local_bits: int, vars_sorted: tuple[int, ...]
+    ) -> TruthTable:
+        key = (local_bits, vars_sorted)
+        cached = self._globalize_cache.get(key)
+        if cached is not None:
+            return cached
+        table = TruthTable(
+            self._expand(local_bits, vars_sorted), self._num_vars
+        )
+        self._globalize_cache[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # shape maps
+    # ------------------------------------------------------------------
+    def _maps(
+        self, nu: int, a_pos: tuple[int, ...], b_pos: tuple[int, ...]
+    ) -> tuple:
+        """Per-shape index maps γ → (α, β), cached."""
+        key = (nu, a_pos, b_pos)
+        cached = self._shape_cache.get(key)
+        if cached is not None:
+            return cached
+        size = 1 << nu
+        amap = [0] * size
+        bmap = [0] * size
+        for gamma in range(size):
+            alpha = 0
+            for i, p in enumerate(a_pos):
+                if (gamma >> p) & 1:
+                    alpha |= 1 << i
+            beta = 0
+            for i, p in enumerate(b_pos):
+                if (gamma >> p) & 1:
+                    beta |= 1 << i
+            amap[gamma] = alpha
+            bmap[gamma] = beta
+        # For the disjoint fast path: γ for each (α, β).
+        disjoint = not (set(a_pos) & set(b_pos)) and len(a_pos) + len(
+            b_pos
+        ) == nu
+        gamma_of = None
+        if disjoint:
+            gamma_of = [
+                [0] * (1 << len(b_pos)) for _ in range(1 << len(a_pos))
+            ]
+            for gamma in range(size):
+                gamma_of[amap[gamma]][bmap[gamma]] = gamma
+        result = (amap, bmap, disjoint, gamma_of)
+        self._shape_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # the local factorization solver
+    # ------------------------------------------------------------------
+    def _solve_local(
+        self,
+        gv_bits: int,
+        nu: int,
+        a_pos: tuple[int, ...],
+        b_pos: tuple[int, ...],
+        fixed_a: int | None,
+        fixed_b: int | None,
+        canonical: bool,
+    ) -> tuple:
+        key = (gv_bits, nu, a_pos, b_pos, fixed_a, fixed_b, canonical)
+        cached = self._local_cache.get(key)
+        if cached is not None:
+            return cached
+        amap, bmap, disjoint, gamma_of = self._maps(nu, a_pos, b_pos)
+        if disjoint:
+            solutions = tuple(
+                self._solve_disjoint(
+                    gv_bits, nu, a_pos, b_pos, gamma_of,
+                    fixed_a, fixed_b, canonical,
+                )
+            )
+        else:
+            solutions = tuple(
+                self._solve_shared(
+                    gv_bits, nu, a_pos, b_pos, amap, bmap,
+                    fixed_a, fixed_b, canonical,
+                )
+            )
+        self._local_cache[key] = solutions
+        return solutions
+
+    def _admissible_local(
+        self,
+        child_bits: int,
+        child_pos: tuple[int, ...],
+        gv_bits: int,
+        nu: int,
+        fixed: bool,
+    ) -> bool:
+        """Minimality prunes on a free child demand (local form)."""
+        if fixed or not self._closed:
+            return True
+        nc = len(child_pos)
+        full = (1 << (1 << nc)) - 1
+        if child_bits == 0 or child_bits == full:
+            return False  # constant
+        # Support of the child (local) — prune bare projections.
+        support = 0
+        for i in range(nc):
+            if _local_depends(child_bits, nc, i):
+                support += 1
+                if support > 1:
+                    break
+        if support <= 1:
+            return False
+        # child == g_v (±) over the union: expand child onto U.
+        expanded = _expand_positions_cached(child_bits, child_pos, nu)
+        gv_full = (1 << (1 << nu)) - 1
+        if expanded == gv_bits or expanded == (gv_bits ^ gv_full):
+            return False
+        return True
+
+    def _solve_disjoint(
+        self,
+        gv_bits: int,
+        nu: int,
+        a_pos: tuple[int, ...],
+        b_pos: tuple[int, ...],
+        gamma_of: list,
+        fixed_a: int | None,
+        fixed_b: int | None,
+        canonical: bool,
+    ) -> Iterator[tuple[int, int, int]]:
+        """Quartering-part factorization for disjoint cones."""
+        na, nb = len(a_pos), len(b_pos)
+        size_a, size_b = 1 << na, 1 << nb
+
+        # Column blocks: for each α the β-profile of g_v.
+        blocks = []
+        for alpha in range(size_a):
+            row = gamma_of[alpha]
+            bits = 0
+            for beta in range(size_b):
+                if (gv_bits >> row[beta]) & 1:
+                    bits |= 1 << beta
+            blocks.append(bits)
+
+        if fixed_a is None:
+            distinct = sorted(set(blocks))
+            if len(distinct) != 2:
+                return  # not factorable (Example 5.2) or degenerate
+            # The block indicator is g_a up to polarity; both polarities
+            # are genuine, distinct solutions (their sub-chains differ),
+            # so enumerate both — AllSAT semantics.
+            block0 = blocks[0]
+            a_bits = 0
+            for alpha in range(size_a):
+                if blocks[alpha] != block0:
+                    a_bits |= 1 << alpha
+            other = next(b for b in distinct if b != block0)
+            full_a = (1 << size_a) - 1
+            # a_bits has bit 0 clear (α = 0 falls in the block0 group),
+            # i.e. it is the *normal* polarity; the complemented
+            # indicator is the other member of the polarity orbit.
+            a_candidates = [(a_bits, other, block0)]
+            if not canonical:
+                a_candidates.append((a_bits ^ full_a, block0, other))
+        else:
+            # A is pinned; both groups must be internally uniform.
+            ones = [
+                blocks[alpha]
+                for alpha in range(size_a)
+                if (fixed_a >> alpha) & 1
+            ]
+            zeros = [
+                blocks[alpha]
+                for alpha in range(size_a)
+                if not (fixed_a >> alpha) & 1
+            ]
+            if len(set(ones)) > 1 or len(set(zeros)) > 1:
+                return
+            c_block = ones[0] if ones else None
+            d_block = zeros[0] if zeros else None
+            a_candidates = [(fixed_a, c_block, d_block)]
+
+        for a_bits, c_block, d_block in a_candidates:
+            if not self._admissible_local(
+                a_bits, a_pos, gv_bits, nu, fixed_a is not None
+            ):
+                continue
+            a0 = a_bits & 1
+            b0 = None if fixed_b is None else fixed_b & 1
+            g0 = gv_bits & 1
+            for code in self._ops:
+                # Row-0 filter: φ(A(0), B(0)) must equal g_v(0); with a
+                # known B(0) this rejects the operator outright, and
+                # with B free it must hold for at least one value.
+                if b0 is not None:
+                    if ((code >> ((b0 << 1) | a0)) & 1) != g0:
+                        continue
+                elif (
+                    ((code >> a0) & 1) != g0
+                    and ((code >> (2 | a0)) & 1) != g0
+                ):
+                    continue
+                # Allowed B value per β given the two block constraints.
+                forced = 0
+                free: list[int] = []
+                feasible = True
+                for beta in range(size_b):
+                    allowed = 0
+                    for v in (0, 1):
+                        ok = True
+                        if c_block is not None:
+                            want = (c_block >> beta) & 1
+                            if ((code >> ((v << 1) | 1)) & 1) != want:
+                                ok = False
+                        if ok and d_block is not None:
+                            want = (d_block >> beta) & 1
+                            if ((code >> (v << 1)) & 1) != want:
+                                ok = False
+                        if ok:
+                            allowed |= 1 << v
+                    if allowed == 0:
+                        feasible = False
+                        break
+                    if allowed == 2:
+                        forced |= 1 << beta
+                    elif allowed == 3:
+                        free.append(beta)
+                if not feasible:
+                    continue
+                if fixed_b is not None:
+                    # Check the pinned B against the constraints.
+                    consistent = True
+                    for beta in range(size_b):
+                        v = (fixed_b >> beta) & 1
+                        want_bit = (forced >> beta) & 1
+                        if beta in free:
+                            continue
+                        if v != want_bit:
+                            consistent = False
+                            break
+                    if consistent:
+                        yield (code, a_bits, fixed_b)
+                    continue
+                if canonical and forced & 1 and 0 not in free:
+                    continue  # B would not be normal
+                emitted = 0
+                for combo in range(1 << len(free)):
+                    b_bits = forced
+                    for j, beta in enumerate(free):
+                        if (combo >> j) & 1:
+                            b_bits |= 1 << beta
+                    if canonical and b_bits & 1:
+                        continue  # not normal
+                    if self._admissible_local(
+                        b_bits, b_pos, gv_bits, nu, False
+                    ):
+                        yield (code, a_bits, b_bits)
+                        emitted += 1
+                        if emitted >= self._cap:
+                            break
+
+    def _solve_shared(
+        self,
+        gv_bits: int,
+        nu: int,
+        a_pos: tuple[int, ...],
+        b_pos: tuple[int, ...],
+        amap: list[int],
+        bmap: list[int],
+        fixed_a: int | None,
+        fixed_b: int | None,
+        canonical: bool,
+    ) -> Iterator[tuple[int, int, int]]:
+        """Power-reduce factorization (shared variables) via a binary
+        CSP solved with arc consistency + backtracking."""
+        na, nb = len(a_pos), len(b_pos)
+        size_a, size_b = 1 << na, 1 << nb
+        size_g = 1 << nu
+
+        # Fast paths: with at least one side pinned the constraint
+        # system decouples — every free cell's domain is an independent
+        # intersection — so no arc consistency or branching is needed.
+        if fixed_a is not None or fixed_b is not None:
+            yield from self._solve_shared_pinned(
+                gv_bits, nu, a_pos, b_pos, amap, bmap,
+                fixed_a, fixed_b, canonical,
+            )
+            return
+
+        cons_a: list[list[tuple[int, int]]] = [[] for _ in range(size_a)]
+        cons_b: list[list[tuple[int, int]]] = [[] for _ in range(size_b)]
+        for gamma in range(size_g):
+            t = (gv_bits >> gamma) & 1
+            cons_a[amap[gamma]].append((bmap[gamma], t))
+            cons_b[bmap[gamma]].append((amap[gamma], t))
+
+        base_dom_a = (
+            [3] * size_a
+            if fixed_a is None
+            else [1 << ((fixed_a >> alpha) & 1) for alpha in range(size_a)]
+        )
+        base_dom_b = (
+            [3] * size_b
+            if fixed_b is None
+            else [1 << ((fixed_b >> beta) & 1) for beta in range(size_b)]
+        )
+        if canonical:
+            # Pin both free children to normal polarity (value 0 on the
+            # all-zero row); sound because every polarity orbit has a
+            # normal member under a complement-closed operator set.
+            if fixed_a is None:
+                base_dom_a[0] = 1
+            if fixed_b is None:
+                base_dom_b[0] = 1
+
+        g0 = (gv_bits >> 0) & 1
+        a0_dom = base_dom_a[amap[0]]
+        b0_dom = base_dom_b[bmap[0]]
+        for code in self._ops:
+            # Row-0 filter: some (u, v) allowed by the row-0 domains
+            # must satisfy φ(u, v) = g_v(0), else skip the whole CSP.
+            if not any(
+                (a0_dom >> u) & 1
+                and (b0_dom >> v) & 1
+                and ((code >> ((v << 1) | u)) & 1) == g0
+                for u in (0, 1)
+                for v in (0, 1)
+            ):
+                continue
+            rel = [
+                [(code >> ((v << 1) | u)) & 1 for v in range(2)]
+                for u in range(2)
+            ]
+            dom_a = base_dom_a[:]
+            dom_b = base_dom_b[:]
+
+            def propagate() -> bool:
+                changed = True
+                while changed:
+                    changed = False
+                    for alpha in range(size_a):
+                        new = 0
+                        d = dom_a[alpha]
+                        for u in (0, 1):
+                            if not (d >> u) & 1:
+                                continue
+                            ok = True
+                            for beta, t in cons_a[alpha]:
+                                db = dom_b[beta]
+                                if not (
+                                    (db & 1 and rel[u][0] == t)
+                                    or (db & 2 and rel[u][1] == t)
+                                ):
+                                    ok = False
+                                    break
+                            if ok:
+                                new |= 1 << u
+                        if new != d:
+                            if not new:
+                                return False
+                            dom_a[alpha] = new
+                            changed = True
+                    for beta in range(size_b):
+                        new = 0
+                        d = dom_b[beta]
+                        for v in (0, 1):
+                            if not (d >> v) & 1:
+                                continue
+                            ok = True
+                            for alpha, t in cons_b[beta]:
+                                da = dom_a[alpha]
+                                if not (
+                                    (da & 1 and rel[0][v] == t)
+                                    or (da & 2 and rel[1][v] == t)
+                                ):
+                                    ok = False
+                                    break
+                            if ok:
+                                new |= 1 << v
+                        if new != d:
+                            if not new:
+                                return False
+                            dom_b[beta] = new
+                            changed = True
+                return True
+
+            if not propagate():
+                continue
+
+            emitted = 0
+
+            def branch() -> Iterator[tuple[int, int]]:
+                for alpha in range(size_a):
+                    if dom_a[alpha] == 3:
+                        for u in (0, 1):
+                            saved_a, saved_b = dom_a[:], dom_b[:]
+                            dom_a[alpha] = 1 << u
+                            if propagate():
+                                yield from branch()
+                            dom_a[:], dom_b[:] = saved_a, saved_b
+                        return
+                for beta in range(size_b):
+                    if dom_b[beta] == 3:
+                        for v in (0, 1):
+                            saved_a, saved_b = dom_a[:], dom_b[:]
+                            dom_b[beta] = 1 << v
+                            if propagate():
+                                yield from branch()
+                            dom_a[:], dom_b[:] = saved_a, saved_b
+                        return
+                a_bits = 0
+                for alpha in range(size_a):
+                    if dom_a[alpha] == 2:
+                        a_bits |= 1 << alpha
+                b_bits = 0
+                for beta in range(size_b):
+                    if dom_b[beta] == 2:
+                        b_bits |= 1 << beta
+                yield (a_bits, b_bits)
+
+            for a_bits, b_bits in branch():
+                if not self._admissible_local(
+                    a_bits, a_pos, gv_bits, nu, fixed_a is not None
+                ):
+                    continue
+                if not self._admissible_local(
+                    b_bits, b_pos, gv_bits, nu, fixed_b is not None
+                ):
+                    continue
+                yield (code, a_bits, b_bits)
+                emitted += 1
+                if emitted >= self._cap:
+                    break
+
+    def _solve_shared_pinned(
+        self,
+        gv_bits: int,
+        nu: int,
+        a_pos: tuple[int, ...],
+        b_pos: tuple[int, ...],
+        amap: list[int],
+        bmap: list[int],
+        fixed_a: int | None,
+        fixed_b: int | None,
+        canonical: bool,
+    ) -> Iterator[tuple[int, int, int]]:
+        """Shared-support factorization with at least one child pinned.
+
+        With (say) ``g_a`` known, each constraint involves exactly one
+        unknown ``B_β`` cell, so the solution set is a per-cell domain
+        intersection followed by a cartesian expansion of the cells
+        left unconstrained — no search required.
+        """
+        na, nb = len(a_pos), len(b_pos)
+        size_a, size_b = 1 << na, 1 << nb
+        size_g = 1 << nu
+
+        if fixed_a is not None and fixed_b is not None:
+            for code in self._ops:
+                ok = True
+                for gamma in range(size_g):
+                    u = (fixed_a >> amap[gamma]) & 1
+                    v = (fixed_b >> bmap[gamma]) & 1
+                    if ((code >> ((v << 1) | u)) & 1) != (
+                        (gv_bits >> gamma) & 1
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    yield (code, fixed_a, fixed_b)
+            return
+
+        # Exactly one side pinned; orient so A is the pinned side.
+        swap = fixed_a is None
+        if swap:
+            pin, pin_map = fixed_b, bmap
+            free_size, free_map, free_pos = size_a, amap, a_pos
+        else:
+            pin, pin_map = fixed_a, amap
+            free_size, free_map, free_pos = size_b, bmap, b_pos
+
+        for code in self._ops:
+            # rel_pin[u] = (allowed free values when pinned value is u
+            # and the target is t) — precompute the 2×2 relation.
+            allowed = [3] * free_size
+            feasible = True
+            for gamma in range(size_g):
+                u = (pin >> pin_map[gamma]) & 1
+                t = (gv_bits >> gamma) & 1
+                mask = 0
+                for v in (0, 1):
+                    row = ((u << 1) | v) if swap else ((v << 1) | u)
+                    if ((code >> row) & 1) == t:
+                        mask |= 1 << v
+                cell = free_map[gamma]
+                allowed[cell] &= mask
+                if not allowed[cell]:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            if canonical:
+                allowed[0] &= 1  # free child must be normal
+                if not allowed[0]:
+                    continue
+            forced = 0
+            free_cells = []
+            for cell in range(free_size):
+                if allowed[cell] == 2:
+                    forced |= 1 << cell
+                elif allowed[cell] == 3:
+                    free_cells.append(cell)
+            emitted = 0
+            for combo in range(1 << len(free_cells)):
+                bits = forced
+                for j, cell in enumerate(free_cells):
+                    if (combo >> j) & 1:
+                        bits |= 1 << cell
+                if not self._admissible_local(
+                    bits, free_pos, gv_bits, nu, False
+                ):
+                    continue
+                if swap:
+                    yield (code, bits, pin)
+                else:
+                    yield (code, pin, bits)
+                emitted += 1
+                if emitted >= self._cap:
+                    break
+
+
+def _local_depends(bits: int, num_vars: int, var: int) -> bool:
+    """Does a local table depend on local variable ``var``?"""
+    mask = _var_mask_local(var, num_vars)
+    shift = 1 << var
+    hi = (bits & mask) >> shift
+    lo = bits & (mask >> shift)
+    return hi != lo
+
+
+_VAR_MASK_CACHE: dict[tuple[int, int], int] = {}
+
+
+def _var_mask_local(var: int, num_vars: int) -> int:
+    key = (var, num_vars)
+    mask = _VAR_MASK_CACHE.get(key)
+    if mask is None:
+        block = ((1 << (1 << var)) - 1) << (1 << var)
+        mask = 0
+        period = 1 << (var + 1)
+        for start in range(0, 1 << num_vars, period):
+            mask |= block << start
+        _VAR_MASK_CACHE[key] = mask
+    return mask
+
+
+def _expand_positions(
+    child_bits: int, positions: tuple[int, ...], nu: int
+) -> int:
+    """Expand a child-local table onto the union-local row space."""
+    out = 0
+    for gamma in range(1 << nu):
+        alpha = 0
+        for i, p in enumerate(positions):
+            if (gamma >> p) & 1:
+                alpha |= 1 << i
+        if (child_bits >> alpha) & 1:
+            out |= 1 << gamma
+    return out
+
+
+_EXPAND_CACHE: dict[tuple[int, tuple[int, ...], int], int] = {}
+
+
+def _expand_positions_cached(
+    child_bits: int, positions: tuple[int, ...], nu: int
+) -> int:
+    key = (child_bits, positions, nu)
+    out = _EXPAND_CACHE.get(key)
+    if out is None:
+        out = _expand_positions(child_bits, positions, nu)
+        _EXPAND_CACHE[key] = out
+    return out

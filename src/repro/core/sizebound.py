@@ -1,0 +1,59 @@
+"""Lower bounds on exact chain size, used as search prunes.
+
+Any function depending on ``s`` variables needs at least ``s - 1``
+2-input gates.  For supports up to 3 we use the *exact* minimal sizes
+instead: the table below holds the minimal number of 2-input gates
+(over the ten both-input-dependent operators) for every 3-variable
+function, precomputed once with the CNF-based reference synthesizer
+and verified by ``tests/test_sizebound.py``.  A demand of support 3
+placed on a 2-gate cone is thereby rejected immediately instead of
+being searched.  Minimal sizes are lower bounds in every context — a
+sub-cone of a larger chain can never realise a function below its
+exact minimal size — so the prune is sound.
+"""
+
+from __future__ import annotations
+
+from ..truthtable.table import TruthTable
+
+__all__ = ["min_gates_lower_bound", "exact_min_gates_upto3", "EXACT3_SIZES"]
+
+#: ``EXACT3_SIZES[bits]`` = minimal gate count of the 3-input function
+#: with truth table ``bits`` (0x00..0xFF); the worst case is 4 gates.
+_EXACT3_STRING = (
+    "0221212222121220212222443333332222123333242432321220332232321331"
+    "223312332432243212332022321332312432321342242432243232312432323223"
+    "232342132323422342422431232342132331232202332123422342332133221331"
+    "232322330221232342423333212222333333442222120221212222121220"
+)
+
+EXACT3_SIZES: tuple[int, ...] = tuple(int(c) for c in _EXACT3_STRING)
+
+assert len(EXACT3_SIZES) == 256
+
+
+def exact_min_gates_upto3(table: TruthTable) -> int | None:
+    """Exact minimal gate count for functions of support <= 3, else None.
+
+    The input may live over any number of variables; only its support
+    matters.
+    """
+    support = table.support()
+    if len(support) > 3:
+        return None
+    if len(support) <= 1:
+        return 0
+    local = table
+    for v in reversed(range(table.num_vars)):
+        if v not in support:
+            local = local.remove_vacuous_variable(v)
+    local = local.extend(3)
+    return EXACT3_SIZES[local.bits]
+
+
+def min_gates_lower_bound(table: TruthTable) -> int:
+    """Best available lower bound on the minimal 2-input chain size."""
+    exact = exact_min_gates_upto3(table)
+    if exact is not None:
+        return exact
+    return len(table.support()) - 1

@@ -1,0 +1,135 @@
+"""Synthesis problem specification and result types."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..chain.chain import BooleanChain
+from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
+from ..truthtable.table import TruthTable
+
+__all__ = ["SynthesisSpec", "SynthesisResult", "SynthesisStats", "Deadline"]
+
+
+class Deadline:
+    """Cooperative wall-clock budget shared across a synthesis run.
+
+    Pure-Python algorithms cannot be preempted safely, so all long loops
+    poll :meth:`check`.  A ``limit`` of ``None`` never expires.
+    """
+
+    def __init__(self, limit_seconds: float | None) -> None:
+        self._limit = limit_seconds
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the deadline was armed."""
+        return time.perf_counter() - self._start
+
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        return self._limit is not None and self.elapsed >= self._limit
+
+    def check(self) -> None:
+        """Raise :class:`TimeoutError` once the budget is exhausted."""
+        if self.expired():
+            raise TimeoutError(
+                f"synthesis exceeded {self._limit:.3f}s budget"
+            )
+
+
+@dataclass
+class SynthesisSpec:
+    """What to synthesize and under which constraints.
+
+    Parameters
+    ----------
+    function:
+        The single-output target function.
+    operators:
+        Allowed 2-input operator codes (default: the ten operators that
+        depend on both inputs).
+    max_gates:
+        Hard cap on the number of gates tried before giving up.
+    timeout:
+        Wall-clock budget in seconds (None = unlimited).
+    all_solutions:
+        When True (the paper's mode) every optimal chain is returned;
+        when False the search stops at the first chain.
+    verify:
+        Run the STP circuit AllSAT verification (Section III-C) on each
+        candidate before accepting it.
+    max_solutions:
+        Safety cap on the size of the returned solution set.
+    """
+
+    function: TruthTable
+    operators: tuple[int, ...] = NONTRIVIAL_BINARY_OPS
+    max_gates: int | None = None
+    timeout: float | None = None
+    all_solutions: bool = True
+    verify: bool = True
+    max_solutions: int = 10_000
+
+    def __post_init__(self) -> None:
+        for code in self.operators:
+            if not 0 <= code <= 0xF:
+                raise ValueError(f"bad operator code {code}")
+
+    def effective_max_gates(self) -> int:
+        """Default gate cap: generous for the support size."""
+        if self.max_gates is not None:
+            return self.max_gates
+        support = self.function.support_size()
+        return max(3 * support, 7)
+
+
+@dataclass
+class SynthesisStats:
+    """Search-effort counters filled in by the synthesizer."""
+
+    fences_examined: int = 0
+    dags_examined: int = 0
+    candidates_generated: int = 0
+    candidates_verified: int = 0
+    verification_failures: int = 0
+
+    def merge(self, other: "SynthesisStats") -> None:
+        """Accumulate counters from a sub-run."""
+        self.fences_examined += other.fences_examined
+        self.dags_examined += other.dags_examined
+        self.candidates_generated += other.candidates_generated
+        self.candidates_verified += other.candidates_verified
+        self.verification_failures += other.verification_failures
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    spec: SynthesisSpec
+    chains: list[BooleanChain]
+    num_gates: int
+    runtime: float
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+
+    @property
+    def num_solutions(self) -> int:
+        """Size of the optimal-solution set."""
+        return len(self.chains)
+
+    @property
+    def best(self) -> BooleanChain:
+        """The first optimal chain (deterministic order)."""
+        if not self.chains:
+            raise ValueError("no solutions")
+        return self.chains[0]
+
+    def mean_time_per_solution(self) -> float:
+        """The paper's per-solution mean (Total / number)."""
+        if not self.chains:
+            return self.runtime
+        return self.runtime / len(self.chains)

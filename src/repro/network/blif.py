@@ -1,0 +1,176 @@
+"""BLIF reader/writer for logic networks.
+
+Supports the combinational subset: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` with SOP covers over ``0/1/-`` and a single
+output phase, plus constant covers.  Enough to round-trip the networks
+this library produces and to exchange results with ABC-family tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from ..truthtable.table import TruthTable, constant, from_function
+from .network import LogicNetwork
+
+__all__ = ["write_blif", "read_blif", "network_to_blif", "blif_to_network"]
+
+
+def _cover_to_table(cover: list[tuple[str, str]], arity: int) -> TruthTable:
+    """SOP cover rows → truth table (output phase handled)."""
+    if not cover:
+        return constant(0, arity)
+    phase = cover[0][1]
+    onset = 0
+    for pattern, value in cover:
+        if value != phase:
+            raise ValueError("mixed output phases in one cover")
+        if len(pattern) != arity:
+            raise ValueError(
+                f"cube {pattern!r} does not match arity {arity}"
+            )
+        free = [i for i, ch in enumerate(pattern) if ch == "-"]
+        base = 0
+        for i, ch in enumerate(pattern):
+            if ch == "1":
+                base |= 1 << i
+            elif ch not in "01-":
+                raise ValueError(f"bad cube character {ch!r}")
+        for combo in range(1 << len(free)):
+            row = base
+            for j, i in enumerate(free):
+                if (combo >> j) & 1:
+                    row |= 1 << i
+            onset |= 1 << row
+    table = TruthTable(onset, arity)
+    return table if phase == "1" else ~table
+
+
+def _table_to_cover(table: TruthTable) -> list[str]:
+    """Truth table → one cube per onset minterm (canonical, simple)."""
+    lines = []
+    for row in table.onset():
+        pattern = "".join(
+            "1" if (row >> i) & 1 else "0" for i in range(table.num_vars)
+        )
+        lines.append(f"{pattern} 1")
+    return lines
+
+
+def network_to_blif(network: LogicNetwork) -> str:
+    """Serialise a network as BLIF text."""
+    names = {uid: f"n{uid}" for uid in (n.uid for n in network.live_nodes())}
+    for i, uid in enumerate(network.pis):
+        names[uid] = f"pi{i}"
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(names[uid] for uid in network.pis))
+    po_names = []
+    po_defs = []
+    for i, (node, complemented) in enumerate(network.pos):
+        po_name = f"po{i}"
+        po_names.append(po_name)
+        driver = names[node]
+        if complemented:
+            po_defs.append(f".names {driver} {po_name}\n0 1")
+        else:
+            po_defs.append(f".names {driver} {po_name}\n1 1")
+    lines.append(".outputs " + " ".join(po_names))
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi:
+            continue
+        fanin_names = " ".join(names[f] for f in node.fanins)
+        header = f".names {fanin_names} {names[uid]}".replace("  ", " ")
+        cover = _table_to_cover(node.function)
+        if not cover:
+            lines.append(f".names {names[uid]}")  # constant 0
+        elif node.function.bits == node.function.num_rows_mask() and node.arity == 0:
+            lines.append(f".names {names[uid]}\n1")
+        else:
+            lines.append(header + "\n" + "\n".join(cover))
+    lines.extend(po_defs)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(network: LogicNetwork, handle: TextIO) -> None:
+    """Write BLIF to an open text file."""
+    handle.write(network_to_blif(network))
+
+
+def blif_to_network(text: str) -> LogicNetwork:
+    """Parse BLIF text into a network."""
+    model = "top"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    covers: dict[str, tuple[list[str], list[tuple[str, str]]]] = {}
+
+    current: tuple[list[str], str] | None = None
+    logical_lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append(pending + line)
+        pending = ""
+
+    for line in logical_lines:
+        tokens = line.split()
+        if tokens[0] == ".model":
+            model = tokens[1] if len(tokens) > 1 else model
+            current = None
+        elif tokens[0] == ".inputs":
+            inputs.extend(tokens[1:])
+            current = None
+        elif tokens[0] == ".outputs":
+            outputs.extend(tokens[1:])
+            current = None
+        elif tokens[0] == ".names":
+            target = tokens[-1]
+            fanins = tokens[1:-1]
+            covers[target] = (fanins, [])
+            current = (fanins, target)
+        elif tokens[0] in (".end", ".exdc"):
+            current = None
+        elif tokens[0].startswith("."):
+            raise ValueError(f"unsupported BLIF construct {tokens[0]}")
+        else:
+            if current is None:
+                raise ValueError(f"cover line outside .names: {line!r}")
+            fanins, target = current
+            if len(tokens) == 1 and not fanins:
+                covers[target][1].append(("", tokens[0]))
+            elif len(tokens) == 2:
+                covers[target][1].append((tokens[0], tokens[1]))
+            else:
+                raise ValueError(f"bad cover line {line!r}")
+
+    network = LogicNetwork(model)
+    node_of: dict[str, int] = {}
+    for name in inputs:
+        node_of[name] = network.add_pi()
+
+    def build(name: str) -> int:
+        if name in node_of:
+            return node_of[name]
+        if name not in covers:
+            raise ValueError(f"undefined signal {name!r}")
+        fanins, cover = covers[name]
+        fanin_nodes = [build(f) for f in fanins]
+        table = _cover_to_table(cover, len(fanins))
+        uid = network.add_node(table, fanin_nodes)
+        node_of[name] = uid
+        return uid
+
+    for name in outputs:
+        network.add_po(build(name))
+    return network
+
+
+def read_blif(handle: TextIO) -> LogicNetwork:
+    """Read BLIF from an open text file."""
+    return blif_to_network(handle.read())

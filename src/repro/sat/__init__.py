@@ -1,0 +1,7 @@
+"""CNF SAT substrate: formula container and a CDCL solver with
+watched literals, 1UIP learning, VSIDS, and Luby restarts."""
+
+from .cnf import CNF
+from .solver import CDCLSolver, Luby, all_models, solve_cnf
+
+__all__ = ["CNF", "CDCLSolver", "Luby", "all_models", "solve_cnf"]

@@ -1,0 +1,122 @@
+"""CNF formulas with DIMACS-style literals.
+
+Variables are positive integers ``1..num_vars``; a literal is ``+v`` or
+``-v``.  This mirrors the encoding conventions of the exact-synthesis
+literature the baselines implement (percy's SSV encoding) and makes
+DIMACS round-trips trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A conjunction of clauses over integer variables."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self._num_vars = num_vars
+        self._clauses: list[tuple[int, ...]] = []
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index in use."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> tuple[tuple[int, ...], ...]:
+        """All clauses as literal tuples."""
+        return tuple(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; literals must reference existing variables."""
+        clause = tuple(literals)
+        for lit in clause:
+            var = abs(lit)
+            if lit == 0 or var > self._num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self._clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
+        """Evaluate under a (total) assignment.
+
+        ``assignment`` maps variable → bool, or is a sequence indexed by
+        ``var - 1``.
+        """
+        def value(var: int) -> bool:
+            if isinstance(assignment, Mapping):
+                return bool(assignment[var])
+            return bool(assignment[var - 1])
+
+        for clause in self._clauses:
+            if not any(
+                value(abs(lit)) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS CNF format."""
+        lines = [f"p cnf {self._num_vars} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF text."""
+        cnf: CNF | None = None
+        pending: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                cnf = cls(int(parts[2]))
+                continue
+            if cnf is None:
+                raise ValueError("clause before problem line")
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if cnf is None:
+            raise ValueError("missing problem line")
+        if pending:
+            cnf.add_clause(pending)
+        return cnf
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self._num_vars}, clauses={len(self._clauses)})"

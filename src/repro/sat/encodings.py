@@ -1,0 +1,251 @@
+"""SSV CNF encoding of SAT-based exact synthesis.
+
+The single-selection-variable (SSV) encoding of Knuth (TAOCP 7.2.2.2)
+as popularised by percy / Haaswijk et al. ("SAT-based exact synthesis:
+encodings, topology families, and parallelism"):
+
+* chains are *normal* — every step operator outputs 0 on the all-zero
+  input row — and a function with ``f(0) = 1`` is synthesized as its
+  complement with the output inverted, which does not change sizes;
+* for each step ``i`` there is one selection variable ``s(i, j, k)``
+  per fanin pair ``j < k``, three operator bits ``o(i, p)`` for the
+  non-zero rows of the step's 2-input truth table, and one simulation
+  variable ``x(i, t)`` per non-zero truth-table row ``t``;
+* the main clauses state that whenever step ``i`` selects ``(j, k)``
+  the simulation value of ``i`` on each row is consistent with the
+  operator bit addressed by the fanin values on that row.
+
+Passing a fence restricts the selection variables to pairs compatible
+with the fence's level structure (at least one fanin on the level
+immediately below), which is the FEN baseline's topology constraint.
+
+A subset of rows can be encoded (``rows=``) to support the
+counterexample-guided (CEGAR) refinement loop of the ``lutexact``-style
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..chain.chain import BooleanChain
+from ..truthtable.table import TruthTable
+from .cnf import CNF
+
+__all__ = ["SSVEncoder", "normalize_function"]
+
+
+def normalize_function(f: TruthTable) -> tuple[TruthTable, bool]:
+    """Return ``(g, complemented)`` with ``g(0) = 0`` and
+    ``f = ~g`` when ``complemented``."""
+    if f.value(0):
+        return ~f, True
+    return f, False
+
+
+@dataclass(frozen=True)
+class _StepVars:
+    selections: dict[tuple[int, int], int]
+    operator: tuple[int, int, int]  # o(i,1), o(i,2), o(i,3)
+    simulation: dict[int, int]  # row t (1-based) → variable
+
+
+class SSVEncoder:
+    """Encode "does a normal chain of ``r`` 2-input steps realise g?".
+
+    Parameters
+    ----------
+    function:
+        Normalised target (``g(0) == 0``) over ``n`` inputs.
+    num_steps:
+        Number of chain steps ``r``.
+    fence:
+        Optional level structure (bottom first, sizes summing to ``r``)
+        restricting fanin selection as in the FEN baseline.
+    rows:
+        Truth-table rows (1-based) to constrain; default all non-zero
+        rows.  Used by CEGAR refinement.
+    deadline:
+        Optional object with a ``check()`` method, polled while the
+        (potentially large) clause set is built.
+    """
+
+    def __init__(
+        self,
+        function: TruthTable,
+        num_steps: int,
+        fence: Sequence[int] | None = None,
+        rows: Iterable[int] | None = None,
+        deadline=None,
+    ) -> None:
+        if function.value(0):
+            raise ValueError("encoder expects a normalised function")
+        if num_steps < 1:
+            raise ValueError("need at least one step")
+        if fence is not None and sum(fence) != num_steps:
+            raise ValueError("fence size must match the step count")
+        self._f = function
+        self._n = function.num_vars
+        self._r = num_steps
+        self._fence = tuple(fence) if fence is not None else None
+        self._deadline = deadline
+        all_rows = range(1, function.num_rows)
+        self._rows = sorted(set(rows) if rows is not None else all_rows)
+        self.cnf = CNF()
+        self._steps: list[_StepVars] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def _signal_level(self, signal: int) -> int:
+        """Level of a signal under the fence (PIs are level 0)."""
+        if signal < self._n:
+            return 0
+        assert self._fence is not None
+        index = signal - self._n
+        level = 1
+        for size in self._fence:
+            if index < size:
+                return level
+            index -= size
+            level += 1
+        raise IndexError(signal)
+
+    def _allowed_pairs(self, step: int) -> list[tuple[int, int]]:
+        limit = self._n + step
+        pairs = [
+            (j, k) for j in range(limit) for k in range(j + 1, limit)
+        ]
+        if self._fence is None:
+            return pairs
+        level = self._signal_level(self._n + step)
+        allowed = []
+        for j, k in pairs:
+            lj, lk = self._signal_level(j), self._signal_level(k)
+            if lj >= level or lk >= level:
+                continue
+            if lj == level - 1 or lk == level - 1:
+                allowed.append((j, k))
+        return allowed
+
+    def _build(self) -> None:
+        cnf = self.cnf
+        for i in range(self._r):
+            selections = {
+                pair: cnf.new_var() for pair in self._allowed_pairs(i)
+            }
+            operator = (cnf.new_var(), cnf.new_var(), cnf.new_var())
+            simulation = {t: cnf.new_var() for t in self._rows}
+            self._steps.append(_StepVars(selections, operator, simulation))
+
+        for i, step in enumerate(self._steps):
+            # Exactly one fanin pair.
+            sel_vars = list(step.selections.values())
+            cnf.add_clause(sel_vars)
+            for a in range(len(sel_vars)):
+                for b in range(a + 1, len(sel_vars)):
+                    cnf.add_clause([-sel_vars[a], -sel_vars[b]])
+            # Operator must not be constant zero.
+            cnf.add_clause(list(step.operator))
+            # Simulation consistency per selected pair and row.
+            for (j, k), s_var in step.selections.items():
+                if self._deadline is not None:
+                    self._deadline.check()
+                for t in self._rows:
+                    self._consistency_clauses(i, j, k, s_var, t)
+
+        # Output: last step equals the target on every encoded row.
+        last = self._steps[-1]
+        for t in self._rows:
+            x_var = last.simulation[t]
+            if self._f.value(t):
+                cnf.add_clause([x_var])
+            else:
+                cnf.add_clause([-x_var])
+
+    def _value_literal(self, signal: int, t: int, value: int) -> int | None:
+        """Literal asserting ``signal != value`` on row ``t``, or None
+        when the signal is a PI whose value is fixed.
+
+        Returns the literal to *add to a clause* so the clause is
+        satisfied whenever the signal differs from ``value``; for a PI
+        returns None if the PI equals ``value`` (literal falsified,
+        skip) and raises _Tautology when the clause is trivially true.
+        """
+        if signal < self._n:
+            pi_value = (t >> signal) & 1
+            if pi_value == value:
+                return None  # cannot differ: contributes nothing
+            raise _Tautology()
+        step = self._steps[signal - self._n]
+        var = step.simulation[t]
+        return -var if value == 1 else var
+
+    def _consistency_clauses(
+        self, i: int, j: int, k: int, s_var: int, t: int
+    ) -> None:
+        """``s ∧ (x_j = a) ∧ (x_k = b) → (x_i = o_p)`` for all a, b."""
+        step = self._steps[i]
+        x_i = step.simulation[t]
+        for a in (0, 1):
+            for b in (0, 1):
+                p = (b << 1) | a
+                for c in (0, 1):
+                    # Clause: ¬s ∨ x_j≠a ∨ x_k≠b ∨ x_i≠c ∨ (o_p = c)
+                    if p == 0:
+                        if c == 0:
+                            continue  # o_0 ≡ 0 satisfies the clause
+                        op_lit = None  # o_0 = 1 is false: omit literal
+                    else:
+                        op_var = step.operator[p - 1]
+                        op_lit = op_var if c == 1 else -op_var
+                    lits = [-s_var]
+                    try:
+                        for signal, value in ((j, a), (k, b)):
+                            lit = self._value_literal(signal, t, value)
+                            if lit is not None:
+                                lits.append(lit)
+                    except _Tautology:
+                        continue
+                    lits.append(-x_i if c == 1 else x_i)
+                    if op_lit is not None:
+                        lits.append(op_lit)
+                    self.cnf.add_clause(lits)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(self, model: dict[int, bool], complemented: bool) -> BooleanChain:
+        """Extract the chain from a satisfying model."""
+        chain = BooleanChain(self._n)
+        for step in self._steps:
+            pair = None
+            for candidate, var in step.selections.items():
+                if model.get(var, False):
+                    pair = candidate
+                    break
+            if pair is None:
+                raise ValueError("model selects no fanin pair")
+            code = 0
+            for p in (1, 2, 3):
+                if model.get(step.operator[p - 1], False):
+                    code |= 1 << p
+            chain.add_gate(code, pair)
+        chain.set_output(chain.num_signals - 1, complemented)
+        return chain
+
+    def blocking_clause(self, model: dict[int, bool]) -> list[int]:
+        """Clause excluding this model's structure (selections + ops)."""
+        lits: list[int] = []
+        for step in self._steps:
+            for var in step.selections.values():
+                lits.append(-var if model.get(var, False) else var)
+            for var in step.operator:
+                lits.append(-var if model.get(var, False) else var)
+        return lits
+
+
+class _Tautology(Exception):
+    """Internal marker: the clause under construction is trivially true."""

@@ -1,0 +1,469 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+Substrate for the CNF-based exact-synthesis baselines (BMS, FEN): the
+environment has no off-the-shelf SAT solver, so we implement the
+MiniSat algorithm family in pure Python:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and backjumping,
+* VSIDS branching activity with exponential decay and phase saving,
+* Luby-sequence restarts,
+* incremental solving under assumptions plus clause addition between
+  calls (used for AllSAT via blocking clauses).
+
+Literals follow the DIMACS convention (``±var``, 1-based) so the
+:class:`~repro.sat.cnf.CNF` container plugs in directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .cnf import CNF
+
+__all__ = ["CDCLSolver", "Luby", "solve_cnf", "all_models"]
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class Luby:
+    """The Luby restart sequence 1,1,2,1,1,2,4,…"""
+
+    def __init__(self, base: int = 100) -> None:
+        self._base = base
+        self._index = 0
+
+    @staticmethod
+    def value(i: int) -> int:
+        """The ``i``-th Luby number (1-based): 1,1,2,1,1,2,4,…"""
+        if i < 1:
+            raise ValueError("Luby index is 1-based")
+        x = i - 1
+        size, seq = 1, 0
+        while size < x + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != x:
+            size = (size - 1) >> 1
+            seq -= 1
+            x %= size
+        return 1 << seq
+
+    def next_budget(self) -> int:
+        """Conflict budget for the next restart interval."""
+        self._index += 1
+        return self._base * self.value(self._index)
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver.
+
+    Typical use::
+
+        solver = CDCLSolver()
+        solver.add_clause([1, -2])
+        solver.add_clause([2, 3])
+        if solver.solve():
+            model = solver.model()      # {1: True, 2: False, ...}
+    """
+
+    def __init__(self, num_vars: int = 0, restart_base: int = 100) -> None:
+        self._num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._assign: list[int] = [0]  # 1-based; index 0 unused
+        self._level: list[int] = [0]
+        self._reason: list[int | None] = [None]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._restart = Luby(restart_base)
+        self._ok = True
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+        self.num_restarts = 0
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated."""
+        return self._num_vars
+
+    def new_var(self) -> int:
+        """Allocate one variable; returns its (positive) index."""
+        self._num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        return self._num_vars
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable table to at least ``num_vars``."""
+        while self._num_vars < num_vars:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the problem became trivially
+        unsatisfiable (empty clause, or conflicting units at level 0)."""
+        if not self._ok:
+            return False
+        # Clauses are only added between solves; return to the root
+        # level so watch invariants hold for the new clause.
+        self._backtrack(0)
+        # Deduplicate and drop tautologies.
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology; trivially satisfied
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+
+        # At the root level, strip falsified literals / detect satisfied.
+        if self.decision_level() == 0:
+            reduced = []
+            for lit in clause:
+                v = self._lit_value(lit)
+                if v == _TRUE:
+                    return True
+                if v == _UNASSIGNED:
+                    reduced.append(lit)
+            clause = reduced
+
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Load a whole CNF container."""
+        self.ensure_vars(cnf.num_vars)
+        ok = True
+        for clause in cnf:
+            ok = self.add_clause(clause) and ok
+        return ok and self._ok
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+        deadline=None,
+    ) -> bool | None:
+        """Decide satisfiability under optional assumptions.
+
+        Returns True (SAT), False (UNSAT), or None when the conflict
+        budget ran out (unknown).  ``deadline`` is an object with a
+        ``check()`` method (see :class:`repro.core.spec.Deadline`),
+        polled once per conflict — its exception propagates.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return False
+
+        budget = self._restart.next_budget()
+        spent_in_interval = 0
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                total_conflicts += 1
+                spent_in_interval += 1
+                if deadline is not None:
+                    deadline.check()
+                if self.decision_level() == 0:
+                    self._ok = False
+                    return False
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._attach_learnt(learnt)
+                self._decay_activity()
+                if (
+                    conflict_limit is not None
+                    and total_conflicts >= conflict_limit
+                ):
+                    self._backtrack(0)
+                    return None
+                if spent_in_interval >= budget:
+                    self.num_restarts += 1
+                    spent_in_interval = 0
+                    budget = self._restart.next_budget()
+                    self._backtrack(0)
+                continue
+
+            # Re-apply assumptions after any restart/backjump.
+            if self.decision_level() < len(assumptions):
+                lit = assumptions[self.decision_level()]
+                self.ensure_vars(abs(lit))
+                value = self._lit_value(lit)
+                if value == _TRUE:
+                    # Already implied: open a pseudo-level to keep the
+                    # assumption ↔ level correspondence simple.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == _FALSE:
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+
+            lit = self._pick_branch()
+            if lit is None:
+                return True  # full assignment
+            self.num_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def model(self) -> dict[int, bool]:
+        """Satisfying assignment after a True :meth:`solve`."""
+        return {
+            v: self._assign[v] == _TRUE
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] != _UNASSIGNED
+        }
+
+    def model_value(self, var: int) -> bool:
+        """Value of one variable in the current model."""
+        if self._assign[var] == _UNASSIGNED:
+            raise ValueError(f"variable {var} unassigned")
+        return self._assign[var] == _TRUE
+
+    def decision_level(self) -> int:
+        """Current decision level."""
+        return len(self._trail_lim)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(-lit, []).append(clause_index)
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        var = abs(lit)
+        current = self._lit_value(lit)
+        if current == _FALSE:
+            return False
+        if current == _TRUE:
+            return True
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = self.decision_level()
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.num_propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            i = 0
+            while i < len(watchers):
+                ci = watchers[i]
+                clause = self._clauses[ci]
+                # Ensure the falsified literal sits at position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == _TRUE:
+                    i += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != _FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], ci)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Unit or conflict.
+                if self._lit_value(first) == _FALSE:
+                    self._qhead = len(self._trail)
+                    return ci
+                self._enqueue(first, ci)
+                i += 1
+        return None
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = None
+        clause = self._clauses[conflict_index]
+        index = len(self._trail) - 1
+        level = self.decision_level()
+
+        while True:
+            for q in clause:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_activity(var)
+                    if self._level[var] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            reason = self._reason[var]
+            assert reason is not None, "decision reached before UIP"
+            clause = self._clauses[reason]
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted(
+            (self._level[abs(q)] for q in learnt[1:]), reverse=True
+        )
+        backjump = levels[0]
+        # Put a literal of the backjump level at slot 1 for watching.
+        for k in range(1, len(learnt)):
+            if self._level[abs(learnt[k])] == backjump:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, backjump
+
+    def _attach_learnt(self, learnt: list[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        index = len(self._clauses)
+        self._clauses.append(learnt)
+        self._watch(learnt[0], index)
+        self._watch(learnt[1], index)
+        self._enqueue(learnt[0], index)
+
+    def _backtrack(self, level: int) -> None:
+        if self.decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    def _pick_branch(self) -> int | None:
+        best = None
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                if self._activity[var] > best_activity:
+                    best_activity = self._activity[var]
+                    best = var
+        if best is None:
+            return None
+        return best if self._phase[best] else -best
+
+    def _bump_activity(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+
+def solve_cnf(cnf: CNF, assumptions: Sequence[int] = ()) -> dict[int, bool] | None:
+    """Convenience: solve a CNF, returning a model or None (UNSAT)."""
+    solver = CDCLSolver()
+    if not solver.add_cnf(cnf):
+        return None
+    if solver.solve(assumptions):
+        return solver.model()
+    return None
+
+
+def all_models(
+    cnf: CNF,
+    projection: Sequence[int] | None = None,
+    limit: int | None = None,
+) -> Iterator[dict[int, bool]]:
+    """AllSAT by blocking clauses, optionally projected onto a subset
+    of variables (models agreeing on the projection count once)."""
+    solver = CDCLSolver()
+    if not solver.add_cnf(cnf):
+        return
+    votes = tuple(projection) if projection is not None else tuple(
+        range(1, cnf.num_vars + 1)
+    )
+    count = 0
+    while solver.solve():
+        model = solver.model()
+        yield {v: model.get(v, False) for v in votes}
+        count += 1
+        if limit is not None and count >= limit:
+            return
+        blocking = [
+            (-v if model.get(v, False) else v) for v in votes
+        ]
+        if not solver.add_clause(blocking):
+            return

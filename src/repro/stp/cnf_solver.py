@@ -1,0 +1,160 @@
+"""STP-based AllSAT over CNF inputs (divide and conquer).
+
+The paper's solver lineage (reference [14], Pan & Chu, "A Semi-Tensor
+Product Based All Solutions Boolean Satisfiability Solver", JCST 2022;
+also Ren et al., ICCC 2018 [11]) solves CNF formulas by matrix algebra:
+each clause becomes a 2×2^k structural matrix, clauses are conjoined
+into canonical forms over growing variable sets, and unsatisfying
+columns are pruned eagerly — a divide-and-conquer AllSAT.
+
+This module implements that solver on top of
+:class:`repro.sat.cnf.CNF`, giving the repository a second, fully
+independent AllSAT engine (the CDCL solver being the first), which the
+test suite cross-checks on random formulas.
+
+The working representation of a partial conjunction is the *onset
+bitmask* of the clause-group function over its variable set — i.e. the
+top row of its STP canonical form — so conjunction is a bitwise AND
+once operands are aligned to a common variable order (the alignment is
+exactly the swap/Kronecker lifting of Property 1, performed on row
+masks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..sat.cnf import CNF
+
+__all__ = ["STPCnfSolver", "stp_all_sat_cnf"]
+
+
+class STPCnfSolver:
+    """Divide-and-conquer STP AllSAT for CNF formulas."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self._cnf = cnf
+        self._num_vars = cnf.num_vars
+
+    # ------------------------------------------------------------------
+    # clause → local onset
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clause_onset(
+        clause: Sequence[int], variables: Sequence[int]
+    ) -> int:
+        """Onset bitmask of one clause over its own variable list.
+
+        Row ``m``: bit ``i`` of ``m`` is the value of ``variables[i]``.
+        A clause is false on exactly one local assignment.
+        """
+        position = {v: i for i, v in enumerate(variables)}
+        rows = 1 << len(variables)
+        falsifying = 0
+        for lit in clause:
+            if lit < 0:
+                falsifying |= 1 << position[-lit]
+        onset = 0
+        for m in range(rows):
+            ok = False
+            for lit in clause:
+                value = (m >> position[abs(lit)]) & 1
+                if (value == 1) == (lit > 0):
+                    ok = True
+                    break
+            if ok:
+                onset |= 1 << m
+        return onset
+
+    @staticmethod
+    def _lift(
+        onset: int, variables: Sequence[int], superset: Sequence[int]
+    ) -> int:
+        """Re-express an onset over a variable superset (Property 1's
+        identity-Kronecker lifting, computed on row masks)."""
+        position = {v: i for i, v in enumerate(variables)}
+        rows = 1 << len(superset)
+        lifted = 0
+        for m in range(rows):
+            local = 0
+            for j, v in enumerate(superset):
+                if v in position and (m >> j) & 1:
+                    local |= 1 << position[v]
+            if (onset >> local) & 1:
+                lifted |= 1 << m
+        return lifted
+
+    # ------------------------------------------------------------------
+    # divide and conquer
+    # ------------------------------------------------------------------
+    def _conjoin_group(
+        self, clauses: Sequence[tuple[int, ...]]
+    ) -> tuple[int, tuple[int, ...]]:
+        """Conjoin a clause group; returns (onset, variable order)."""
+        if len(clauses) == 1:
+            variables = tuple(sorted({abs(l) for l in clauses[0]}))
+            return self._clause_onset(clauses[0], variables), variables
+        mid = len(clauses) // 2
+        left_onset, left_vars = self._conjoin_group(clauses[:mid])
+        right_onset, right_vars = self._conjoin_group(clauses[mid:])
+        union = tuple(sorted(set(left_vars) | set(right_vars)))
+        lifted_left = self._lift(left_onset, left_vars, union)
+        lifted_right = self._lift(right_onset, right_vars, union)
+        return lifted_left & lifted_right, union
+
+    def solve_onset(self) -> tuple[int, tuple[int, ...]]:
+        """Full conjunction: (onset bitmask, variable order).
+
+        An empty CNF is vacuously true over zero variables.
+        """
+        clauses = self._cnf.clauses
+        for clause in clauses:
+            if not clause:
+                return 0, ()
+        if not clauses:
+            return 1, ()
+        return self._conjoin_group(clauses)
+
+    def is_satisfiable(self) -> bool:
+        """SAT/UNSAT decision."""
+        onset, _ = self.solve_onset()
+        return onset != 0
+
+    def iter_solutions(self) -> Iterator[dict[int, bool]]:
+        """All models over *all* CNF variables (variables absent from
+        every clause are free and enumerated both ways)."""
+        onset, variables = self.solve_onset()
+        if onset == 0:
+            return
+        free = [
+            v
+            for v in range(1, self._num_vars + 1)
+            if v not in variables
+        ]
+        rows = 1 << len(variables)
+        for m in range(rows):
+            if not (onset >> m) & 1:
+                continue
+            base = {
+                v: bool((m >> i) & 1) for i, v in enumerate(variables)
+            }
+            for combo in range(1 << len(free)):
+                model = dict(base)
+                for j, v in enumerate(free):
+                    model[v] = bool((combo >> j) & 1)
+                yield model
+
+    def all_solutions(self) -> list[dict[int, bool]]:
+        """All models as a list."""
+        return list(self.iter_solutions())
+
+    def count_solutions(self) -> int:
+        """Model count (free variables included)."""
+        onset, variables = self.solve_onset()
+        free = self._num_vars - len(variables)
+        return onset.bit_count() << free
+
+
+def stp_all_sat_cnf(cnf: CNF) -> list[dict[int, bool]]:
+    """Convenience wrapper: all models of a CNF via the STP solver."""
+    return STPCnfSolver(cnf).all_solutions()

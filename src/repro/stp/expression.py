@@ -1,0 +1,374 @@
+"""Logic expressions and their STP canonical forms (Property 2).
+
+An :class:`Expression` is a small AST over named Boolean variables.
+Its headline operation is :meth:`Expression.canonical_form`: the
+2×2^n logic matrix ``M_Φ`` with ``Φ(x_1, …, x_n) = M_Φ ⋉ x_1 ⋉ … ⋉ x_n``
+computed *by STP matrix algebra* — structural matrices are combined
+with column-wise Kronecker products, which is the closed form of the
+paper's variable power-reducing (``M_r``) and swapping (``M_w``) steps.
+
+A tiny recursive-descent parser is included so examples can write
+``parse("(a <-> ~b) & (b <-> ~c)")`` instead of building ASTs by hand.
+
+Operator precedence, loosest first: ``<->`` (equiv), ``->`` (implies),
+``|``, ``^``, ``&``, ``~`` (not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..truthtable.table import TruthTable, from_function
+from .matrix import (
+    front_retrieval_matrix,
+    khatri_rao,
+    truth_table_to_canonical,
+    canonical_to_truth_table,
+)
+from .structural import NAMED_STRUCTURAL
+
+__all__ = [
+    "Expression",
+    "Var",
+    "Const",
+    "Not",
+    "BinOp",
+    "parse",
+    "canonical_form",
+    "expression_to_truth_table",
+]
+
+_BINOP_EVAL = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xnor": lambda a, b: 1 - (a ^ b),
+    "equiv": lambda a, b: 1 - (a ^ b),
+    "nand": lambda a, b: 1 - (a & b),
+    "nor": lambda a, b: 1 - (a | b),
+    "implies": lambda a, b: (1 - a) | b,
+}
+
+_BINOP_SYMBOL = {
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "xnor": "<->",
+    "equiv": "<->",
+    "implies": "->",
+}
+
+
+class Expression:
+    """Base class of the expression AST."""
+
+    def variables(self) -> tuple[str, ...]:
+        """All variable names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        self._collect(seen)
+        return tuple(seen)
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a name → {0,1} environment."""
+        raise NotImplementedError
+
+    def canonical_form(
+        self, variables: Sequence[str] | None = None
+    ) -> np.ndarray:
+        """The STP canonical form over the given variable order
+        (defaults to first-appearance order)."""
+        order = tuple(variables) if variables is not None else self.variables()
+        for v in self.variables():
+            if v not in order:
+                raise ValueError(f"variable {v!r} missing from order")
+        return self._canonical(order)
+
+    def _canonical(self, order: tuple[str, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_truth_table(
+        self, variables: Sequence[str] | None = None
+    ) -> TruthTable:
+        """Tabulate the expression; table variable ``i`` is
+        ``variables[n-1-i]`` (the canonical-form correspondence)."""
+        return canonical_to_truth_table(self.canonical_form(variables))
+
+    # Operator sugar -----------------------------------------------------
+    def __and__(self, other: "Expression") -> "Expression":
+        return BinOp("and", self, other)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return BinOp("or", self, other)
+
+    def __xor__(self, other: "Expression") -> "Expression":
+        return BinOp("xor", self, other)
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+    def implies(self, other: "Expression") -> "Expression":
+        """Material implication ``self -> other``."""
+        return BinOp("implies", self, other)
+
+    def equiv(self, other: "Expression") -> "Expression":
+        """Logical equivalence ``self <-> other``."""
+        return BinOp("equiv", self, other)
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """A named Boolean variable."""
+
+    name: str
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        seen.setdefault(self.name, None)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        if self.name not in env:
+            raise KeyError(f"variable {self.name!r} unassigned")
+        return int(bool(env[self.name]))
+
+    def _canonical(self, order: tuple[str, ...]) -> np.ndarray:
+        position = order.index(self.name) + 1  # paper is 1-indexed
+        return front_retrieval_matrix(position, len(order))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A Boolean constant."""
+
+    value: bool
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        return None
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(self.value)
+
+    def _canonical(self, order: tuple[str, ...]) -> np.ndarray:
+        cols = 1 << len(order)
+        row = np.ones(cols, dtype=np.int64)
+        if self.value:
+            return np.vstack([row, np.zeros(cols, dtype=np.int64)])
+        return np.vstack([np.zeros(cols, dtype=np.int64), row])
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    child: Expression
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        self.child._collect(seen)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return 1 - self.child.evaluate(env)
+
+    def _canonical(self, order: tuple[str, ...]) -> np.ndarray:
+        inner = self.child._canonical(order)
+        return inner[::-1].copy()  # M_n ⋉ inner swaps the two rows
+
+    def __str__(self) -> str:
+        return f"~{_paren(self.child)}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """A binary operator node; ``op`` is a name in ``NAMED_STRUCTURAL``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOP_EVAL:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        self.left._collect(seen)
+        self.right._collect(seen)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return _BINOP_EVAL[self.op](
+            self.left.evaluate(env), self.right.evaluate(env)
+        )
+
+    def _canonical(self, order: tuple[str, ...]) -> np.ndarray:
+        m_sigma = NAMED_STRUCTURAL[self.op]
+        m_left = self.left._canonical(order)
+        m_right = self.right._canonical(order)
+        # M_σ (M_l x)(M_r x) = M_σ (M_l ⊗ M_r)(x ⋉ x)
+        #                    = M_σ · KhatriRao(M_l, M_r) · x.
+        return m_sigma @ khatri_rao(m_left, m_right)
+
+    def __str__(self) -> str:
+        # nand/nor have no infix token; print the equivalent negation.
+        if self.op == "nand":
+            return f"~({_paren(self.left)} & {_paren(self.right)})"
+        if self.op == "nor":
+            return f"~({_paren(self.left)} | {_paren(self.right)})"
+        symbol = _BINOP_SYMBOL[self.op]
+        return f"{_paren(self.left)} {symbol} {_paren(self.right)}"
+
+
+def _paren(expr: Expression) -> str:
+    text = str(expr)
+    if isinstance(expr, (Var, Const, Not)):
+        return text
+    return f"({text})"
+
+
+def canonical_form(
+    expr: Expression, variables: Sequence[str] | None = None
+) -> np.ndarray:
+    """Module-level alias of :meth:`Expression.canonical_form`."""
+    return expr.canonical_form(variables)
+
+
+def expression_to_truth_table(
+    expr: Expression, variables: Sequence[str] | None = None
+) -> TruthTable:
+    """Tabulate by direct evaluation (reference path used in tests to
+    cross-check the STP algebra)."""
+    order = tuple(variables) if variables is not None else expr.variables()
+    n = len(order)
+
+    def fn(*xs: int) -> int:
+        # Table variable i corresponds to order[n-1-i].
+        env = {order[n - 1 - i]: xs[i] for i in range(n)}
+        return expr.evaluate(env)
+
+    return from_function(fn, n)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+_TOKEN_OPS = ("<->", "<=>", "->", "=>", "(", ")", "~", "!", "&", "|", "^")
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        matched = False
+        for op in _TOKEN_OPS:
+            if text.startswith(op, i):
+                yield op
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isalnum() or ch == "_":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            yield text[i:j]
+            i = j
+            continue
+        raise ValueError(f"unexpected character {ch!r} at position {i}")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ValueError("unexpected end of expression")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expression:
+        expr = self._equiv()
+        if self._peek() is not None:
+            raise ValueError(f"trailing input at token {self._peek()!r}")
+        return expr
+
+    def _equiv(self) -> Expression:
+        left = self._implies()
+        while self._peek() in ("<->", "<=>"):
+            self._take()
+            left = BinOp("equiv", left, self._implies())
+        return left
+
+    def _implies(self) -> Expression:
+        left = self._or()
+        if self._peek() in ("->", "=>"):
+            self._take()
+            # right-associative
+            return BinOp("implies", left, self._implies())
+        return left
+
+    def _or(self) -> Expression:
+        left = self._xor()
+        while self._peek() == "|":
+            self._take()
+            left = BinOp("or", left, self._xor())
+        return left
+
+    def _xor(self) -> Expression:
+        left = self._and()
+        while self._peek() == "^":
+            self._take()
+            left = BinOp("xor", left, self._and())
+        return left
+
+    def _and(self) -> Expression:
+        left = self._unary()
+        while self._peek() == "&":
+            self._take()
+            left = BinOp("and", left, self._unary())
+        return left
+
+    def _unary(self) -> Expression:
+        token = self._peek()
+        if token in ("~", "!"):
+            self._take()
+            return Not(self._unary())
+        if token == "(":
+            self._take()
+            inner = self._equiv()
+            if self._take() != ")":
+                raise ValueError("expected ')'")
+            return inner
+        name = self._take()
+        if name in ("0", "1"):
+            return Const(name == "1")
+        if not (name[0].isalpha() or name[0] == "_"):
+            raise ValueError(f"bad variable name {name!r}")
+        return Var(name)
+
+
+def parse(text: str) -> Expression:
+    """Parse an infix Boolean expression into an AST.
+
+    >>> str(parse("(a <-> ~b) & c"))
+    '(a <-> ~b) & c'
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,257 @@
+"""Semi-tensor product (STP) of matrices and logic-matrix primitives.
+
+This module implements Definition 1 and Properties 1–2 of the paper:
+the STP ``X ⋉ Y`` of arbitrary matrices, the Boolean-variable vectors
+``TRUE = [1 0]^T`` / ``FALSE = [0 1]^T``, logic matrices (2×2^n matrices
+whose columns are Boolean vectors), the power-reducing matrix ``M_r``
+and the variable-swap matrix ``M_w``, together with their generalised
+``n``-dimensional versions, and conversions between logic matrices and
+:class:`~repro.truthtable.TruthTable` objects.
+
+All matrices are small dense ``numpy`` integer arrays.  The column
+convention follows the paper: for variables ``x_1 … x_n`` (each a unit
+column vector), the STP ``x_1 ⋉ … ⋉ x_n`` equals the unit vector
+``e_j`` with ``j = Σ b_i · 2^(n-i)`` where ``b_i = 0`` when ``x_i`` is
+true — i.e. the *leftmost* column of a canonical form is the all-true
+assignment and the truth table is read right-to-left.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..truthtable.table import TruthTable
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "bool_vector",
+    "stp",
+    "stp_chain",
+    "identity",
+    "is_logic_matrix",
+    "is_unit_column",
+    "column_index",
+    "unit_vector",
+    "swap_matrix",
+    "power_reduce_matrix",
+    "khatri_rao",
+    "M_R",
+    "M_W",
+    "front_retrieval_matrix",
+    "canonical_to_truth_table",
+    "truth_table_to_canonical",
+    "assignment_to_column",
+    "column_to_assignment",
+]
+
+_DTYPE = np.int64
+
+#: The Boolean TRUE column vector of the paper's ``S_V``.
+TRUE = np.array([[1], [0]], dtype=_DTYPE)
+
+#: The Boolean FALSE column vector of the paper's ``S_V``.
+FALSE = np.array([[0], [1]], dtype=_DTYPE)
+
+
+def bool_vector(value: int | bool) -> np.ndarray:
+    """The ``S_V`` column vector of a Boolean scalar."""
+    return TRUE.copy() if value else FALSE.copy()
+
+
+def _as_matrix(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x, dtype=_DTYPE)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a matrix, got ndim={arr.ndim}")
+    return arr
+
+
+def stp(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Semi-tensor product ``X ⋉ Y`` (Definition 1).
+
+    ``X ⋉ Y = (X ⊗ I_{t/n}) · (Y ⊗ I_{t/p})`` with ``t = lcm(n, p)``
+    where ``X`` is ``m×n`` and ``Y`` is ``p×q``.  Generalises ordinary
+    matrix multiplication (recovered when ``n == p``).
+    """
+    a = _as_matrix(x)
+    b = _as_matrix(y)
+    n = a.shape[1]
+    p = b.shape[0]
+    t = math.lcm(n, p)
+    left = np.kron(a, np.eye(t // n, dtype=_DTYPE)) if t != n else a
+    right = np.kron(b, np.eye(t // p, dtype=_DTYPE)) if t != p else b
+    return left @ right
+
+
+def stp_chain(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Left-to-right STP of a sequence of matrices."""
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    result = _as_matrix(matrices[0])
+    for m in matrices[1:]:
+        result = stp(result, m)
+    return result
+
+
+def identity(n: int) -> np.ndarray:
+    """Integer identity matrix ``I_n``."""
+    return np.eye(n, dtype=_DTYPE)
+
+
+def is_unit_column(column: np.ndarray) -> bool:
+    """True when the column is a 0/1 unit vector (an element of Δ_k)."""
+    col = np.asarray(column).ravel()
+    return bool(
+        np.all((col == 0) | (col == 1)) and col.sum() == 1
+    )
+
+
+def is_logic_matrix(matrix: np.ndarray) -> bool:
+    """Definition 2: every column is a Boolean unit vector."""
+    m = _as_matrix(matrix)
+    if np.any((m != 0) & (m != 1)):
+        return False
+    return bool(np.all(m.sum(axis=0) == 1))
+
+
+def column_index(column: np.ndarray) -> int:
+    """Index of the 1 in a unit column vector."""
+    col = np.asarray(column).ravel()
+    if not is_unit_column(col):
+        raise ValueError("not a unit column vector")
+    return int(np.argmax(col))
+
+
+def unit_vector(index: int, size: int) -> np.ndarray:
+    """The unit column vector ``e_index`` of dimension ``size``."""
+    if not 0 <= index < size:
+        raise IndexError(f"index {index} out of range for size {size}")
+    vec = np.zeros((size, 1), dtype=_DTYPE)
+    vec[index, 0] = 1
+    return vec
+
+
+def swap_matrix(m: int, n: int) -> np.ndarray:
+    """The swap matrix ``W_[m,n]`` with ``W (u ⊗ v) = v ⊗ u``
+    for ``u ∈ Δ_m``, ``v ∈ Δ_n``.
+
+    ``W_[2,2]`` is the paper's ``M_w`` of equation (4).
+    """
+    w = np.zeros((m * n, m * n), dtype=_DTYPE)
+    for i in range(m):
+        for j in range(n):
+            # column index of u=e_i ⊗ v=e_j is i*n + j; it must map to
+            # v ⊗ u = e_{j*m + i}.
+            w[j * m + i, i * n + j] = 1
+    return w
+
+
+def power_reduce_matrix(dim: int) -> np.ndarray:
+    """The power-reducing matrix ``PR_dim`` with ``u ⋉ u = PR_dim u``
+    for any unit vector ``u ∈ Δ_dim``.
+
+    ``PR_2`` is the paper's ``M_r`` of equation (3).
+    """
+    pr = np.zeros((dim * dim, dim), dtype=_DTYPE)
+    for j in range(dim):
+        pr[j * dim + j, j] = 1
+    return pr
+
+
+#: The paper's variable power-reducing matrix ``M_r`` (equation 3).
+M_R = power_reduce_matrix(2)
+
+#: The paper's variable swap matrix ``M_w`` (equation 4).
+M_W = swap_matrix(2, 2)
+
+
+def khatri_rao(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker (Khatri–Rao) product.
+
+    For logic matrices this equals ``(A ⊗ B) ⋉ PR`` with the
+    power-reducing matrix ``PR`` of matching dimension: column ``j`` of
+    the result is ``A[:, j] ⊗ B[:, j]``.  Using it avoids materialising
+    the ``4^n × 2^n`` power-reduce matrix when composing canonical
+    forms of wide functions.
+    """
+    am = _as_matrix(a)
+    bm = _as_matrix(b)
+    if am.shape[1] != bm.shape[1]:
+        raise ValueError("column counts must match")
+    stacked = np.einsum("ij,kj->ikj", am, bm)
+    return stacked.reshape(am.shape[0] * bm.shape[0], am.shape[1])
+
+
+def front_retrieval_matrix(var: int, num_vars: int) -> np.ndarray:
+    """Canonical form of the bare variable ``x_var`` (paper indexing,
+    ``var`` in ``1..num_vars``): the 2×2^n logic matrix ``M`` with
+    ``M x_1 … x_n = x_var``."""
+    if not 1 <= var <= num_vars:
+        raise ValueError(f"var must be in 1..{num_vars}, got {var}")
+    cols = 1 << num_vars
+    m = np.zeros((2, cols), dtype=_DTYPE)
+    bit = num_vars - var
+    for j in range(cols):
+        value = 1 - ((j >> bit) & 1)  # bit 0 of j-slot means x_var true
+        m[1 - value, j] = 1
+    return m
+
+
+def assignment_to_column(values: Sequence[int], num_vars: int) -> int:
+    """Column index of the assignment ``x_1 = values[0], …`` in a
+    canonical form (paper order: ``x_1`` most significant, true = 0)."""
+    if len(values) != num_vars:
+        raise ValueError("assignment length mismatch")
+    j = 0
+    for i, v in enumerate(values):
+        if v not in (0, 1):
+            raise ValueError("assignment entries must be 0/1")
+        j |= (1 - v) << (num_vars - 1 - i)
+    return j
+
+
+def column_to_assignment(column: int, num_vars: int) -> tuple[int, ...]:
+    """Inverse of :func:`assignment_to_column`."""
+    if not 0 <= column < (1 << num_vars):
+        raise IndexError("column out of range")
+    return tuple(
+        1 - ((column >> (num_vars - 1 - i)) & 1) for i in range(num_vars)
+    )
+
+
+def truth_table_to_canonical(table: TruthTable) -> np.ndarray:
+    """The STP canonical form ``M_Φ ∈ M^{2×2^n}`` of a truth table.
+
+    Column ``j`` holds the function value at the assignment
+    :func:`column_to_assignment` ``(j)``; since the truth-table row for
+    that assignment is the bit-complement of ``j``, the canonical form
+    is the truth table "read from right to left" (Definition 3).
+    """
+    n = table.num_vars
+    cols = 1 << n
+    m = np.zeros((2, cols), dtype=_DTYPE)
+    for j in range(cols):
+        value = table.value((cols - 1) ^ j)
+        m[1 - value, j] = 1
+    return m
+
+
+def canonical_to_truth_table(matrix: np.ndarray) -> TruthTable:
+    """Inverse of :func:`truth_table_to_canonical`."""
+    m = _as_matrix(matrix)
+    if m.shape[0] != 2 or not is_logic_matrix(m):
+        raise ValueError("not a 2-row logic matrix")
+    cols = m.shape[1]
+    n = cols.bit_length() - 1
+    if 1 << n != cols:
+        raise ValueError("column count must be a power of two")
+    bits = 0
+    for j in range(cols):
+        if m[0, j]:
+            bits |= 1 << ((cols - 1) ^ j)
+    return TruthTable(bits, n)

@@ -1,0 +1,88 @@
+"""Logical reasoning with STP canonical forms (Section II-A).
+
+Identities between Boolean expressions become *matrix equalities*
+between canonical forms — Example 2 of the paper proves
+``a -> b  ==  ~a | b`` by checking ``M_d · M_n == M_i``.  This module
+offers that style of reasoning as a small API: identity proving,
+tautology/contradiction checks, and verification helpers for the
+algebraic properties (Property 1) the factorization engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .expression import Expression
+from .matrix import identity, is_logic_matrix, stp
+
+__all__ = [
+    "prove_identity",
+    "are_equivalent",
+    "is_tautology",
+    "is_contradiction",
+    "swap_property_holds",
+]
+
+
+def _joint_order(
+    lhs: Expression, rhs: Expression, variables: Sequence[str] | None
+) -> tuple[str, ...]:
+    if variables is not None:
+        return tuple(variables)
+    order: dict[str, None] = {}
+    for name in lhs.variables() + rhs.variables():
+        order.setdefault(name, None)
+    return tuple(order)
+
+
+def prove_identity(
+    lhs: Expression,
+    rhs: Expression,
+    variables: Sequence[str] | None = None,
+) -> bool:
+    """Prove (or refute) ``lhs == rhs`` by canonical-form equality.
+
+    Both sides are brought into STP canonical form over a shared
+    variable order; the identity holds iff the two 2×2^n logic matrices
+    are equal entry-wise.
+    """
+    order = _joint_order(lhs, rhs, variables)
+    return bool(
+        np.array_equal(lhs.canonical_form(order), rhs.canonical_form(order))
+    )
+
+
+def are_equivalent(lhs: Expression, rhs: Expression) -> bool:
+    """Alias of :func:`prove_identity` with the default variable order."""
+    return prove_identity(lhs, rhs)
+
+
+def is_tautology(expr: Expression) -> bool:
+    """True when the canonical form's top row is all ones."""
+    m = expr.canonical_form()
+    return bool(np.all(m[0] == 1))
+
+
+def is_contradiction(expr: Expression) -> bool:
+    """True when the canonical form's top row is all zeros."""
+    m = expr.canonical_form()
+    return bool(np.all(m[0] == 0))
+
+
+def swap_property_holds(x: np.ndarray, z_r: np.ndarray) -> bool:
+    """Check Property 1 for a row vector: ``X ⋉ Z_r == Z_r ⋉ (I_t ⊗ X)``.
+
+    ``z_r`` must be a 1×t row vector.  Used by tests to validate the
+    swap machinery underpinning matrix factorization.
+    """
+    z = np.asarray(z_r)
+    if z.ndim == 1:
+        z = z.reshape(1, -1)
+    if z.shape[0] != 1:
+        raise ValueError("z_r must be a row vector")
+    t = z.shape[1]
+    lhs = stp(x, z)
+    rhs = stp(z, np.kron(identity(t), np.asarray(x)))
+    return bool(np.array_equal(lhs, rhs))

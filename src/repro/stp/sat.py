@@ -1,0 +1,149 @@
+"""STP-based SAT and AllSAT on canonical forms (Section II-A, Fig. 1).
+
+The SAT question for a formula in canonical form ``M_Φ`` is: choose a
+value for each ``x_i`` so that ``M_Φ ⋉ x_1 ⋉ … ⋉ x_n == [1 0]^T``.
+Assigning ``x_1`` halves the matrix — ``x_1 = TRUE`` keeps the left
+half of the columns, ``FALSE`` the right half — so the solver walks a
+binary tree of matrix slices, pruning any branch whose slice no longer
+contains a ``[1 0]^T`` column (exactly the procedure pictured in the
+paper's Fig. 1).  Collecting every leaf that survives yields AllSAT.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..truthtable.table import TruthTable
+from .expression import Expression
+from .matrix import truth_table_to_canonical
+
+__all__ = [
+    "STPSolver",
+    "all_sat",
+    "solve_one",
+    "count_solutions",
+]
+
+
+class STPSolver:
+    """AllSAT solver over an STP canonical form.
+
+    Accepts a 2×2^n logic matrix, a :class:`TruthTable`, or an
+    :class:`Expression` (canonicalised over its natural variable
+    order).  Solutions are tuples assigning ``x_1 … x_n`` in the
+    paper's order (most significant variable first).
+    """
+
+    def __init__(
+        self,
+        formula: np.ndarray | TruthTable | Expression,
+        variables: Sequence[str] | None = None,
+    ) -> None:
+        if isinstance(formula, Expression):
+            self._names = tuple(
+                variables if variables is not None else formula.variables()
+            )
+            matrix = formula.canonical_form(self._names)
+        elif isinstance(formula, TruthTable):
+            matrix = truth_table_to_canonical(formula)
+            self._names = _default_names(formula.num_vars, variables)
+        else:
+            matrix = np.asarray(formula, dtype=np.int64)
+            if matrix.ndim != 2 or matrix.shape[0] != 2:
+                raise ValueError("canonical form must be a 2-row matrix")
+            n = matrix.shape[1].bit_length() - 1
+            if 1 << n != matrix.shape[1]:
+                raise ValueError("column count must be a power of two")
+            self._names = _default_names(n, variables)
+        self._matrix = matrix
+        self._num_vars = len(self._names)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        """Names reported alongside solutions."""
+        return self._names
+
+    @property
+    def canonical_form(self) -> np.ndarray:
+        """The 2×2^n matrix being solved."""
+        return self._matrix
+
+    def iter_solutions(self) -> Iterator[tuple[int, ...]]:
+        """Yield every satisfying assignment, depth-first, ``x_1`` major.
+
+        Each assignment is a tuple of 0/1 in variable order.
+        """
+        top = self._matrix[0]
+
+        def descend(
+            lo: int, hi: int, prefix: tuple[int, ...]
+        ) -> Iterator[tuple[int, ...]]:
+            # Prune: this slice must still contain a satisfying column.
+            if not np.any(top[lo:hi]):
+                return
+            if hi - lo == 1:
+                yield prefix
+                return
+            mid = (lo + hi) // 2
+            # x = TRUE keeps the left half of the slice.
+            yield from descend(lo, mid, prefix + (1,))
+            yield from descend(mid, hi, prefix + (0,))
+
+        yield from descend(0, self._matrix.shape[1], ())
+
+    def all_solutions(self) -> list[tuple[int, ...]]:
+        """All satisfying assignments as a list."""
+        return list(self.iter_solutions())
+
+    def solve(self) -> tuple[int, ...] | None:
+        """First satisfying assignment, or None when UNSAT."""
+        return next(self.iter_solutions(), None)
+
+    def is_satisfiable(self) -> bool:
+        """SAT / UNSAT decision."""
+        return bool(np.any(self._matrix[0]))
+
+    def solutions_as_dicts(self) -> list[dict[str, int]]:
+        """All solutions keyed by variable name."""
+        return [
+            dict(zip(self._names, sol)) for sol in self.iter_solutions()
+        ]
+
+
+def _default_names(
+    num_vars: int, variables: Sequence[str] | None
+) -> tuple[str, ...]:
+    if variables is None:
+        return tuple(f"x{i}" for i in range(1, num_vars + 1))
+    names = tuple(variables)
+    if len(names) != num_vars:
+        raise ValueError(
+            f"expected {num_vars} variable names, got {len(names)}"
+        )
+    return names
+
+
+def all_sat(
+    formula: np.ndarray | TruthTable | Expression,
+    variables: Sequence[str] | None = None,
+) -> list[tuple[int, ...]]:
+    """All satisfying assignments of a formula (AllSAT)."""
+    return STPSolver(formula, variables).all_solutions()
+
+
+def solve_one(
+    formula: np.ndarray | TruthTable | Expression,
+    variables: Sequence[str] | None = None,
+) -> tuple[int, ...] | None:
+    """One satisfying assignment, or None."""
+    return STPSolver(formula, variables).solve()
+
+
+def count_solutions(
+    formula: np.ndarray | TruthTable | Expression,
+) -> int:
+    """Number of satisfying assignments (model count)."""
+    solver = STPSolver(formula)
+    return int(np.sum(solver.canonical_form[0]))

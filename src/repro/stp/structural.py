@@ -1,0 +1,124 @@
+"""Structural matrices of Boolean operators (Definition 3).
+
+A *structural matrix* ``M_σ`` is the 2×2^k logic matrix whose columns
+spell the truth table of a ``k``-ary operator ``σ`` read right-to-left,
+so that ``σ(x_1, …, x_k) = M_σ ⋉ x_1 ⋉ … ⋉ x_k`` for Boolean column
+vectors ``x_i``.
+
+The module exposes the named matrices used throughout the paper
+(negation ``M_n``, conjunction ``M_c``, disjunction ``M_d``,
+implication ``M_i``, equivalence ``M_e``, …) plus conversions between
+2-input operator *codes* (the 4-bit truth tables of
+:mod:`repro.truthtable.operations`) and their structural matrices.
+
+Operand-order convention: ``M_σ ⋉ u ⋉ v`` evaluates the operator code
+at truth-table row ``(u << 1) | v`` — the first STP operand is the
+*high* truth-table variable ``x1``, matching the paper where the
+canonical form's leftmost variable is the most significant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..truthtable.operations import binary_op_table
+from ..truthtable.table import TruthTable
+from .matrix import (
+    canonical_to_truth_table,
+    column_index,
+    is_logic_matrix,
+    stp_chain,
+    bool_vector,
+    truth_table_to_canonical,
+)
+
+__all__ = [
+    "M_N",
+    "M_C",
+    "M_D",
+    "M_I",
+    "M_E",
+    "M_X",
+    "M_NAND",
+    "M_NOR",
+    "NAMED_STRUCTURAL",
+    "structural_matrix",
+    "structural_matrix_of_table",
+    "code_of_structural_matrix",
+    "table_of_structural_matrix",
+    "eval_structural",
+]
+
+
+def structural_matrix(code: int) -> np.ndarray:
+    """Structural matrix of a 2-input operator code (0..15)."""
+    return truth_table_to_canonical(binary_op_table(code))
+
+
+def structural_matrix_of_table(table: TruthTable) -> np.ndarray:
+    """Structural matrix of an arbitrary ``k``-ary operator given as a
+    truth table (``2 × 2^k``)."""
+    return truth_table_to_canonical(table)
+
+
+def table_of_structural_matrix(matrix: np.ndarray) -> TruthTable:
+    """Recover the operator truth table from its structural matrix."""
+    return canonical_to_truth_table(matrix)
+
+
+def code_of_structural_matrix(matrix: np.ndarray) -> int:
+    """Recover the 4-bit code of a 2-input structural matrix."""
+    table = canonical_to_truth_table(matrix)
+    if table.num_vars != 2:
+        raise ValueError("not a 2-input structural matrix")
+    return table.bits
+
+
+def eval_structural(matrix: np.ndarray, values: list[int]) -> int:
+    """Evaluate ``M_σ ⋉ x_1 ⋉ … ⋉ x_k`` on scalar Boolean values.
+
+    ``values[0]`` is the paper's ``x_1`` (most significant operand).
+    Returns the Boolean result as 0/1.
+    """
+    if not is_logic_matrix(matrix):
+        raise ValueError("not a logic matrix")
+    vec = stp_chain([matrix] + [bool_vector(v) for v in values])
+    return 1 - column_index(vec)
+
+
+#: Negation ``M_n`` (Example 1).
+M_N = np.array([[0, 1], [1, 0]], dtype=np.int64)
+
+#: Conjunction (AND) ``M_c``.
+M_C = structural_matrix(0x8)
+
+#: Disjunction (OR) ``M_d`` (Example 2).
+M_D = structural_matrix(0xE)
+
+#: Implication ``M_i`` (Example 2): columns 1011 / read right-to-left.
+M_I = structural_matrix(0xB)
+
+#: Equivalence (XNOR) ``M_e``.
+M_E = structural_matrix(0x9)
+
+#: Exclusive-or ``M_x``.
+M_X = structural_matrix(0x6)
+
+#: NAND.
+M_NAND = structural_matrix(0x7)
+
+#: NOR.
+M_NOR = structural_matrix(0x1)
+
+#: Name → structural matrix, for the expression layer and pretty output.
+NAMED_STRUCTURAL: dict[str, np.ndarray] = {
+    "not": M_N,
+    "and": M_C,
+    "or": M_D,
+    "implies": M_I,
+    "equiv": M_E,
+    "xnor": M_E,
+    "xor": M_X,
+    "nand": M_NAND,
+    "nor": M_NOR,
+}

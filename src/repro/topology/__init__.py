@@ -1,0 +1,24 @@
+"""DAG topology families: Boolean fences and pDAG enumeration."""
+
+from .fence import (
+    Fence,
+    all_fences,
+    count_fences,
+    fences_of_level,
+    is_valid_fence,
+    valid_fences,
+)
+from .dag import DagTopology, count_dags, enumerate_dags, enumerate_skeletons
+
+__all__ = [
+    "Fence",
+    "all_fences",
+    "count_fences",
+    "fences_of_level",
+    "is_valid_fence",
+    "valid_fences",
+    "DagTopology",
+    "count_dags",
+    "enumerate_dags",
+    "enumerate_skeletons",
+]

@@ -1,0 +1,184 @@
+"""DAG enumeration from fences (Section III-A, Fig. 3).
+
+For a fence and a number of primary inputs this module enumerates every
+*possible DAG* (``pDAG``): an assignment of two distinct fanins to each
+internal node such that
+
+* every node takes fanins from strictly lower levels, at least one of
+  them from the level immediately below (which is what pins the node to
+  its level),
+* every internal node except the single top node is consumed by a later
+  node (no dangling gates), and
+* optionally, every primary input is referenced (required when the
+  target function depends on all inputs).
+
+Same-level symmetry is broken by requiring the fanin pairs of nodes
+within one level to be lexicographically non-decreasing, so families of
+isomorphic DAGs are enumerated once.  :func:`enumerate_skeletons`
+additionally abstracts PI identities away for the Fig. 3-style counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .fence import Fence
+
+__all__ = ["DagTopology", "enumerate_dags", "enumerate_skeletons", "count_dags"]
+
+
+@dataclass(frozen=True)
+class DagTopology:
+    """A pDAG: connectivity only, operators not yet assigned.
+
+    Signals ``0 … num_pis-1`` are primary inputs; signal ``num_pis + i``
+    is internal node ``i``.  ``fanins[i]`` is the (sorted) fanin pair of
+    node ``i``; nodes appear level by level, bottom first.
+    """
+
+    num_pis: int
+    fanins: tuple[tuple[int, int], ...]
+    fence: Fence
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of internal nodes."""
+        return len(self.fanins)
+
+    @property
+    def top_signal(self) -> int:
+        """The output node's signal index."""
+        return self.num_pis + self.num_nodes - 1
+
+    def level_of(self, signal: int) -> int:
+        """Logic level of a signal (PIs are level 0)."""
+        if signal < self.num_pis:
+            return 0
+        levels = self._levels()
+        return levels[signal]
+
+    def _levels(self) -> list[int]:
+        levels = [0] * (self.num_pis + self.num_nodes)
+        for i, (a, b) in enumerate(self.fanins):
+            levels[self.num_pis + i] = 1 + max(levels[a], levels[b])
+        return levels
+
+    def support_of(self, signal: int) -> frozenset[int]:
+        """Primary inputs reachable from a signal."""
+        if signal < self.num_pis:
+            return frozenset((signal,))
+        a, b = self.fanins[signal - self.num_pis]
+        return self.support_of(a) | self.support_of(b)
+
+    def references_all_pis(self) -> bool:
+        """True when every primary input feeds some node."""
+        used: set[int] = set()
+        for a, b in self.fanins:
+            used.update(s for s in (a, b) if s < self.num_pis)
+        return len(used) == self.num_pis
+
+    def describe(self) -> str:
+        """One-line structural summary."""
+        parts = []
+        for i, (a, b) in enumerate(self.fanins):
+            parts.append(f"n{self.num_pis + i}=({a},{b})")
+        return f"pis={self.num_pis} " + " ".join(parts)
+
+
+def enumerate_dags(
+    fence: Fence,
+    num_pis: int,
+    require_all_pis: bool = True,
+) -> Iterator[DagTopology]:
+    """Yield every pDAG of a fence over ``num_pis`` labelled inputs."""
+    if any(s < 1 for s in fence):
+        raise ValueError("fence levels must be positive")
+    num_nodes = sum(fence)
+    # Signals available per level: level 0 = PIs.
+    level_of_signal = [0] * num_pis
+    for level, size in enumerate(fence, start=1):
+        level_of_signal.extend([level] * size)
+
+    node_levels = level_of_signal[num_pis:]
+    total_signals = num_pis + num_nodes
+
+    def candidate_pairs(node_index: int) -> list[tuple[int, int]]:
+        level = node_levels[node_index]
+        lower = [
+            s
+            for s in range(num_pis + node_index)
+            if level_of_signal[s] < level
+        ]
+        pairs = []
+        for a, b in itertools.combinations(lower, 2):
+            if (
+                level_of_signal[a] == level - 1
+                or level_of_signal[b] == level - 1
+            ):
+                pairs.append((a, b))
+        return pairs
+
+    def fill(
+        node_index: int, chosen: list[tuple[int, int]]
+    ) -> Iterator[DagTopology]:
+        if node_index == num_nodes:
+            dag = DagTopology(num_pis, tuple(chosen), tuple(fence))
+            if _no_dangling(dag) and (
+                not require_all_pis or dag.references_all_pis()
+            ):
+                yield dag
+            return
+        for pair in candidate_pairs(node_index):
+            # Break same-level symmetry: within a level, fanin pairs
+            # must be non-decreasing.
+            if (
+                node_index > 0
+                and node_levels[node_index] == node_levels[node_index - 1]
+                and pair < chosen[-1]
+            ):
+                continue
+            chosen.append(pair)
+            yield from fill(node_index + 1, chosen)
+            chosen.pop()
+
+    yield from fill(0, [])
+
+
+def _no_dangling(dag: DagTopology) -> bool:
+    used = set()
+    for a, b in dag.fanins:
+        used.add(a)
+        used.add(b)
+    for node in range(dag.num_nodes - 1):  # top node may dangle (it's PO)
+        if dag.num_pis + node not in used:
+            return False
+    return True
+
+
+def enumerate_skeletons(fence: Fence) -> list[DagTopology]:
+    """Fig. 3-style structural DAGs: node-to-node connectivity with PI
+    connections anonymised.
+
+    Internally enumerates over a generic pool of two PIs (enough to
+    distinguish "takes two distinct lower nodes" from "takes a node and
+    an input"), then deduplicates by the internal wiring pattern.
+    """
+    seen: set[tuple] = set()
+    result: list[DagTopology] = []
+    for dag in enumerate_dags(fence, num_pis=2, require_all_pis=False):
+        key = tuple(
+            tuple(s if s >= dag.num_pis else -1 for s in pair)
+            for pair in dag.fanins
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(dag)
+    return result
+
+
+def count_dags(fence: Fence, num_pis: int, require_all_pis: bool = True) -> int:
+    """Number of pDAGs of a fence."""
+    return sum(1 for _ in enumerate_dags(fence, num_pis, require_all_pis))

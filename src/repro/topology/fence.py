@@ -1,0 +1,85 @@
+"""Boolean fences — DAG topology families (Section III-A, Fig. 2).
+
+A *fence* partitions ``k`` internal nodes over ``l`` levels with every
+level non-empty (Haaswijk et al., "SAT based exact synthesis using DAG
+topology families").  ``F(k, l)`` is the set of fences with exactly
+``l`` levels and ``F_k`` their union over ``1 <= l <= k``.
+
+The paper prunes ``F_k`` for single-output, 2-input-operator chains:
+
+* the top level must contain exactly one node (the output), and
+* every level must be *consumable* from above — nodes above level ``i``
+  have ``2 · (#nodes above)`` fanin slots, so a level may not hold more
+  nodes than that ("no more than two nodes between a higher logic level
+  and each lower logic level").
+
+Fences are tuples of level sizes, bottom level first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Fence",
+    "all_fences",
+    "fences_of_level",
+    "valid_fences",
+    "is_valid_fence",
+    "count_fences",
+]
+
+Fence = tuple[int, ...]
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Ordered partitions of ``total`` into ``parts`` positive integers."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def fences_of_level(k: int, l: int) -> list[Fence]:
+    """The Boolean fence family ``F(k, l)``."""
+    if not 1 <= l <= k:
+        raise ValueError(f"need 1 <= l <= k, got l={l}, k={k}")
+    return list(_compositions(k, l))
+
+
+def all_fences(k: int) -> list[Fence]:
+    """The unpruned family ``F_k`` (Fig. 2a)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    result: list[Fence] = []
+    for l in range(1, k + 1):
+        result.extend(fences_of_level(k, l))
+    return result
+
+
+def is_valid_fence(fence: Sequence[int]) -> bool:
+    """Apply the paper's pruning rules to one fence."""
+    sizes = tuple(fence)
+    if not sizes or any(s < 1 for s in sizes):
+        return False
+    if sizes[-1] != 1:
+        return False  # single output node on top
+    # Capacity rule: nodes strictly above level i supply 2 fanin slots
+    # each; level i cannot exceed that capacity.
+    for i in range(len(sizes) - 1):
+        capacity = 2 * sum(sizes[i + 1:])
+        if sizes[i] > capacity:
+            return False
+    return True
+
+
+def valid_fences(k: int) -> list[Fence]:
+    """The pruned family used by the paper's algorithm (Fig. 2b)."""
+    return [f for f in all_fences(k) if is_valid_fence(f)]
+
+
+def count_fences(k: int, pruned: bool = False) -> int:
+    """Size of ``F_k``, optionally after pruning."""
+    return len(valid_fences(k) if pruned else all_fences(k))

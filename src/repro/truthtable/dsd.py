@@ -1,0 +1,318 @@
+"""Disjoint-support decomposition (DSD) of Boolean functions.
+
+The paper's FDSD/PDSD benchmark suites are defined by how far a function
+decomposes under DSD (Mishchenko, "An approach to disjoint-support
+decomposition of logic functions"):
+
+* *fully DSD decomposable* — the function is a read-once tree of
+  2-input gates over its support;
+* *partially DSD decomposable* — some 2-input disjoint-support
+  extraction is possible, but a non-decomposable *prime* block remains;
+* *prime / non-decomposable* — no disjoint-support extraction exists.
+
+The engine here merges variable pairs bottom-up.  Two support variables
+``a, b`` can be fused into a single pseudo-input ``z = sigma(a, b)``
+exactly when the four cofactors of ``f`` with respect to ``(a, b)``
+take at most two distinct values; the indicator of which value a row
+falls into *is* the gate function ``sigma``.  Repeating until a single
+variable remains proves full decomposability (the DSD tree of a fully
+decomposable function is unique up to associativity, so greedy merging
+cannot paint itself into a corner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .operations import binary_op_name
+from .table import TruthTable
+
+__all__ = [
+    "DSDKind",
+    "DSDNode",
+    "dsd_decompose",
+    "dsd_kind",
+    "is_fully_dsd",
+    "is_partially_dsd",
+    "is_prime",
+    "mergeable_pair",
+]
+
+
+class DSDKind:
+    """String constants naming the decomposition classes."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    PRIME = "prime"
+    TRIVIAL = "trivial"  # constants and single-variable functions
+
+
+@dataclass(frozen=True)
+class DSDNode:
+    """A node of a DSD tree.
+
+    ``kind`` is one of ``"var"``, ``"gate"``, ``"prime"``:
+
+    * ``var`` — a leaf; ``var_index`` names the input variable.
+    * ``gate`` — a 2-input gate; ``op_code`` is the 4-bit operator code
+      and ``children`` has exactly two entries.
+    * ``prime`` — a non-decomposable block; ``prime_table`` is its local
+      function over ``children`` (child ``i`` is local variable ``i``).
+    """
+
+    kind: str
+    var_index: int = -1
+    op_code: int = -1
+    prime_table: Optional[TruthTable] = None
+    children: tuple["DSDNode", ...] = ()
+
+    def format(self) -> str:
+        """Render the tree as a nested expression string."""
+        if self.kind == "var":
+            return f"x{self.var_index}"
+        if self.kind == "gate":
+            name = binary_op_name(self.op_code)
+            args = ", ".join(c.format() for c in self.children)
+            return f"{name}({args})"
+        assert self.prime_table is not None
+        args = ", ".join(c.format() for c in self.children)
+        return f"prime<0x{self.prime_table.to_hex()}>({args})"
+
+    def to_truth_table(self, num_vars: int) -> TruthTable:
+        """Evaluate the tree back into a truth table (for validation)."""
+        from .table import projection
+
+        if self.kind == "var":
+            return projection(self.var_index, num_vars)
+        child_tables = [c.to_truth_table(num_vars) for c in self.children]
+        if self.kind == "gate":
+            local = TruthTable(self.op_code, 2)
+            return local.compose(child_tables)
+        assert self.prime_table is not None
+        if not child_tables:
+            # Constant block.
+            bits = ((1 << (1 << num_vars)) - 1) if self.prime_table.bits else 0
+            return TruthTable(bits, num_vars)
+        return self.prime_table.compose(child_tables)
+
+    def max_prime_arity(self) -> int:
+        """Largest prime block in the tree (0 when fully decomposable)."""
+        own = (
+            self.prime_table.num_vars
+            if self.kind == "prime" and self.prime_table is not None
+            else 0
+        )
+        return max([own] + [c.max_prime_arity() for c in self.children])
+
+
+def _cofactor_quadruple(
+    table: TruthTable, a: int, b: int
+) -> tuple[TruthTable, TruthTable, TruthTable, TruthTable]:
+    """Cofactors of ``table`` over ``(a, b)`` in row order 00,01,10,11
+    (row bit 0 = value of ``a``)."""
+    c0 = table.cofactor(a, 0)
+    c1 = table.cofactor(a, 1)
+    return (
+        c0.cofactor(b, 0),
+        c1.cofactor(b, 0),
+        c0.cofactor(b, 1),
+        c1.cofactor(b, 1),
+    )
+
+
+def mergeable_pair(table: TruthTable, a: int, b: int) -> Optional[int]:
+    """If ``f`` factors as ``h(sigma(a, b), other vars)``, return the
+    operator code of ``sigma`` (with ``a`` as ``x0``); otherwise None.
+
+    Only genuine fusions count: ``sigma`` must depend on both inputs and
+    the two cofactor groups must be distinct (otherwise the function
+    simply does not depend on the pair).
+    """
+    quads = _cofactor_quadruple(table, a, b)
+    distinct = sorted({q.bits for q in quads})
+    if len(distinct) != 2:
+        return None
+    # Indicator: row m of sigma is 1 when the cofactor equals the larger
+    # of the two values (a canonical, deterministic choice).
+    hi = distinct[1]
+    code = 0
+    for row, q in enumerate(quads):
+        if q.bits == hi:
+            code |= 1 << row
+    sigma = TruthTable(code, 2)
+    if not (sigma.depends_on(0) and sigma.depends_on(1)):
+        return None
+    return code
+
+
+def _merge(table: TruthTable, a: int, b: int, code: int) -> TruthTable:
+    """Replace the pair ``(a, b)`` by the single pseudo-variable
+    ``z = sigma(a, b)`` stored in slot ``a``; slot ``b`` becomes vacuous
+    and is removed, shrinking the table by one variable."""
+    quads = _cofactor_quadruple(table, a, b)
+    distinct = sorted({q.bits for q in quads})
+    hi_cof = TruthTable(distinct[1], table.num_vars)
+    lo_cof = TruthTable(distinct[0], table.num_vars)
+    from .table import projection
+
+    z = projection(a, table.num_vars)
+    merged = (z & hi_cof) | (~z & lo_cof)
+    # merged no longer depends on b.
+    return merged.remove_vacuous_variable(b)
+
+
+def dsd_decompose(table: TruthTable) -> DSDNode:
+    """Compute the DSD tree of ``table``.
+
+    Two extraction rules are applied until neither fires:
+
+    * *pair fusion* (bottom-up): two leaves with at most two distinct
+      joint cofactors fuse into one 2-input gate;
+    * *top extraction*: a single leaf ``v`` with
+      ``f = sigma(v, h(rest))`` — detected via complementary or
+      constant cofactors — peels one gate off the top, recursing into
+      ``h``.
+
+    The residue, if larger than one variable, becomes a prime node
+    over the partial trees built so far.
+    """
+    support = list(table.support())
+    if not support:
+        # Constant function: encode as a 0-input prime block.
+        const = TruthTable(table.bits & 1, 0)
+        return DSDNode(kind="prime", prime_table=const, children=())
+
+    # Shrink to the support only, remembering original names.
+    work = table
+    names = list(range(table.num_vars))
+    for v in reversed(range(table.num_vars)):
+        if v not in support:
+            work = work.remove_vacuous_variable(v)
+            del names[v]
+
+    nodes = [DSDNode(kind="var", var_index=name) for name in names]
+    return _decompose(work, nodes)
+
+
+def _decompose(work: TruthTable, nodes: list[DSDNode]) -> DSDNode:
+    """Recursive core of :func:`dsd_decompose` over pseudo-leaves."""
+    while work.num_vars > 1:
+        fused = _try_pair_fusion(work, nodes)
+        if fused is not None:
+            work, nodes = fused
+            continue
+        extracted = _try_top_extraction(work, nodes)
+        if extracted is not None:
+            return extracted
+        return DSDNode(
+            kind="prime", prime_table=work, children=tuple(nodes)
+        )
+    root = nodes[0]
+    if work.bits == 0b01:  # residual f(z) = ~z
+        root = _negate(root)
+    return root
+
+
+def _try_pair_fusion(
+    work: TruthTable, nodes: list[DSDNode]
+) -> tuple[TruthTable, list[DSDNode]] | None:
+    n = work.num_vars
+    for a in range(n):
+        for b in range(a + 1, n):
+            code = mergeable_pair(work, a, b)
+            if code is None:
+                continue
+            fused = DSDNode(
+                kind="gate", op_code=code, children=(nodes[a], nodes[b])
+            )
+            new_work = _merge(work, a, b, code)
+            new_nodes = list(nodes)
+            new_nodes[a] = fused
+            del new_nodes[b]
+            return new_work, new_nodes
+    return None
+
+
+def _try_top_extraction(
+    work: TruthTable, nodes: list[DSDNode]
+) -> DSDNode | None:
+    """Peel ``f = sigma(v, h(rest))`` off the top for some leaf ``v``."""
+    n = work.num_vars
+    for a in range(n):
+        c0 = work.restrict(a, 0)
+        c1 = work.restrict(a, 1)
+        rest_nodes = nodes[:a] + nodes[a + 1:]
+        mask = c0.num_rows_mask()
+        if c0.bits == c1.bits ^ mask:
+            # f = v XOR ~c1 ... choose h = c0 (f(v=0) = h): sigma = xor.
+            sub = _decompose(c0, rest_nodes)
+            return DSDNode(
+                kind="gate", op_code=0x6, children=(nodes[a], sub)
+            )
+        if c0.is_constant():
+            sub = _decompose(c1, rest_nodes)
+            # Row order (h << 1) | v:  f(v=0) = const, f(v=1) = h,
+            # so const 0 ⇒ v & h (0x8) and const 1 ⇒ ~v | h (0xD).
+            code = 0x8 if c0.bits == 0 else 0xD
+            return DSDNode(
+                kind="gate", op_code=code, children=(nodes[a], sub)
+            )
+        if c1.is_constant():
+            sub = _decompose(c0, rest_nodes)
+            # f(v=1) = const, f(v=0) = h:
+            # const 1 ⇒ v | h (0xE), const 0 ⇒ ~v & h (0x4).
+            code = 0xE if c1.bits else 0x4
+            return DSDNode(
+                kind="gate", op_code=code, children=(nodes[a], sub)
+            )
+    return None
+
+
+def _negate(node: DSDNode) -> DSDNode:
+    """Complement a DSD tree by complementing its root."""
+    if node.kind == "gate":
+        return DSDNode(
+            kind="gate",
+            op_code=node.op_code ^ 0xF,
+            children=node.children,
+        )
+    if node.kind == "prime":
+        assert node.prime_table is not None
+        return DSDNode(
+            kind="prime",
+            prime_table=~node.prime_table,
+            children=node.children,
+        )
+    # A bare complemented variable: represent as a NAND(x, x) gate so the
+    # node vocabulary stays small.
+    return DSDNode(kind="gate", op_code=0x7, children=(node, node))
+
+
+def dsd_kind(table: TruthTable) -> str:
+    """Classify a function as trivial / full / partial / prime DSD."""
+    if table.support_size() <= 1:
+        return DSDKind.TRIVIAL
+    tree = dsd_decompose(table)
+    largest = tree.max_prime_arity()
+    if largest == 0:
+        return DSDKind.FULL
+    if largest < table.support_size():
+        return DSDKind.PARTIAL
+    return DSDKind.PRIME
+
+
+def is_fully_dsd(table: TruthTable) -> bool:
+    """True when the function is a read-once tree of 2-input gates."""
+    return dsd_kind(table) == DSDKind.FULL
+
+
+def is_partially_dsd(table: TruthTable) -> bool:
+    """True when some, but not full, DSD structure exists."""
+    return dsd_kind(table) == DSDKind.PARTIAL
+
+
+def is_prime(table: TruthTable) -> bool:
+    """True when no disjoint-support extraction exists at all."""
+    return dsd_kind(table) == DSDKind.PRIME

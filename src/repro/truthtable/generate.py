@@ -1,0 +1,149 @@
+"""Seeded generators for the paper's benchmark function suites.
+
+The paper evaluates on five collections: all 222 4-input NPN classes
+(NPN4), fully DSD-decomposable functions of 6 and 8 inputs
+(FDSD6/FDSD8), and partially DSD-decomposable functions (PDSD6/PDSD8).
+The DSD collections came from the authors' practical mapping runs and
+are not published, so we substitute *synthetic* collections drawn from
+the same structural classes (see DESIGN.md §5):
+
+* FDSD functions are random read-once trees of 2-input gates, which are
+  fully DSD-decomposable by construction.
+* PDSD functions embed one random *prime* (non-decomposable) block of
+  configurable arity into such a tree, making the result partially but
+  not fully decomposable.
+
+Every generator is deterministic given its seed, and the test suite
+cross-checks each emitted function against the DSD classifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from .dsd import dsd_kind, DSDKind
+from .operations import NONTRIVIAL_BINARY_OPS, binary_op_table
+from .table import TruthTable, projection
+
+__all__ = [
+    "random_fully_dsd",
+    "random_partially_dsd",
+    "random_prime_function",
+    "fdsd_suite",
+    "pdsd_suite",
+]
+
+_PRIME_SAMPLE_LIMIT = 10_000
+
+
+def _random_read_once_tree(
+    rng: random.Random, leaves: list[TruthTable]
+) -> TruthTable:
+    """Combine the given leaf functions into one random read-once tree
+    of nontrivial 2-input gates."""
+    forest = list(leaves)
+    while len(forest) > 1:
+        i = rng.randrange(len(forest))
+        a = forest.pop(i)
+        j = rng.randrange(len(forest))
+        b = forest.pop(j)
+        op = binary_op_table(rng.choice(NONTRIVIAL_BINARY_OPS))
+        forest.append(op.compose([a, b]))
+    return forest[0]
+
+
+def random_fully_dsd(num_vars: int, rng: random.Random) -> TruthTable:
+    """A random fully DSD-decomposable function of ``num_vars`` inputs."""
+    if num_vars < 2:
+        raise ValueError("need at least two variables")
+    leaves = [projection(v, num_vars) for v in range(num_vars)]
+    return _random_read_once_tree(rng, leaves)
+
+
+def random_prime_function(num_vars: int, rng: random.Random) -> TruthTable:
+    """A random non-decomposable (prime) function with full support.
+
+    Rejection-samples random tables; prime functions are plentiful for
+    ``num_vars >= 3`` so this terminates quickly.
+    """
+    if num_vars < 3:
+        raise ValueError("prime functions need at least three variables")
+    rows = 1 << num_vars
+    for _ in range(_PRIME_SAMPLE_LIMIT):
+        table = TruthTable(rng.getrandbits(rows), num_vars)
+        if table.support_size() != num_vars:
+            continue
+        if dsd_kind(table) == DSDKind.PRIME:
+            return table
+    raise RuntimeError(
+        f"failed to sample a prime {num_vars}-input function "
+        f"in {_PRIME_SAMPLE_LIMIT} tries"
+    )
+
+
+def random_partially_dsd(
+    num_vars: int,
+    rng: random.Random,
+    prime_arity: int = 3,
+) -> TruthTable:
+    """A random partially (not fully) DSD-decomposable function.
+
+    One prime block of ``prime_arity`` inputs is wrapped in a read-once
+    gate tree over the remaining variables, so DSD extraction succeeds
+    on the tree part but stops at the prime block.
+    """
+    if not 3 <= prime_arity < num_vars:
+        raise ValueError(
+            "prime_arity must satisfy 3 <= prime_arity < num_vars"
+        )
+    while True:
+        prime_local = random_prime_function(prime_arity, rng)
+        variables = list(range(num_vars))
+        rng.shuffle(variables)
+        prime_vars = variables[:prime_arity]
+        free_vars = variables[prime_arity:]
+        prime_leaf = prime_local.compose(
+            [projection(v, num_vars) for v in prime_vars]
+        )
+        leaves = [prime_leaf] + [projection(v, num_vars) for v in free_vars]
+        candidate = _random_read_once_tree(rng, leaves)
+        # Composition with gates occasionally simplifies the prime block
+        # away; keep sampling until the classifier agrees.
+        if dsd_kind(candidate) == DSDKind.PARTIAL:
+            return candidate
+
+
+def fdsd_suite(
+    num_vars: int, count: int, seed: int = 2023
+) -> list[TruthTable]:
+    """Deterministic suite of distinct fully-DSD functions."""
+    rng = random.Random(seed)
+    suite: list[TruthTable] = []
+    seen: set[int] = set()
+    while len(suite) < count:
+        table = random_fully_dsd(num_vars, rng)
+        if table.bits in seen or table.is_constant():
+            continue
+        seen.add(table.bits)
+        suite.append(table)
+    return suite
+
+
+def pdsd_suite(
+    num_vars: int,
+    count: int,
+    seed: int = 2023,
+    prime_arity: int = 3,
+) -> list[TruthTable]:
+    """Deterministic suite of distinct partially-DSD functions."""
+    rng = random.Random(seed)
+    suite: list[TruthTable] = []
+    seen: set[int] = set()
+    while len(suite) < count:
+        table = random_partially_dsd(num_vars, rng, prime_arity=prime_arity)
+        if table.bits in seen:
+            continue
+        seen.add(table.bits)
+        suite.append(table)
+    return suite

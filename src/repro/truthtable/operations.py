@@ -1,0 +1,113 @@
+"""Catalogues of named Boolean operators and common functions.
+
+Two-input operators are identified by their 4-bit truth-table code
+``0..15``: bit ``m`` of the code is the output for the input row ``m``
+with ``x_0`` as the least significant input.  For example ``AND = 0x8``
+(only row ``(x1, x0) = (1, 1)`` is true) and ``XOR = 0x6``.
+"""
+
+from __future__ import annotations
+
+from .table import TruthTable, from_function
+
+__all__ = [
+    "BINARY_OP_NAMES",
+    "NONTRIVIAL_BINARY_OPS",
+    "NORMAL_BINARY_OPS",
+    "binary_op_table",
+    "binary_op_name",
+    "apply_binary_op",
+    "is_trivial_binary_op",
+    "majority",
+    "mux",
+    "parity",
+    "threshold",
+]
+
+#: Human-readable names for all sixteen 2-input operator codes.
+BINARY_OP_NAMES: dict[int, str] = {
+    0x0: "const0",
+    0x1: "nor",
+    0x2: "andn(x1,x0)",  # x0 & ~x1
+    0x3: "not(x1)",
+    0x4: "andn(x0,x1)",  # ~x0 & x1
+    0x5: "not(x0)",
+    0x6: "xor",
+    0x7: "nand",
+    0x8: "and",
+    0x9: "xnor",
+    0xA: "buf(x0)",
+    0xB: "orn(x1,x0)",  # x0 | ~x1
+    0xC: "buf(x1)",
+    0xD: "orn(x0,x1)",  # ~x0 | x1
+    0xE: "or",
+    0xF: "const1",
+}
+
+#: Operator codes that truly depend on both inputs — the gate alphabet a
+#: 2-input exact synthesizer needs to consider (ten of the sixteen).
+NONTRIVIAL_BINARY_OPS: tuple[int, ...] = (
+    0x1, 0x2, 0x4, 0x6, 0x7, 0x8, 0x9, 0xB, 0xD, 0xE,
+)
+
+#: The "normal" operators (output 0 on the all-zero row) that depend on
+#: both inputs.  Classic SAT encodings (Knuth 7.2.2.2) restrict chains
+#: to normal operators and recover the rest through output inversion.
+NORMAL_BINARY_OPS: tuple[int, ...] = (0x2, 0x4, 0x6, 0x8, 0xE)
+
+
+def binary_op_table(code: int) -> TruthTable:
+    """The 2-variable :class:`TruthTable` of an operator code."""
+    if not 0 <= code <= 0xF:
+        raise ValueError(f"operator code must be in 0..15, got {code}")
+    return TruthTable(code, 2)
+
+
+def binary_op_name(code: int) -> str:
+    """Human-readable name of an operator code."""
+    if code not in BINARY_OP_NAMES:
+        raise ValueError(f"operator code must be in 0..15, got {code}")
+    return BINARY_OP_NAMES[code]
+
+
+def apply_binary_op(code: int, a: int, b: int) -> int:
+    """Evaluate operator ``code`` on Boolean scalars ``(x0=a, x1=b)``."""
+    row = (b << 1) | a
+    return (code >> row) & 1
+
+
+def is_trivial_binary_op(code: int) -> bool:
+    """True if the operator ignores at least one of its inputs."""
+    return code not in NONTRIVIAL_BINARY_OPS
+
+
+def majority(num_vars: int = 3) -> TruthTable:
+    """Majority function of an odd number of inputs."""
+    if num_vars % 2 == 0:
+        raise ValueError("majority needs an odd number of inputs")
+    half = num_vars // 2
+    return from_function(lambda *xs: int(sum(xs) > half), num_vars)
+
+
+def mux(num_select: int = 1) -> TruthTable:
+    """Multiplexer: ``num_select`` select lines choosing between data
+    inputs.  Select lines occupy the low variable indices."""
+    data = 1 << num_select
+
+    def fn(*xs: int) -> int:
+        sel = 0
+        for i in range(num_select):
+            sel |= xs[i] << i
+        return xs[num_select + sel]
+
+    return from_function(fn, num_select + data)
+
+
+def parity(num_vars: int) -> TruthTable:
+    """Odd-parity (XOR chain) of ``num_vars`` inputs."""
+    return from_function(lambda *xs: sum(xs) & 1, num_vars)
+
+
+def threshold(num_vars: int, k: int) -> TruthTable:
+    """Threshold function: true when at least ``k`` inputs are true."""
+    return from_function(lambda *xs: int(sum(xs) >= k), num_vars)

@@ -1,0 +1,19 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from repro.chain import BooleanChain
+
+
+def random_chain(rnd, num_inputs: int = 4, num_gates: int = 5) -> BooleanChain:
+    """A random (not necessarily meaningful) chain for property tests."""
+    chain = BooleanChain(num_inputs)
+    for _ in range(num_gates):
+        hi = chain.num_signals
+        a = rnd.randrange(hi)
+        b = rnd.randrange(hi)
+        while b == a:
+            b = rnd.randrange(hi)
+        chain.add_gate(rnd.randrange(16), (a, b))
+    chain.set_output(chain.num_signals - 1, bool(rnd.getrandbits(1)))
+    return chain

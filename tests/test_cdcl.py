@@ -1,0 +1,194 @@
+"""CDCL solver tests: fuzzing against brute force, assumptions,
+incremental AllSAT, restarts."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, CDCLSolver, Luby, all_models, solve_cnf
+
+
+def brute_models(cnf):
+    models = set()
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate(bits):
+            models.add(bits)
+    return models
+
+
+def random_cnf(rnd, num_vars, num_clauses, max_width=3):
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        width = rnd.randint(1, max_width)
+        lits = [
+            (v if rnd.random() < 0.5 else -v)
+            for v in (rnd.randint(1, num_vars) for _ in range(width))
+        ]
+        cnf.add_clause(lits)
+    return cnf
+
+
+class TestLuby:
+    def test_sequence(self):
+        want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [Luby.value(i) for i in range(1, 16)] == want
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Luby.value(0)
+
+    def test_budgets_scale(self):
+        luby = Luby(base=10)
+        assert luby.next_budget() == 10
+        assert luby.next_budget() == 10
+        assert luby.next_budget() == 20
+
+
+class TestBasicSolving:
+    def test_simple_sat(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve()
+        assert solver.model()[2] is True
+
+    def test_simple_unsat(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert not solver.add_clause([-1])
+        assert solver.solve() is False
+
+    def test_empty_clause(self):
+        solver = CDCLSolver()
+        assert not solver.add_clause([])
+
+    def test_tautological_clause_ignored(self):
+        solver = CDCLSolver()
+        assert solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_duplicate_literals(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 1, 1])
+        assert solver.solve()
+        assert solver.model()[1] is True
+
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CDCLSolver().add_clause([0])
+
+    def test_pigeonhole_3_2_unsat(self):
+        """3 pigeons, 2 holes: classic small UNSAT instance."""
+        solver = CDCLSolver()
+        # p[i][j] = var 2*i + j + 1
+        var = lambda i, j: 2 * i + j + 1
+        for i in range(3):
+            solver.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        assert solver.solve() is False
+
+    def test_statistics_counters(self):
+        rnd = random.Random(0)
+        cnf = random_cnf(rnd, 12, 50)
+        solver = CDCLSolver()
+        solver.add_cnf(cnf)
+        solver.solve()
+        assert solver.num_propagations > 0
+
+
+class TestFuzzing:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_brute_force(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 9)
+        cnf = random_cnf(rnd, n, rnd.randint(1, 4 * n))
+        model = solve_cnf(cnf)
+        if model is None:
+            assert not brute_models(cnf)
+        else:
+            full = [model.get(v, False) for v in range(1, n + 1)]
+            assert cnf.evaluate(full)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_allsat_is_complete(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 6)
+        cnf = random_cnf(rnd, n, rnd.randint(1, 3 * n))
+        got = {
+            tuple(m[v] for v in range(1, n + 1)) for m in all_models(cnf)
+        }
+        assert got == brute_models(cnf)
+
+    def test_allsat_limit(self):
+        cnf = CNF(4)  # 16 models
+        cnf.add_clause([1, -1])
+        models = list(all_models(cnf, limit=5))
+        assert len(models) == 5
+
+    def test_allsat_projection(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, 2])
+        projected = list(all_models(cnf, projection=[1]))
+        values = {m[1] for m in projected}
+        assert values == {True, False}
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        assert solver.solve([1]) and solver.model()[3] is True
+        assert solver.solve([-1]) and solver.model()[2] is True
+        assert solver.solve([1, -3]) is False
+
+    def test_reusable_after_assumptions(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-1]) is True
+        assert solver.solve() is True
+        assert solver.solve([-1, -2]) is False
+        assert solver.solve() is True
+
+    def test_incremental_clauses(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.model()[2] is True
+        solver.add_clause([-2])
+        assert solver.solve() is False
+
+
+class TestDeadline:
+    def test_deadline_propagates(self):
+        from repro.core.spec import Deadline
+
+        # Pigeonhole PHP(6, 5): UNSAT and conflict-heavy, so the
+        # per-conflict deadline poll is guaranteed to fire.
+        pigeons, holes = 6, 5
+        solver = CDCLSolver()
+        var = lambda i, j: holes * i + j + 1
+        for i in range(pigeons):
+            solver.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        with pytest.raises(TimeoutError):
+            solver.solve(deadline=Deadline(0.0))
+
+    def test_conflict_limit_returns_none(self):
+        rnd = random.Random(6)
+        solver = CDCLSolver()
+        solver.add_cnf(random_cnf(rnd, 30, 135, max_width=3))
+        result = solver.solve(conflict_limit=1)
+        assert result in (None, True, False)

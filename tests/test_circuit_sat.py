@@ -1,0 +1,148 @@
+"""Circuit-based AllSAT solver tests (Section III-C, Algorithms 1–2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import BooleanChain
+from repro.core import (
+    chain_all_sat,
+    cubes_to_onset,
+    merge_cube_sets,
+    merge_cubes,
+    simulate_solutions,
+    verify_chain,
+)
+from repro.truthtable import TruthTable, from_hex, majority
+
+from tests.helpers import random_chain
+
+
+class TestCubeMerge:
+    def test_merge_compatible(self):
+        assert merge_cubes((1, None), (None, 0)) == (1, 0)
+        assert merge_cubes((1, 0), (1, 0)) == (1, 0)
+        assert merge_cubes((None, None), (None, None)) == (None, None)
+
+    def test_merge_conflict(self):
+        assert merge_cubes((1, None), (0, None)) is None
+
+    def test_merge_sets_drops_conflicts(self):
+        s1 = {(1, None), (0, None)}
+        s2 = {(1, 1)}
+        merged = merge_cube_sets(s1, s2)
+        assert merged == {(1, 1)}
+
+    def test_merge_sets_empty(self):
+        assert merge_cube_sets({(1,)}, {(0,)}) == set()
+
+
+class TestCubesToOnset:
+    def test_full_cube(self):
+        assert cubes_to_onset([(1, 1)], 2) == 0x8
+
+    def test_free_variable_expands(self):
+        assert cubes_to_onset([(1, None)], 2) == 0b1010
+
+    def test_union(self):
+        onset = cubes_to_onset([(1, None), (None, 1)], 2)
+        assert onset == 0b1110
+
+    def test_simulate_solutions(self):
+        t = simulate_solutions([(1, None)], 2)
+        assert isinstance(t, TruthTable)
+        assert t.bits == 0b1010
+
+
+class TestChainAllSat:
+    def test_example8_ten_assignments(self):
+        """The paper's Example 8: the chain for 0x8ff8 has exactly ten
+        satisfying PI assignments, simulating back to 0x8ff8."""
+        chain = BooleanChain(4)
+        # x6 = 0x8(a,b), x5 = 0x6(c,d), x7 = 0xe(x5, x6) in paper
+        # terms; our gate rows use fanins[0] as the low bit.
+        s_and = chain.add_gate(0x8, (0, 1))
+        s_xor = chain.add_gate(0x6, (2, 3))
+        s_top = chain.add_gate(0xE, (s_and, s_xor))
+        chain.set_output(s_top)
+        cubes = chain_all_sat(chain)
+        onset = cubes_to_onset(cubes, 4)
+        target = from_hex("8ff8", 4)
+        assert onset == target.bits
+        assert bin(onset).count("1") == 10
+
+    def test_unsat_chain(self):
+        chain = BooleanChain(2)
+        s = chain.add_gate(0x6, (0, 1))  # xor
+        chain.set_output(s)
+        # target 1 with an extra output forcing xnor=1 simultaneously
+        s2 = chain.add_gate(0x9, (0, 1))
+        chain.set_output(s2)
+        assert chain_all_sat(chain) == set()
+
+    def test_explicit_targets(self):
+        chain = BooleanChain(2)
+        s = chain.add_gate(0x8, (0, 1))
+        chain.set_output(s)
+        zeros = chain_all_sat(chain, targets=[0])
+        assert cubes_to_onset(zeros, 2) == 0x7
+
+    def test_complemented_output_target(self):
+        chain = BooleanChain(2)
+        s = chain.add_gate(0x8, (0, 1))
+        chain.set_output(s, complemented=True)
+        cubes = chain_all_sat(chain)
+        assert cubes_to_onset(cubes, 2) == 0x7
+
+    def test_no_outputs(self):
+        with pytest.raises(ValueError):
+            chain_all_sat(BooleanChain(2))
+
+    def test_target_arity_mismatch(self):
+        chain = BooleanChain(2)
+        chain.set_output(chain.add_gate(0x8, (0, 1)))
+        with pytest.raises(ValueError):
+            chain_all_sat(chain, targets=[1, 0])
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_allsat_equals_simulation(self, seed):
+        """Core invariant: AllSAT expansion == the chain's onset, even
+        for reconvergent chains."""
+        rnd = random.Random(seed)
+        chain = random_chain(rnd, num_inputs=4, num_gates=5)
+        cubes = chain_all_sat(chain)
+        onset = cubes_to_onset(cubes, 4)
+        assert onset == chain.simulate_output().bits
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_multi_output(self, seed):
+        rnd = random.Random(seed)
+        chain = random_chain(rnd, num_inputs=3, num_gates=4)
+        chain.set_output(3)  # add the first gate as a second output
+        cubes = chain_all_sat(chain)
+        onset = cubes_to_onset(cubes, 3)
+        t1, t2 = chain.simulate()
+        assert onset == (t1 & t2).bits
+
+
+class TestVerifyChain:
+    def test_verify_correct_chain(self):
+        chain = BooleanChain(4)
+        s_and = chain.add_gate(0x8, (0, 1))
+        s_xor = chain.add_gate(0x6, (2, 3))
+        chain.set_output(chain.add_gate(0xE, (s_and, s_xor)))
+        assert verify_chain(chain, from_hex("8ff8", 4))
+
+    def test_verify_rejects_wrong_function(self):
+        chain = BooleanChain(3)
+        chain.set_output(chain.add_gate(0x8, (0, 1)))
+        assert not verify_chain(chain, majority(3))
+
+    def test_verify_arity_mismatch(self):
+        chain = BooleanChain(2)
+        chain.set_output(chain.add_gate(0x8, (0, 1)))
+        with pytest.raises(ValueError):
+            verify_chain(chain, majority(3))

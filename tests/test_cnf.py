@@ -1,0 +1,81 @@
+"""CNF container tests."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+class TestConstruction:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_vars(3) == [2, 3, 4]
+        assert cnf.num_vars == 4
+
+    def test_add_clause(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause((3,))
+        assert cnf.num_clauses == 2
+        assert cnf.clauses == ((1, -2), (3,))
+
+    def test_rejects_bad_literals(self):
+        cnf = CNF(2)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+        with pytest.raises(ValueError):
+            cnf.add_clause([3])
+
+    def test_extend_and_iter(self):
+        cnf = CNF(2)
+        cnf.extend([[1], [-2], [1, 2]])
+        assert list(cnf) == [(1,), (-2,), (1, 2)]
+
+    def test_negative_vars_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(-1)
+
+
+class TestEvaluate:
+    def test_mapping_and_sequence(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.evaluate({1: False, 2: True})
+        assert cnf.evaluate([False, True])
+        assert not cnf.evaluate([True, True])
+        assert not cnf.evaluate([False, False])
+
+    def test_empty_cnf_is_true(self):
+        assert CNF(2).evaluate([False, False])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3, -1])
+        text = cnf.to_dimacs()
+        back = CNF.from_dimacs(text)
+        assert back.num_vars == 3
+        assert back.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 2\n1 -2 0\n2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_clauses == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("1 2 0\n")
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p wrong 2 1\n1 0\n")
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("")
+
+    def test_trailing_clause_without_zero(self):
+        cnf = CNF.from_dimacs("p cnf 2 1\n1 -2\n")
+        assert cnf.clauses == ((1, -2),)
+
+    def test_repr(self):
+        assert "vars=2" in repr(CNF(2))

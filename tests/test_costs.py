@@ -1,0 +1,90 @@
+"""Cost-model and selection tests."""
+
+import pytest
+
+from repro.chain import (
+    BooleanChain,
+    COST_MODELS,
+    depth,
+    fanout_cost,
+    gate_count,
+    inverter_free_cost,
+    rank_solutions,
+    select_best,
+    weighted_op_cost,
+)
+
+
+def balanced_chain():
+    chain = BooleanChain(4)
+    s4 = chain.add_gate(0x8, (0, 1))
+    s5 = chain.add_gate(0x6, (2, 3))
+    chain.set_output(chain.add_gate(0xE, (s4, s5)))
+    return chain
+
+
+def linear_chain():
+    chain = BooleanChain(4)
+    s = chain.add_gate(0x8, (0, 1))
+    s = chain.add_gate(0x8, (2, s))
+    chain.set_output(chain.add_gate(0x8, (3, s)))
+    return chain
+
+
+class TestCostModels:
+    def test_gate_count(self):
+        assert gate_count(balanced_chain()) == 3
+
+    def test_depth(self):
+        assert depth(balanced_chain()) == 2
+        assert depth(linear_chain()) == 3
+
+    def test_inverter_free(self):
+        chain = balanced_chain()
+        assert inverter_free_cost(chain) == 3
+        chain2 = BooleanChain(2)
+        chain2.set_output(chain2.add_gate(0x8, (0, 1)), True)
+        assert inverter_free_cost(chain2) == 2
+
+    def test_weighted(self):
+        chain = balanced_chain()  # and + xor + or
+        assert weighted_op_cost(chain) == pytest.approx(1 + 2 + 1)
+        assert weighted_op_cost(chain, {0x8: 5.0}, default=0.0) == 5.0
+
+    def test_fanout(self):
+        chain = BooleanChain(2)
+        s = chain.add_gate(0x8, (0, 1))
+        chain.add_gate(0x6, (0, s))
+        s3 = chain.add_gate(0xE, (s, 3))
+        chain.set_output(s3)
+        assert fanout_cost(chain) == 2  # s feeds two gates
+
+    def test_registry(self):
+        assert set(COST_MODELS) == {
+            "gates", "depth", "inverters", "weighted", "fanout"
+        }
+
+
+class TestSelection:
+    def test_select_best_by_depth(self):
+        best = select_best([linear_chain(), balanced_chain()], "depth")
+        assert best.signature() == balanced_chain().signature()
+
+    def test_select_best_custom_callable(self):
+        # prefer more gates, artificially
+        best = select_best(
+            [linear_chain(), balanced_chain()],
+            lambda c: -c.num_gates,
+        )
+        assert best.num_gates == 3
+
+    def test_rank_is_sorted_and_stable(self):
+        ranked = rank_solutions(
+            [linear_chain(), balanced_chain()], "depth"
+        )
+        costs = [cost for cost, _ in ranked]
+        assert costs == sorted(costs)
+
+    def test_empty_selection(self):
+        with pytest.raises(ValueError):
+            select_best([], "gates")

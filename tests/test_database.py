@@ -1,0 +1,92 @@
+"""NPN chain-database tests."""
+
+import random
+
+import pytest
+
+from repro.core import NPNDatabase, apply_transform_to_chain, synthesize
+from repro.truthtable import (
+    NPNTransform,
+    TruthTable,
+    exact_canonical,
+    from_hex,
+    majority,
+)
+
+from tests.helpers import random_chain
+
+
+class TestChainTransform:
+    def test_identity_transform(self):
+        result = synthesize(majority(3), timeout=60, max_solutions=2)
+        chain = result.chains[0]
+        same = apply_transform_to_chain(
+            chain, NPNTransform.identity(3)
+        )
+        assert same.simulate_output() == chain.simulate_output()
+
+    def test_random_transforms_track_semantics(self):
+        rnd = random.Random(3)
+        for _ in range(20):
+            chain = random_chain(rnd, num_inputs=4, num_gates=4)
+            perm = list(range(4))
+            rnd.shuffle(perm)
+            transform = NPNTransform(
+                tuple(perm), rnd.getrandbits(4), bool(rnd.getrandbits(1))
+            )
+            moved = apply_transform_to_chain(chain, transform)
+            want = transform.apply(chain.simulate_output())
+            assert moved.simulate_output() == want
+            assert moved.num_gates == chain.num_gates
+
+    def test_pi_output_chain(self):
+        from repro.chain import BooleanChain
+
+        chain = BooleanChain(3)
+        chain.set_output(1)  # f = x1
+        transform = NPNTransform((2, 0, 1), 0b010, False)
+        moved = apply_transform_to_chain(chain, transform)
+        assert moved.simulate_output() == transform.apply(
+            chain.simulate_output()
+        )
+
+    def test_arity_mismatch(self):
+        rnd = random.Random(0)
+        chain = random_chain(rnd, num_inputs=4)
+        with pytest.raises(ValueError):
+            apply_transform_to_chain(chain, NPNTransform.identity(3))
+
+
+class TestDatabase:
+    def test_lookup_returns_valid_chains(self):
+        db = NPNDatabase(timeout=120)
+        rnd = random.Random(7)
+        for _ in range(6):
+            f = TruthTable(rnd.getrandbits(16), 4)
+            chains = db.lookup(f)
+            assert chains
+            for chain in chains:
+                assert chain.simulate_output() == f
+
+    def test_orbit_members_share_entry(self):
+        db = NPNDatabase(timeout=120)
+        f = from_hex("8ff8", 4)
+        db.lookup(f)
+        size_before = len(db)
+        rep, transform = exact_canonical(f)
+        mate = NPNTransform((1, 0, 2, 3), 0b0001, True).apply(f)
+        chains = db.lookup(mate)
+        assert len(db) == size_before  # cache hit, no new class
+        assert chains[0].simulate_output() == mate
+
+    def test_optimal_size(self):
+        db = NPNDatabase(timeout=120)
+        assert db.optimal_size(from_hex("8ff8", 4)) == 3
+        assert db.optimal_size(majority(3).extend(3)) == 4
+
+    def test_precompute_with_progress(self):
+        db = NPNDatabase(timeout=60)
+        seen = []
+        classes = [from_hex("6", 2), from_hex("8", 2)]
+        db.precompute(classes, progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 2), (2, 2)]

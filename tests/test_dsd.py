@@ -1,0 +1,176 @@
+"""DSD decomposition and workload-generator tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.truthtable import (
+    DSDKind,
+    TruthTable,
+    constant,
+    dsd_decompose,
+    dsd_kind,
+    from_function,
+    is_fully_dsd,
+    is_partially_dsd,
+    is_prime,
+    majority,
+    mergeable_pair,
+    parity,
+    projection,
+    fdsd_suite,
+    pdsd_suite,
+    random_fully_dsd,
+    random_partially_dsd,
+    random_prime_function,
+)
+
+
+class TestMergeablePair:
+    def test_and_pair(self):
+        f = from_function(lambda a, b, c: (a and b) ^ c, 3)
+        code = mergeable_pair(f, 0, 1)
+        assert code is not None
+        table = TruthTable(code, 2)
+        assert table.depends_on(0) and table.depends_on(1)
+
+    def test_prime_has_no_pair(self):
+        m = majority(3)
+        for a in range(3):
+            for b in range(a + 1, 3):
+                assert mergeable_pair(m, a, b) is None
+
+    def test_vacuous_pair_rejected(self):
+        f = projection(2, 3)
+        assert mergeable_pair(f, 0, 1) is None
+
+
+class TestClassification:
+    def test_trivial(self):
+        assert dsd_kind(constant(0, 3)) == DSDKind.TRIVIAL
+        assert dsd_kind(projection(1, 3)) == DSDKind.TRIVIAL
+
+    def test_full(self):
+        f = from_function(lambda a, b, c, d: (a and b) ^ (c or d), 4)
+        assert is_fully_dsd(f)
+
+    def test_parity_is_full(self):
+        for n in (2, 3, 4, 5):
+            assert is_fully_dsd(parity(n))
+
+    def test_prime(self):
+        assert is_prime(majority(3))
+        assert dsd_kind(majority(5)) == DSDKind.PRIME
+
+    def test_partial(self):
+        f = from_function(
+            lambda a, b, c, d: int(
+                (a + b + c >= 2) ^ d  # maj3 xor d
+            ),
+            4,
+        )
+        assert is_partially_dsd(f)
+
+
+class TestDecomposition:
+    @given(st.integers(1, (1 << 16) - 2))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_4var(self, bits):
+        t = TruthTable(bits, 4)
+        tree = dsd_decompose(t)
+        assert tree.to_truth_table(4) == t
+
+    @given(st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_6var(self, bits):
+        t = TruthTable(bits, 6)
+        tree = dsd_decompose(t)
+        assert tree.to_truth_table(6) == t
+
+    def test_constant_tree(self):
+        tree = dsd_decompose(constant(1, 3))
+        assert tree.kind == "prime"
+        assert tree.to_truth_table(3) == constant(1, 3)
+
+    def test_full_tree_has_no_prime(self):
+        f = from_function(lambda a, b, c, d: (a and b) ^ (c or d), 4)
+        assert dsd_decompose(f).max_prime_arity() == 0
+
+    def test_top_extraction_xor(self):
+        """f = z xor maj3 needs the single-variable top extraction."""
+        f = from_function(
+            lambda a, b, c, d: int((a + b + c >= 2)) ^ d, 4
+        )
+        tree = dsd_decompose(f)
+        assert tree.max_prime_arity() == 3
+        assert tree.to_truth_table(4) == f
+
+    def test_top_extraction_and(self):
+        f = from_function(
+            lambda a, b, c, d: int((a + b + c >= 2)) and d, 4
+        )
+        tree = dsd_decompose(f)
+        assert tree.max_prime_arity() == 3
+        assert tree.to_truth_table(4) == f
+
+    def test_top_extraction_or_chain(self):
+        f = from_function(
+            lambda a, b, c, d, e: int((a + b + c >= 2)) or (d and e), 5
+        )
+        tree = dsd_decompose(f)
+        assert tree.max_prime_arity() == 3
+        assert tree.to_truth_table(5) == f
+
+    def test_format_mentions_structure(self):
+        f = from_function(lambda a, b, c: (a and b) or c, 3)
+        text = dsd_decompose(f).format()
+        assert "x2" in text
+
+
+class TestGenerators:
+    def test_fdsd_functions_are_full(self):
+        for f in fdsd_suite(6, 12, seed=5):
+            assert is_fully_dsd(f)
+            assert f.support_size() == 6
+
+    def test_fdsd8(self):
+        for f in fdsd_suite(8, 4, seed=5):
+            assert is_fully_dsd(f)
+            assert f.support_size() == 8
+
+    def test_pdsd_functions_are_partial(self):
+        for f in pdsd_suite(6, 8, seed=5):
+            assert is_partially_dsd(f)
+
+    def test_pdsd_prime_arity(self):
+        for f in pdsd_suite(6, 5, seed=6, prime_arity=3):
+            tree = dsd_decompose(f)
+            assert tree.max_prime_arity() >= 3
+
+    def test_prime_generator(self):
+        rng = random.Random(1)
+        for _ in range(3):
+            p = random_prime_function(3, rng)
+            assert is_prime(p)
+            assert p.support_size() == 3
+
+    def test_generator_determinism(self):
+        a = fdsd_suite(6, 5, seed=11)
+        b = fdsd_suite(6, 5, seed=11)
+        assert a == b
+        c = fdsd_suite(6, 5, seed=12)
+        assert a != c
+
+    def test_suites_are_distinct(self):
+        suite = pdsd_suite(6, 10, seed=2)
+        assert len({t.bits for t in suite}) == 10
+
+    def test_generator_argument_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_fully_dsd(1, rng)
+        with pytest.raises(ValueError):
+            random_prime_function(2, rng)
+        with pytest.raises(ValueError):
+            random_partially_dsd(4, rng, prime_arity=4)

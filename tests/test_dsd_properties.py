@@ -1,0 +1,78 @@
+"""Property-based tests on DSD invariants (hypothesis-heavy)."""
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.truthtable import (
+    DSDKind,
+    TruthTable,
+    binary_op_table,
+    dsd_decompose,
+    dsd_kind,
+    is_fully_dsd,
+    projection,
+    random_fully_dsd,
+    random_prime_function,
+)
+
+
+class TestKindInvariance:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_kind_invariant_under_var_swap(self, bits, a, b):
+        t = TruthTable(bits, 4)
+        swapped = t.swap_vars(a, b)
+        assert dsd_kind(t) == dsd_kind(swapped)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_kind_invariant_under_input_flip(self, bits, var):
+        t = TruthTable(bits, 4)
+        assert dsd_kind(t) == dsd_kind(t.flip_var(var))
+
+    @given(st.integers(0, 0xFFFF))
+    @settings(max_examples=40, deadline=None)
+    def test_kind_invariant_under_output_flip(self, bits):
+        t = TruthTable(bits, 4)
+        assert dsd_kind(t) == dsd_kind(~t)
+
+
+class TestCompositionalProperties:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=25, deadline=None)
+    def test_fdsd_closed_under_gate_composition(self, seed):
+        """Joining two disjoint fully-DSD functions with a nontrivial
+        gate stays fully DSD."""
+        rnd = random.Random(seed)
+        left = random_fully_dsd(3, rnd)
+        right = random_fully_dsd(3, rnd)
+        code = rnd.choice((0x6, 0x8, 0xE, 0x9, 0x7, 0x1))
+        op = binary_op_table(code)
+        inner_left = left.compose(
+            [projection(i, 6) for i in range(3)]
+        )
+        inner_right = right.compose(
+            [projection(i + 3, 6) for i in range(3)]
+        )
+        combined = op.compose([inner_left, inner_right])
+        assert is_fully_dsd(combined)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=10, deadline=None)
+    def test_prime_plus_disjoint_var_is_partial(self, seed):
+        rnd = random.Random(seed)
+        prime = random_prime_function(3, rnd)
+        inner = prime.compose([projection(i, 4) for i in range(3)])
+        combined = inner ^ projection(3, 4)
+        assert dsd_kind(combined) == DSDKind.PARTIAL
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_roundtrip_structured(self, seed):
+        rnd = random.Random(seed)
+        t = random_fully_dsd(rnd.choice([4, 5, 6]), rnd)
+        tree = dsd_decompose(t)
+        assert tree.to_truth_table(t.num_vars) == t
+        assert tree.max_prime_arity() == 0

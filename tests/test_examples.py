@@ -1,0 +1,39 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The heavier examples (cost-aware selection over the full MAJ3 solution
+set, solver comparison) are exercised with reduced scope elsewhere in
+the suite; here we run the two fast entry points exactly as a user
+would.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "optimum size: 3 gates" in out
+    assert "PASS" in out
+
+
+def test_liar_puzzle(capsys):
+    out = run_example("liar_puzzle.py", capsys)
+    assert "only b is honest" in out
+    assert "True" in out
+
+
+@pytest.mark.slow
+def test_dsd_workloads(capsys):
+    out = run_example("dsd_workloads.py", capsys)
+    assert "fully DSD-decomposable" in out
+    assert "prime block" in out

@@ -1,0 +1,234 @@
+"""STP matrix-factorization engine tests (Section III-B)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.factorization import (
+    FactorizationEngine,
+    is_complement_closed,
+)
+from repro.truthtable import (
+    NONTRIVIAL_BINARY_OPS,
+    TruthTable,
+    apply_binary_op,
+    from_function,
+    from_hex,
+    majority,
+    parity,
+    projection,
+)
+
+
+def make_engine(num_vars, **kwargs):
+    return FactorizationEngine(
+        num_vars, NONTRIVIAL_BINARY_OPS, **kwargs
+    )
+
+
+def check_factorization(fac, g_v, num_vars):
+    """φ(g_a, g_b) must reproduce g_v on every assignment."""
+    for m in range(1 << num_vars):
+        a = fac.g_a.value(m)
+        b = fac.g_b.value(m)
+        assert apply_binary_op(fac.op, a, b) == g_v.value(m)
+
+
+class TestComplementClosure:
+    def test_nontrivial_set_is_closed(self):
+        assert is_complement_closed(NONTRIVIAL_BINARY_OPS)
+
+    def test_and_or_only_not_closed(self):
+        assert not is_complement_closed((0x8, 0xE))
+
+    def test_xor_xnor_closed(self):
+        assert is_complement_closed((0x6, 0x9))
+
+
+class TestDisjointFactorization:
+    def test_example7_top_factorization(self):
+        """0x8ff8 over cones {a,b} and {c,d} factors (Example 7)."""
+        f = from_hex("8ff8", 4)
+        engine = make_engine(4)
+        facs = engine.decompositions(
+            f, (2, 3), (0, 1), canonical=False
+        )
+        assert facs
+        for fac in facs:
+            check_factorization(fac, f, 4)
+        # the paper's first candidate: top OR of and(a,b) and xor(c,d)
+        shapes = {
+            (fac.op, fac.g_a.bits, fac.g_b.bits) for fac in facs
+        }
+        and_ab = from_function(lambda a, b, c, d: a and b, 4).bits
+        xor_cd = from_function(lambda a, b, c, d: c ^ d, 4).bits
+        assert any(
+            a == xor_cd and b == and_ab for (_, a, b) in shapes
+        )
+
+    def test_non_factorable_three_blocks(self):
+        """Example 5.2: three distinct quartering parts — no factors."""
+        # f(a,b,c,d) with three distinct cofactor blocks over (c,d).
+        f = from_function(
+            lambda a, b, c, d: (
+                (a and b) if (c, d) == (0, 0)
+                else (a or b) if (c, d) == (1, 0)
+                else (a ^ b)
+            ),
+            4,
+        )
+        engine = make_engine(4)
+        assert engine.decompositions(f, (2, 3), (0, 1)) == ()
+
+    def test_support_leak_rejected(self):
+        f = from_hex("8ff8", 4)
+        engine = make_engine(4)
+        assert engine.decompositions(f, (0, 1), (1, 2)) == ()
+
+    @given(st.integers(0, 0xF), st.integers(0, 0xF), st.integers(0, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_composed_functions_factor(self, ga_bits, gb_bits, op_index):
+        """φ(g_a(x0,x1), g_b(x2,x3)) must always factor back."""
+        code = NONTRIVIAL_BINARY_OPS[op_index]
+        g_a = TruthTable(ga_bits, 2)
+        g_b = TruthTable(gb_bits, 2)
+        if not (g_a.depends_on(0) and g_a.depends_on(1)):
+            return
+        if not (g_b.depends_on(0) and g_b.depends_on(1)):
+            return
+        f_bits = 0
+        for m in range(16):
+            a = g_a.value(m & 3)
+            b = g_b.value(m >> 2)
+            if apply_binary_op(code, a, b):
+                f_bits |= 1 << m
+        f = TruthTable(f_bits, 4)
+        engine = make_engine(4)
+        facs = engine.decompositions(f, (0, 1), (2, 3), canonical=False)
+        assert facs
+        for fac in facs:
+            check_factorization(fac, f, 4)
+        # The original pair must be among the factorizations.
+        assert any(
+            fac.op == code
+            and fac.g_a.bits == g_a.extend(4).bits
+            and fac.g_b
+            == TruthTable(
+                sum(
+                    1 << m
+                    for m in range(16)
+                    if g_b.value(m >> 2)
+                ),
+                4,
+            )
+            for fac in facs
+        )
+
+
+class TestSharedFactorization:
+    def test_maj3_shared_cones(self):
+        """MAJ3 = and-or over overlapping cones (power-reduce case)."""
+        m = majority(3)
+        engine = make_engine(3)
+        facs = engine.decompositions(m, (0, 1), (1, 2), canonical=False)
+        for fac in facs:
+            check_factorization(fac, m, 3)
+
+    def test_xor_with_shared_variable(self):
+        f = from_function(lambda a, b, c: (a and b) ^ (a and c), 3)
+        engine = make_engine(3)
+        facs = engine.decompositions(f, (0, 1), (0, 2), canonical=False)
+        assert facs
+        for fac in facs:
+            check_factorization(fac, f, 3)
+
+    def test_pinned_both_sides(self):
+        f = from_function(lambda a, b: a and b, 2)
+        engine = make_engine(2)
+        facs = engine.decompositions(
+            f, (0,), (1,),
+            fixed_a=projection(0, 2),
+            fixed_b=projection(1, 2),
+        )
+        assert any(fac.op == 0x8 for fac in facs)
+
+    def test_pinned_one_side(self):
+        f = parity(3)
+        engine = make_engine(3)
+        facs = engine.decompositions(
+            f, (0,), (1, 2), fixed_a=projection(0, 3)
+        )
+        assert facs
+        for fac in facs:
+            check_factorization(fac, f, 3)
+
+    def test_pinned_inconsistent(self):
+        f = from_function(lambda a, b: a and b, 2)
+        engine = make_engine(2)
+        # A fixed child outside its cone is rejected.
+        assert (
+            engine.decompositions(
+                f, (0,), (1,), fixed_a=projection(1, 2)
+            )
+            == ()
+        )
+
+
+class TestCanonicalMode:
+    def test_canonical_children_are_normal(self):
+        f = from_hex("8ff8", 4)
+        engine = make_engine(4)
+        for fac in engine.decompositions(f, (0, 1), (2, 3)):
+            assert fac.g_a.value(0) == 0
+            assert fac.g_b.value(0) == 0
+
+    def test_canonical_subset_of_full(self):
+        f = from_hex("8ff8", 4)
+        engine = make_engine(4)
+        canonical = set(
+            (fac.op, fac.g_a.bits, fac.g_b.bits)
+            for fac in engine.decompositions(f, (0, 1), (2, 3))
+        )
+        full = set(
+            (fac.op, fac.g_a.bits, fac.g_b.bits)
+            for fac in engine.decompositions(
+                f, (0, 1), (2, 3), canonical=False
+            )
+        )
+        assert canonical <= full
+        assert len(full) >= 2 * len(canonical)
+
+    @given(st.integers(0, 0xFF))
+    @settings(max_examples=30, deadline=None)
+    def test_feasibility_agrees(self, bits):
+        """Canonical mode is feasibility-equivalent to full mode."""
+        f = TruthTable(bits, 3)
+        engine = make_engine(3)
+        canonical = engine.decompositions(f, (0, 1), (1, 2))
+        full = engine.decompositions(
+            f, (0, 1), (1, 2), canonical=False
+        )
+        assert bool(canonical) == bool(full)
+
+
+class TestPrunes:
+    def test_constant_children_pruned(self):
+        engine = make_engine(3)
+        assert engine.prunes_enabled
+        f = parity(3)
+        for fac in engine.decompositions(
+            f, (0, 1), (1, 2), canonical=False
+        ):
+            assert not fac.g_a.is_constant()
+            assert not fac.g_b.is_constant()
+            assert fac.g_a.support_size() > 1
+            assert fac.g_b.support_size() > 1
+
+    def test_caching_returns_same_object(self):
+        engine = make_engine(3)
+        f = parity(3)
+        first = engine.decompositions(f, (0, 1), (1, 2))
+        second = engine.decompositions(f, (0, 1), (1, 2))
+        assert first is second

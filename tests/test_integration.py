@@ -1,0 +1,94 @@
+"""Cross-module integration tests: the substrates must agree with each
+other on shared questions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import select_best
+from repro.core import hierarchical_synthesize, synthesize, verify_chain
+from repro.sat import CNF, all_models
+from repro.stp import STPSolver, parse
+from repro.truthtable import TruthTable, from_function, majority
+
+
+class TestSolverAgreement:
+    """The STP AllSAT solver and the CDCL AllSAT must enumerate the
+    same model sets for the same formula."""
+
+    def _cnf_of_formula(self, clauses, num_vars):
+        cnf = CNF(num_vars)
+        cnf.extend(clauses)
+        return cnf
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_random_cnf_agreement(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 5)
+        clauses = []
+        for _ in range(rnd.randint(1, 3 * n)):
+            width = rnd.randint(1, 3)
+            clauses.append(
+                [
+                    (v if rnd.random() < 0.5 else -v)
+                    for v in (rnd.randint(1, n) for _ in range(width))
+                ]
+            )
+        cnf = self._cnf_of_formula(clauses, n)
+
+        # Tabulate the CNF into a truth table for the STP solver.
+        def value(*xs):
+            return int(cnf.evaluate(list(map(bool, xs))))
+
+        table = from_function(value, n)
+
+        cdcl_models = {
+            tuple(int(m[v]) for v in range(1, n + 1))
+            for m in all_models(cnf)
+        }
+        # STP solution (x_1..x_n) has x_k = table var n-k.
+        stp_models = {
+            tuple(reversed(sol))
+            for sol in STPSolver(table).all_solutions()
+        }
+        assert stp_models == cdcl_models
+
+    def test_liar_puzzle_via_both_engines(self):
+        expr = parse("(a <-> ~b) & (b <-> ~c) & (c <-> (~a & ~b))")
+        table = expr.to_truth_table()
+        stp_count = len(STPSolver(expr).all_solutions())
+        assert stp_count == table.count_ones() == 1
+
+
+class TestSynthesisPipeline:
+    def test_synthesize_verify_select(self):
+        """End-to-end: synthesize → circuit-AllSAT verify → cost pick."""
+        f = from_function(lambda a, b, c, d: (a ^ b) or (c and d), 4)
+        result = synthesize(f, timeout=120, max_solutions=64)
+        assert result.num_solutions >= 1
+        for chain in result.chains:
+            assert verify_chain(chain, f)
+        best = select_best(result.chains, "depth")
+        assert best.simulate_output() == f
+
+    def test_flat_and_hierarchical_same_optimum(self):
+        f = from_function(lambda a, b, c, d: (a ^ b) or (c and d), 4)
+        flat = synthesize(f, timeout=120, max_solutions=4)
+        hier = hierarchical_synthesize(f, timeout=120, max_solutions=4)
+        assert flat.num_gates == hier.num_gates
+
+    def test_maj3_solutions_all_verified_by_circuit_solver(self):
+        result = synthesize(majority(3), timeout=120, max_solutions=100)
+        for chain in result.chains:
+            assert verify_chain(chain, majority(3))
+
+    @given(st.integers(0, 0xFF))
+    @settings(max_examples=8, deadline=None)
+    def test_random_3var_pipeline(self, bits):
+        f = TruthTable(bits, 3)
+        result = synthesize(f, timeout=120, max_solutions=16)
+        for chain in result.chains:
+            assert chain.simulate_output() == f
+            assert chain.num_gates == result.num_gates

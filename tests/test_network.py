@@ -1,0 +1,220 @@
+"""Logic-network layer tests: structure, simulation, cuts, MFFC."""
+
+import random
+
+import pytest
+
+from repro.chain import BooleanChain
+from repro.network import (
+    Cut,
+    LogicNetwork,
+    cut_function,
+    enumerate_cuts,
+)
+from repro.truthtable import (
+    TruthTable,
+    binary_op_table,
+    from_hex,
+    projection,
+)
+
+
+def example7_network():
+    net = LogicNetwork("ex7")
+    pa, pb, pc, pd = [net.add_pi() for _ in range(4)]
+    n_and = net.add_node(binary_op_table(0x8), (pa, pb))
+    n_xor = net.add_node(binary_op_table(0x6), (pc, pd))
+    n_or = net.add_node(binary_op_table(0xE), (n_and, n_xor))
+    net.add_po(n_or)
+    return net, (pa, pb, pc, pd, n_and, n_xor, n_or)
+
+
+def random_network(rnd, num_pis=5, num_nodes=10):
+    net = LogicNetwork()
+    nodes = [net.add_pi() for _ in range(num_pis)]
+    for _ in range(num_nodes):
+        k = rnd.choice([1, 2, 2, 3])
+        fanins = [rnd.choice(nodes) for _ in range(k)]
+        table = TruthTable(rnd.getrandbits(1 << k), k)
+        nodes.append(net.add_node(table, fanins))
+    net.add_po(nodes[-1])
+    return net
+
+
+class TestStructure:
+    def test_basic_construction(self):
+        net, sig = example7_network()
+        assert net.num_gates() == 3
+        assert net.depth() == 2
+        assert len(net.pis) == 4
+
+    def test_arity_validation(self):
+        net = LogicNetwork()
+        p = net.add_pi()
+        with pytest.raises(ValueError):
+            net.add_node(binary_op_table(0x8), (p,))
+
+    def test_missing_fanin(self):
+        net = LogicNetwork()
+        with pytest.raises(ValueError):
+            net.add_node(binary_op_table(0x8), (0, 1))
+
+    def test_po_validation(self):
+        net = LogicNetwork()
+        with pytest.raises(ValueError):
+            net.add_po(7)
+
+    def test_topological_order(self):
+        rnd = random.Random(1)
+        net = random_network(rnd)
+        order = net.topological_order()
+        position = {uid: i for i, uid in enumerate(order)}
+        for node in net.live_nodes():
+            for f in node.fanins:
+                assert position[f] < position[node.uid]
+
+    def test_fanout_map(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        fanouts = net.fanout_map()
+        assert fanouts[n_and] == [n_or]
+        assert fanouts[n_or] == []
+
+    def test_copy_independent(self):
+        net, sig = example7_network()
+        dup = net.copy()
+        dup.add_pi()
+        assert len(net.pis) == 4
+        assert len(dup.pis) == 5
+
+    def test_repr(self):
+        net, _ = example7_network()
+        assert "gates=3" in repr(net)
+
+
+class TestSemantics:
+    def test_example7_simulation(self):
+        net, _ = example7_network()
+        assert net.simulate()[0] == from_hex("8ff8", 4)
+
+    def test_complemented_po(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        net.add_po(n_or, complemented=True)
+        outs = net.simulate()
+        assert outs[1] == ~outs[0]
+
+    def test_constant_node(self):
+        net = LogicNetwork()
+        net.add_pi()
+        const = net.add_node(TruthTable(1, 0), ())
+        net.add_po(const)
+        assert net.simulate()[0].bits == 0b11
+
+    def test_from_chain(self):
+        chain = BooleanChain(3)
+        s = chain.add_gate(0x6, (0, 1))
+        chain.set_output(chain.add_gate(0x8, (s, 2)), True)
+        net = LogicNetwork.from_chain(chain)
+        assert net.simulate()[0] == chain.simulate_output()
+
+
+class TestRewireAndSweep:
+    def test_replace_node(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        before = net.simulate()[0]
+        # Replace n_and with a nand driving complemented readers.
+        n_nand = net.add_node(binary_op_table(0x7), (pa, pb))
+        net.replace_node(n_and, n_nand, complemented=True)
+        assert net.simulate()[0] == before
+        assert net.sweep_dead() == 1  # the old AND node dies
+
+    def test_mffc(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        cone = net.mffc(n_or)
+        assert cone == {n_or, n_and, n_xor}
+
+    def test_mffc_respects_external_fanout(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        extra = net.add_node(binary_op_table(0x9), (n_and, pc))
+        net.add_po(extra)
+        cone = net.mffc(n_or)
+        assert n_and not in cone  # shared with the new reader
+
+    def test_splice_chain(self):
+        net = LogicNetwork()
+        pis = [net.add_pi() for _ in range(2)]
+        chain = BooleanChain(2)
+        chain.set_output(chain.add_gate(0x6, (0, 1)))
+        node, complemented = net.splice_chain(chain, pis)
+        net.add_po(node, complemented)
+        assert net.simulate()[0].bits == 0x6
+
+    def test_splice_const_chain(self):
+        net = LogicNetwork()
+        net.add_pi()
+        chain = BooleanChain(1)
+        chain.set_output(BooleanChain.CONST0, True)
+        node, complemented = net.splice_chain(chain, [net.pis[0]])
+        net.add_po(node, complemented)
+        assert net.simulate()[0].bits == 0b11
+
+
+class TestCuts:
+    def test_trivial_cut_always_present(self):
+        net, sig = example7_network()
+        cuts = enumerate_cuts(net)
+        for node in net.live_nodes():
+            assert Cut(node.uid, (node.uid,)) in cuts[node.uid]
+
+    def test_full_cut_function(self):
+        net, (pa, pb, pc, pd, n_and, n_xor, n_or) = example7_network()
+        cuts = enumerate_cuts(net, k=4)
+        full = [
+            cut
+            for cut in cuts[n_or]
+            if set(cut.leaves) == {pa, pb, pc, pd}
+        ]
+        assert full
+        assert cut_function(net, full[0]) == from_hex("8ff8", 4)
+
+    def test_cut_sizes_bounded(self):
+        rnd = random.Random(5)
+        net = random_network(rnd)
+        cuts = enumerate_cuts(net, k=3)
+        for cut_list in cuts.values():
+            for cut in cut_list:
+                assert cut.size <= 3
+
+    def test_domination_filter(self):
+        rnd = random.Random(6)
+        net = random_network(rnd)
+        cuts = enumerate_cuts(net, k=4)
+        for cut_list in cuts.values():
+            non_trivial = cut_list[:-1]
+            for i, cut in enumerate(non_trivial):
+                for other in non_trivial[i + 1:]:
+                    assert not cut.dominates(other) or cut == other
+
+    def test_k_validation(self):
+        net, _ = example7_network()
+        with pytest.raises(ValueError):
+            enumerate_cuts(net, k=1)
+
+    def test_cut_function_matches_global(self):
+        """Cut functions composed with leaf globals = root global."""
+        rnd = random.Random(7)
+        net = random_network(rnd, num_pis=4, num_nodes=6)
+        patterns = net.simulate_nodes()
+        n = len(net.pis)
+        cuts = enumerate_cuts(net, k=4)
+        for node in net.live_nodes():
+            if node.is_pi:
+                continue
+            for cut in cuts[node.uid][:3]:
+                if cut.leaves == (node.uid,):
+                    continue
+                local = cut_function(net, cut)
+                leaf_tables = [
+                    TruthTable(patterns[leaf], n) for leaf in cut.leaves
+                ]
+                composed = local.compose(leaf_tables)
+                assert composed.bits == patterns[node.uid]

@@ -1,0 +1,140 @@
+"""NPN classification tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.truthtable import (
+    NPNTransform,
+    NUM_NPN4_CLASSES,
+    TruthTable,
+    canonicalize,
+    exact_canonical,
+    npn_classes,
+    semi_canonical,
+)
+
+table4 = st.builds(TruthTable, st.integers(0, 0xFFFF), st.just(4))
+table3 = st.builds(TruthTable, st.integers(0, 0xFF), st.just(3))
+
+
+def random_transform(rnd, n):
+    perm = list(range(n))
+    rnd.shuffle(perm)
+    return NPNTransform(
+        tuple(perm), rnd.getrandbits(n), bool(rnd.getrandbits(1))
+    )
+
+
+class TestTransform:
+    def test_identity(self):
+        t = TruthTable(0xCAFE, 4)
+        assert NPNTransform.identity(4).apply(t) == t
+
+    @given(table4, st.randoms())
+    @settings(max_examples=40)
+    def test_inverse_roundtrip(self, t, rnd):
+        transform = random_transform(rnd, 4)
+        assert transform.inverse().apply(transform.apply(t)) == t
+
+    def test_output_flip(self):
+        t = TruthTable(0xCAFE, 4)
+        flip = NPNTransform(tuple(range(4)), 0, True)
+        assert flip.apply(t) == ~t
+
+    def test_input_flip(self):
+        t = TruthTable(0xCAFE, 4)
+        flip = NPNTransform(tuple(range(4)), 0b0001, False)
+        assert flip.apply(t) == t.flip_var(0)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            NPNTransform.identity(3).apply(TruthTable(0xCAFE, 4))
+
+
+class TestExactCanonical:
+    @given(table4, st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_orbit_invariance(self, t, rnd):
+        """All orbit members share the canonical representative."""
+        rep, _ = exact_canonical(t)
+        mate = random_transform(rnd, 4).apply(t)
+        rep2, _ = exact_canonical(mate)
+        assert rep == rep2
+
+    @given(table3)
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, t):
+        rep, _ = exact_canonical(t)
+        rep2, _ = exact_canonical(rep)
+        assert rep == rep2
+
+    @given(table4)
+    @settings(max_examples=25, deadline=None)
+    def test_transform_witness(self, t):
+        rep, transform = exact_canonical(t)
+        assert transform.apply(t) == rep
+        assert transform.inverse().apply(rep) == t
+
+    @given(table4)
+    @settings(max_examples=25, deadline=None)
+    def test_minimality(self, t):
+        rep, _ = exact_canonical(t)
+        assert rep.bits <= t.bits
+        assert rep.bits <= (~t).bits
+
+    def test_rejects_large(self):
+        with pytest.raises(ValueError):
+            exact_canonical(TruthTable(0, 5))
+
+
+class TestSemiCanonical:
+    @given(st.integers(0, (1 << 64) - 1), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_npn_equivalent(self, bits, rnd):
+        t = TruthTable(bits, 6)
+        rep, transform = semi_canonical(t)
+        assert transform.apply(t) == rep
+
+    def test_canonicalize_dispatch(self):
+        small = TruthTable(0xCAFE, 4)
+        rep_small, _ = canonicalize(small)
+        assert rep_small == exact_canonical(small)[0]
+        big = TruthTable(0xDEADBEEF, 5)
+        rep_big, tr = canonicalize(big)
+        assert tr.apply(big) == rep_big
+
+
+class TestClassEnumeration:
+    def test_npn2_classes(self):
+        reps = npn_classes(2)
+        assert len(reps) == 4  # const, one-var, and-type, xor
+
+    def test_npn3_classes(self):
+        assert len(npn_classes(3)) == 14
+
+    def test_rejects_large(self):
+        with pytest.raises(ValueError):
+            npn_classes(5)
+
+    def test_npn4_embedded_list_is_canonical_sample(self):
+        """Spot-check the embedded NPN4 list in bench.suites: every
+        entry must be its own exact canonical representative."""
+        from repro.bench.suites import npn4_suite
+
+        suite = npn4_suite()
+        assert len(suite) == NUM_NPN4_CLASSES
+        rnd = random.Random(1)
+        for t in rnd.sample(suite, 12):
+            rep, _ = exact_canonical(t)
+            assert rep == t
+
+    @pytest.mark.slow
+    def test_npn4_full_enumeration(self):
+        """Full recomputation of the 222 classes (a few seconds)."""
+        from repro.bench.suites import npn4_suite
+
+        reps = npn_classes(4)
+        assert len(reps) == NUM_NPN4_CLASSES
+        assert reps == npn4_suite()

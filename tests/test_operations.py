@@ -1,0 +1,94 @@
+"""Tests for the named-operator catalogues."""
+
+import pytest
+
+from repro.truthtable import (
+    BINARY_OP_NAMES,
+    NONTRIVIAL_BINARY_OPS,
+    NORMAL_BINARY_OPS,
+    apply_binary_op,
+    binary_op_name,
+    binary_op_table,
+    is_trivial_binary_op,
+    majority,
+    mux,
+    parity,
+    threshold,
+)
+
+
+class TestCatalogue:
+    def test_all_sixteen_named(self):
+        assert sorted(BINARY_OP_NAMES) == list(range(16))
+
+    def test_nontrivial_depend_on_both(self):
+        for code in NONTRIVIAL_BINARY_OPS:
+            table = binary_op_table(code)
+            assert table.depends_on(0) and table.depends_on(1)
+
+    def test_trivial_ops_complement(self):
+        trivial = [c for c in range(16) if is_trivial_binary_op(c)]
+        assert len(trivial) + len(NONTRIVIAL_BINARY_OPS) == 16
+        for code in trivial:
+            table = binary_op_table(code)
+            assert not (table.depends_on(0) and table.depends_on(1))
+
+    def test_normal_ops_are_normal(self):
+        for code in NORMAL_BINARY_OPS:
+            assert code & 1 == 0  # output 0 on the all-zero row
+            assert code in NONTRIVIAL_BINARY_OPS
+
+    def test_apply_matches_table(self):
+        for code in range(16):
+            table = binary_op_table(code)
+            for a in (0, 1):
+                for b in (0, 1):
+                    assert apply_binary_op(code, a, b) == table(a, b)
+
+    def test_bad_codes(self):
+        with pytest.raises(ValueError):
+            binary_op_table(16)
+        with pytest.raises(ValueError):
+            binary_op_name(-1)
+
+    def test_names_spot_check(self):
+        assert binary_op_name(0x8) == "and"
+        assert binary_op_name(0x6) == "xor"
+        assert binary_op_name(0xE) == "or"
+        assert binary_op_name(0x7) == "nand"
+
+
+class TestNamedFunctions:
+    def test_majority3(self):
+        assert majority(3).bits == 0xE8
+
+    def test_majority5_counts(self):
+        m = majority(5)
+        assert m.count_ones() == 16
+
+    def test_majority_rejects_even(self):
+        with pytest.raises(ValueError):
+            majority(4)
+
+    def test_parity(self):
+        assert parity(2).bits == 0x6
+        assert parity(3).bits == 0x96
+        for n in (2, 3, 4):
+            p = parity(n)
+            assert p.count_ones() == p.num_rows // 2
+
+    def test_mux(self):
+        m = mux(1)  # sel, d0, d1
+        for s in (0, 1):
+            for d0 in (0, 1):
+                for d1 in (0, 1):
+                    assert m(s, d0, d1) == (d1 if s else d0)
+
+    def test_threshold(self):
+        t = threshold(4, 2)
+        for m in range(16):
+            assert t.value(m) == (1 if bin(m).count("1") >= 2 else 0)
+
+    def test_threshold_extremes(self):
+        assert threshold(3, 0).bits == 0xFF
+        assert threshold(3, 4).bits == 0x00

@@ -1,0 +1,53 @@
+"""Spec, stats and deadline tests."""
+
+import time
+
+import pytest
+
+from repro.core.spec import Deadline, SynthesisSpec, SynthesisStats
+from repro.truthtable import from_hex, parity
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        d.check()  # no raise
+
+    def test_expires(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        with pytest.raises(TimeoutError):
+            d.check()
+
+    def test_elapsed_grows(self):
+        d = Deadline(None)
+        first = d.elapsed
+        time.sleep(0.01)
+        assert d.elapsed > first
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = SynthesisSpec(function=parity(3))
+        assert spec.all_solutions
+        assert spec.verify
+        assert spec.effective_max_gates() >= 7
+
+    def test_explicit_max_gates(self):
+        spec = SynthesisSpec(function=parity(3), max_gates=5)
+        assert spec.effective_max_gates() == 5
+
+    def test_rejects_bad_operator(self):
+        with pytest.raises(ValueError):
+            SynthesisSpec(function=parity(3), operators=(0x8, 16))
+
+
+class TestStats:
+    def test_merge(self):
+        a = SynthesisStats(fences_examined=1, dags_examined=2)
+        b = SynthesisStats(fences_examined=3, candidates_generated=4)
+        a.merge(b)
+        assert a.fences_examined == 4
+        assert a.dags_examined == 2
+        assert a.candidates_generated == 4

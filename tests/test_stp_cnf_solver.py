@@ -1,0 +1,103 @@
+"""STP-on-CNF AllSAT solver tests (the paper's reference [14] lineage)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, all_models
+from repro.stp import STPCnfSolver, stp_all_sat_cnf
+
+
+def brute(cnf):
+    out = set()
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate(bits):
+            out.add(bits)
+    return out
+
+
+def random_cnf(rnd, n, m):
+    cnf = CNF(n)
+    for _ in range(m):
+        width = rnd.randint(1, 3)
+        cnf.add_clause(
+            [
+                (v if rnd.random() < 0.5 else -v)
+                for v in (rnd.randint(1, n) for _ in range(width))
+            ]
+        )
+    return cnf
+
+
+class TestBasics:
+    def test_simple_sat(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        solver = STPCnfSolver(cnf)
+        assert solver.is_satisfiable()
+        models = solver.all_solutions()
+        assert {(m[1], m[2]) for m in models} == {(False, True)}
+
+    def test_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        solver = STPCnfSolver(cnf)
+        assert not solver.is_satisfiable()
+        assert solver.all_solutions() == []
+        assert solver.count_solutions() == 0
+
+    def test_empty_cnf_vacuously_true(self):
+        cnf = CNF(2)
+        solver = STPCnfSolver(cnf)
+        assert solver.is_satisfiable()
+        assert solver.count_solutions() == 4  # both vars free
+
+    def test_free_variables_enumerated(self):
+        cnf = CNF(3)
+        cnf.add_clause([2])  # vars 1 and 3 unconstrained
+        solver = STPCnfSolver(cnf)
+        assert solver.count_solutions() == 4
+        models = solver.all_solutions()
+        assert len(models) == 4
+        assert all(m[2] for m in models)
+
+
+class TestAgainstOracles:
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 7)
+        cnf = random_cnf(rnd, n, rnd.randint(1, 3 * n))
+        got = {
+            tuple(m[v] for v in range(1, n + 1))
+            for m in stp_all_sat_cnf(cnf)
+        }
+        assert got == brute(cnf)
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_cdcl_allsat(self, seed):
+        """Two independent AllSAT engines must agree."""
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 6)
+        cnf = random_cnf(rnd, n, rnd.randint(1, 3 * n))
+        stp_models = {
+            tuple(m[v] for v in range(1, n + 1))
+            for m in stp_all_sat_cnf(cnf)
+        }
+        cdcl_models = {
+            tuple(m[v] for v in range(1, n + 1))
+            for m in all_models(cnf)
+        }
+        assert stp_models == cdcl_models
+
+    def test_count_matches_enumeration(self):
+        rnd = random.Random(5)
+        cnf = random_cnf(rnd, 6, 10)
+        solver = STPCnfSolver(cnf)
+        assert solver.count_solutions() == len(solver.all_solutions())

@@ -1,0 +1,139 @@
+"""Expression AST, parser and canonical-form tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stp import (
+    BinOp,
+    Const,
+    Not,
+    Var,
+    canonical_form,
+    expression_to_truth_table,
+    is_logic_matrix,
+    parse,
+)
+
+
+def random_expression(draw, depth, names=("a", "b", "c")):
+    if depth == 0:
+        return Var(draw(st.sampled_from(names)))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Var(draw(st.sampled_from(names)))
+    if kind == 1:
+        return Not(random_expression(draw, depth - 1, names))
+    op = draw(
+        st.sampled_from(
+            ["and", "or", "xor", "xnor", "nand", "nor", "implies", "equiv"]
+        )
+    )
+    left = random_expression(draw, depth - 1, names)
+    right = random_expression(draw, depth - 1, names)
+    return BinOp(op, left, right)
+
+
+expressions = st.composite(lambda draw: random_expression(draw, 3))()
+
+
+class TestAST:
+    def test_variables_order(self):
+        expr = parse("b & (a | c) & b")
+        assert expr.variables() == ("b", "a", "c")
+
+    def test_operator_sugar(self):
+        a, b = Var("a"), Var("b")
+        assert str(a & b) == "a & b"
+        assert str(a | ~b) == "a | ~b"
+        assert str(a ^ b) == "a ^ b"
+        assert str(a.implies(b)) == "a -> b"
+        assert str(a.equiv(b)) == "a <-> b"
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("frob", Var("a"), Var("b"))
+
+    def test_evaluate(self):
+        expr = parse("(a -> b) & ~c")
+        assert expr.evaluate({"a": 0, "b": 0, "c": 0}) == 1
+        assert expr.evaluate({"a": 1, "b": 0, "c": 0}) == 0
+        assert expr.evaluate({"a": 1, "b": 1, "c": 1}) == 0
+
+    def test_evaluate_missing_var(self):
+        with pytest.raises(KeyError):
+            Var("a").evaluate({})
+
+    def test_const(self):
+        assert Const(True).evaluate({}) == 1
+        assert parse("1 & a").evaluate({"a": 1}) == 1
+        assert parse("0 | a").evaluate({"a": 0}) == 0
+
+
+class TestParser:
+    def test_precedence(self):
+        expr = parse("a | b & c")
+        assert str(expr) == "a | (b & c)"
+
+    def test_implication_right_assoc(self):
+        expr = parse("a -> b -> c")
+        assert str(expr) == "a -> (b -> c)"
+
+    def test_equiv_loosest(self):
+        expr = parse("a <-> b | c")
+        assert str(expr) == "a <-> (b | c)"
+
+    def test_alternative_tokens(self):
+        assert str(parse("!a => b <=> c")) == str(parse("~a -> b <-> c"))
+
+    def test_parentheses(self):
+        assert str(parse("(a | b) & c")) == "(a | b) & c"
+
+    def test_errors(self):
+        for bad in ["a &", "(a", "a b", "a & & b", "@"]:
+            with pytest.raises(ValueError):
+                parse(bad)
+
+    @given(expressions)
+    @settings(max_examples=40, deadline=None)
+    def test_print_parse_roundtrip(self, expr):
+        reparsed = parse(str(expr))
+        order = expr.variables()
+        assert np.array_equal(
+            expr.canonical_form(order), reparsed.canonical_form(order)
+        )
+
+
+class TestCanonicalForm:
+    @given(expressions)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_direct_evaluation(self, expr):
+        """STP algebra agrees with brute-force tabulation."""
+        assert expr.to_truth_table() == expression_to_truth_table(expr)
+
+    @given(expressions)
+    @settings(max_examples=30, deadline=None)
+    def test_is_logic_matrix(self, expr):
+        assert is_logic_matrix(expr.canonical_form())
+
+    def test_example4_canonical_form(self):
+        """The paper's liar-puzzle canonical form, digit for digit."""
+        expr = parse("(a <-> ~b) & (b <-> ~c) & (c <-> (~a & ~b))")
+        expected = np.array(
+            [[0, 0, 0, 0, 0, 1, 0, 0], [1, 1, 1, 1, 1, 0, 1, 1]]
+        )
+        assert np.array_equal(expr.canonical_form(), expected)
+
+    def test_explicit_variable_order(self):
+        expr = parse("a & ~b")
+        m_ab = expr.canonical_form(["a", "b"])
+        m_ba = expr.canonical_form(["b", "a"])
+        assert not np.array_equal(m_ab, m_ba)
+
+    def test_missing_variable_in_order(self):
+        with pytest.raises(ValueError):
+            parse("a & b").canonical_form(["a"])
+
+    def test_module_level_alias(self):
+        expr = parse("a | b")
+        assert np.array_equal(canonical_form(expr), expr.canonical_form())

@@ -1,0 +1,232 @@
+"""STP matrix algebra tests (Definition 1, Properties 1–2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stp import (
+    FALSE,
+    M_R,
+    M_W,
+    TRUE,
+    assignment_to_column,
+    bool_vector,
+    canonical_to_truth_table,
+    column_index,
+    column_to_assignment,
+    front_retrieval_matrix,
+    identity,
+    is_logic_matrix,
+    is_unit_column,
+    khatri_rao,
+    power_reduce_matrix,
+    stp,
+    stp_chain,
+    swap_matrix,
+    truth_table_to_canonical,
+    unit_vector,
+)
+from repro.truthtable import TruthTable, from_hex
+
+small_matrix = st.integers(1, 4).flatmap(
+    lambda r: st.integers(1, 4).flatmap(
+        lambda c: st.lists(
+            st.lists(st.integers(-3, 3), min_size=c, max_size=c),
+            min_size=r,
+            max_size=r,
+        ).map(np.array)
+    )
+)
+
+
+class TestDefinition1:
+    def test_reduces_to_matmul(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[5, 6], [7, 8]])
+        assert np.array_equal(stp(a, b), a @ b)
+
+    def test_dimensions(self):
+        a = np.ones((2, 4), dtype=int)
+        b = np.ones((2, 3), dtype=int)
+        assert stp(a, b).shape == (2, 6)
+
+    @given(small_matrix, small_matrix, small_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_associativity(self, x, y, z):
+        left = stp(stp(x, y), z)
+        right = stp(x, stp(y, z))
+        assert np.array_equal(left, right)
+
+    def test_column_vector_is_kron(self):
+        for i in range(2):
+            for j in range(2):
+                u, v = unit_vector(i, 2), unit_vector(j, 2)
+                assert np.array_equal(stp(u, v), np.kron(u, v))
+
+    def test_stp_chain(self):
+        mats = [identity(2), M_W, M_R]
+        assert np.array_equal(
+            stp_chain(mats), stp(stp(identity(2), M_W), M_R)
+        )
+        with pytest.raises(ValueError):
+            stp_chain([])
+
+    def test_1d_inputs_promoted(self):
+        v = np.array([1, 0])
+        assert stp(identity(2), v).shape == (2, 1)
+
+
+class TestProperty1:
+    @given(small_matrix, st.lists(st.integers(-3, 3), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_row_vector_swap(self, x, z_list):
+        z = np.array([z_list])
+        t = z.shape[1]
+        lhs = stp(x, z)
+        rhs = stp(z, np.kron(identity(t), x))
+        assert np.array_equal(lhs, rhs)
+
+    @given(small_matrix, st.lists(st.integers(-3, 3), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_column_vector_swap(self, x, z_list):
+        z = np.array(z_list).reshape(-1, 1)
+        t = z.shape[0]
+        lhs = stp(z, x)
+        rhs = stp(np.kron(identity(t), x), z)
+        assert np.array_equal(lhs, rhs)
+
+
+class TestLogicMatrices:
+    def test_true_false(self):
+        assert np.array_equal(TRUE, [[1], [0]])
+        assert np.array_equal(FALSE, [[0], [1]])
+        assert np.array_equal(bool_vector(1), TRUE)
+        assert np.array_equal(bool_vector(False), FALSE)
+
+    def test_unit_columns(self):
+        assert is_unit_column(unit_vector(2, 4))
+        assert not is_unit_column(np.array([1, 1, 0]))
+        assert column_index(unit_vector(2, 4)) == 2
+        with pytest.raises(ValueError):
+            column_index(np.array([1, 1]))
+        with pytest.raises(IndexError):
+            unit_vector(4, 4)
+
+    def test_is_logic_matrix(self):
+        assert is_logic_matrix(M_W)
+        assert is_logic_matrix(M_R)
+        assert not is_logic_matrix(np.array([[2, 0], [0, 1]]))
+        assert not is_logic_matrix(np.array([[1, 1], [1, 0]]))
+
+    def test_paper_constants(self):
+        assert np.array_equal(
+            M_R, [[1, 0], [0, 0], [0, 0], [0, 1]]
+        )
+        assert np.array_equal(
+            M_W, [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+
+
+class TestSwapAndPowerReduce:
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_swap_matrix_action(self, m, n):
+        w = swap_matrix(m, n)
+        for i in range(m):
+            for j in range(n):
+                u, v = unit_vector(i, m), unit_vector(j, n)
+                assert np.array_equal(w @ np.kron(u, v), np.kron(v, u))
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_power_reduce_action(self, dim):
+        pr = power_reduce_matrix(dim)
+        for j in range(dim):
+            u = unit_vector(j, dim)
+            assert np.array_equal(pr @ u, stp(u, u))
+
+    def test_mw_swaps_variables(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                va, vb = bool_vector(a), bool_vector(b)
+                assert np.array_equal(
+                    stp_chain([M_W, vb, va]), stp(va, vb)
+                )
+
+    def test_mr_power_reduces(self):
+        for a in (0, 1):
+            v = bool_vector(a)
+            assert np.array_equal(M_R @ v, stp(v, v))
+
+
+class TestKhatriRao:
+    @given(st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_equals_kron_times_pr(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, 2, size=(2, 1 << n))
+        b = rng.integers(0, 2, size=(2, 1 << n))
+        direct = khatri_rao(a, b)
+        via_pr = np.kron(a, b) @ power_reduce_matrix(1 << n)
+        # (A ⊗ B)(x ⋉ x): kron acts on doubled index; PR selects the
+        # diagonal — equal column-by-column.
+        assert np.array_equal(direct, via_pr)
+
+    def test_column_mismatch(self):
+        with pytest.raises(ValueError):
+            khatri_rao(np.ones((2, 3)), np.ones((2, 4)))
+
+
+class TestCanonicalConversion:
+    @given(st.integers(0, 0xFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, bits):
+        t = TruthTable(bits, 4)
+        m = truth_table_to_canonical(t)
+        assert is_logic_matrix(m)
+        assert canonical_to_truth_table(m) == t
+
+    @given(st.integers(0, 0xFF), st.integers(0, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_evaluation_consistency(self, bits, column):
+        """M_Φ ⋉ x_1 ⋉ … ⋉ x_n lands on the truth-table value."""
+        t = TruthTable(bits, 3)
+        m = truth_table_to_canonical(t)
+        values = column_to_assignment(column, 3)
+        vec = stp_chain([m] + [bool_vector(v) for v in values])
+        # Paper variable x_k is table variable n-k.
+        row = 0
+        for i, v in enumerate(values):
+            if v:
+                row |= 1 << (3 - 1 - i)
+        assert vec[0, 0] == t.value(row)
+
+    def test_column_assignment_roundtrip(self):
+        for j in range(16):
+            values = column_to_assignment(j, 4)
+            assert assignment_to_column(values, 4) == j
+
+    def test_assignment_errors(self):
+        with pytest.raises(ValueError):
+            assignment_to_column([0, 1], 3)
+        with pytest.raises(IndexError):
+            column_to_assignment(8, 3)
+
+    def test_front_retrieval(self):
+        for n in (2, 3):
+            for var in range(1, n + 1):
+                m = front_retrieval_matrix(var, n)
+                for j in range(1 << n):
+                    values = column_to_assignment(j, n)
+                    vec = m @ unit_vector(j, 1 << n)
+                    assert vec[0, 0] == values[var - 1]
+
+    def test_front_retrieval_bad_var(self):
+        with pytest.raises(ValueError):
+            front_retrieval_matrix(0, 3)
+
+    def test_bad_canonical_inputs(self):
+        with pytest.raises(ValueError):
+            canonical_to_truth_table(np.ones((3, 4), dtype=int))
+        with pytest.raises(ValueError):
+            canonical_to_truth_table(np.array([[1, 1, 1], [0, 0, 0]]))

@@ -1,0 +1,127 @@
+"""STP reasoning (Example 2) and the Fig. 1 AllSAT solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stp import (
+    M_D,
+    M_I,
+    M_N,
+    STPSolver,
+    all_sat,
+    are_equivalent,
+    count_solutions,
+    is_contradiction,
+    is_tautology,
+    parse,
+    prove_identity,
+    solve_one,
+    stp,
+    swap_property_holds,
+)
+from repro.truthtable import TruthTable
+
+
+class TestReasoning:
+    def test_example2_matrix_identity(self):
+        assert np.array_equal(stp(M_D, M_N), M_I)
+
+    def test_example2_expression_identity(self):
+        assert prove_identity(parse("a -> b"), parse("~a | b"))
+
+    def test_classic_identities(self):
+        pairs = [
+            ("~(a & b)", "~a | ~b"),
+            ("~(a | b)", "~a & ~b"),
+            ("a ^ b", "(a | b) & ~(a & b)"),
+            ("a <-> b", "(a -> b) & (b -> a)"),
+            ("a -> (b -> c)", "(a & b) -> c"),
+            ("a | (b & c)", "(a | b) & (a | c)"),
+        ]
+        for lhs, rhs in pairs:
+            assert prove_identity(parse(lhs), parse(rhs)), (lhs, rhs)
+
+    def test_non_identities(self):
+        assert not prove_identity(parse("a -> b"), parse("b -> a"))
+        assert not are_equivalent(parse("a | b"), parse("a & b"))
+
+    def test_tautology_contradiction(self):
+        assert is_tautology(parse("a | ~a"))
+        assert is_tautology(parse("(a & b) -> a"))
+        assert is_contradiction(parse("a & ~a"))
+        assert not is_tautology(parse("a"))
+        assert not is_contradiction(parse("a"))
+
+    def test_swap_property(self):
+        x = np.array([[1, 2], [3, 4]])
+        assert swap_property_holds(x, np.array([[1, 0, 2]]))
+        with pytest.raises(ValueError):
+            swap_property_holds(x, np.ones((2, 2)))
+
+
+class TestSTPSolver:
+    def test_liar_puzzle(self):
+        expr = parse("(a <-> ~b) & (b <-> ~c) & (c <-> (~a & ~b))")
+        solver = STPSolver(expr)
+        assert solver.variable_names == ("a", "b", "c")
+        assert solver.is_satisfiable()
+        assert solver.all_solutions() == [(0, 1, 0)]
+        assert solver.solutions_as_dicts() == [{"a": 0, "b": 1, "c": 0}]
+
+    def test_unsat(self):
+        expr = parse("a & ~a")
+        solver = STPSolver(expr)
+        assert not solver.is_satisfiable()
+        assert solver.solve() is None
+        assert solver.all_solutions() == []
+
+    @given(st.integers(0, 0xFF))
+    @settings(max_examples=60, deadline=None)
+    def test_allsat_equals_onset(self, bits):
+        """AllSAT solutions map 1:1 onto the truth-table onset."""
+        t = TruthTable(bits, 3)
+        solutions = all_sat(t)
+        assert len(solutions) == t.count_ones()
+        for values in solutions:
+            # Paper variable x_k corresponds to table variable n-k.
+            row = 0
+            for i, v in enumerate(values):
+                if v:
+                    row |= 1 << (3 - 1 - i)
+            assert t.value(row) == 1
+
+    @given(st.integers(0, 0xFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_count_solutions(self, bits):
+        t = TruthTable(bits, 4)
+        assert count_solutions(t) == t.count_ones()
+
+    def test_solve_one_finds_model(self):
+        expr = parse("(a | b) & (~a | c)")
+        model = solve_one(expr)
+        assert model is not None
+        env = dict(zip(("a", "b", "c"), model))
+        assert expr.evaluate(env) == 1
+
+    def test_variable_name_override(self):
+        t = TruthTable(0x8, 2)
+        solver = STPSolver(t, variables=["p", "q"])
+        assert solver.solutions_as_dicts() == [{"p": 1, "q": 1}]
+        with pytest.raises(ValueError):
+            STPSolver(t, variables=["p"])
+
+    def test_matrix_input_validation(self):
+        with pytest.raises(ValueError):
+            STPSolver(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            STPSolver(np.ones((2, 3)))
+
+    def test_depth_first_order(self):
+        """Solutions come out x1-major (TRUE branch first), as in the
+        Fig. 1 tree walk."""
+        t = TruthTable(0xFF, 3)  # tautology: all 8 assignments
+        solutions = all_sat(t)
+        assert solutions[0] == (1, 1, 1)
+        assert solutions[-1] == (0, 0, 0)
+        assert len(solutions) == 8

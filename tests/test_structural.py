@@ -1,0 +1,95 @@
+"""Structural-matrix tests (Definition 3, Example 1)."""
+
+import numpy as np
+import pytest
+
+from repro.stp import (
+    M_C,
+    M_D,
+    M_E,
+    M_I,
+    M_N,
+    M_NAND,
+    M_NOR,
+    M_X,
+    NAMED_STRUCTURAL,
+    code_of_structural_matrix,
+    eval_structural,
+    is_logic_matrix,
+    structural_matrix,
+    structural_matrix_of_table,
+    table_of_structural_matrix,
+)
+from repro.truthtable import (
+    TruthTable,
+    apply_binary_op,
+    binary_op_table,
+    majority,
+)
+
+
+class TestNamedMatrices:
+    def test_negation(self):
+        assert np.array_equal(M_N, [[0, 1], [1, 0]])
+
+    def test_paper_or_and_implication(self):
+        assert np.array_equal(M_D, [[1, 1, 1, 0], [0, 0, 0, 1]])
+        assert np.array_equal(M_I, [[1, 0, 1, 1], [0, 1, 0, 0]])
+
+    def test_all_named_are_logic_matrices(self):
+        for name, matrix in NAMED_STRUCTURAL.items():
+            assert is_logic_matrix(matrix), name
+
+    def test_xnor_equiv_alias(self):
+        assert np.array_equal(
+            NAMED_STRUCTURAL["xnor"], NAMED_STRUCTURAL["equiv"]
+        )
+
+
+class TestConversions:
+    def test_code_roundtrip(self):
+        for code in range(16):
+            matrix = structural_matrix(code)
+            assert code_of_structural_matrix(matrix) == code
+
+    def test_table_roundtrip(self):
+        m = structural_matrix_of_table(majority(3))
+        assert m.shape == (2, 8)
+        assert table_of_structural_matrix(m) == majority(3)
+
+    def test_code_of_wide_matrix_rejected(self):
+        m = structural_matrix_of_table(majority(3))
+        with pytest.raises(ValueError):
+            code_of_structural_matrix(m)
+
+
+class TestEvaluation:
+    def test_operand_order_convention(self):
+        """First STP operand = high truth-table variable."""
+        for code in range(16):
+            matrix = structural_matrix(code)
+            for hi in (0, 1):
+                for lo in (0, 1):
+                    got = eval_structural(matrix, [hi, lo])
+                    assert got == apply_binary_op(code, lo, hi)
+
+    def test_ternary_evaluation(self):
+        m = structural_matrix_of_table(majority(3))
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    got = eval_structural(m, [a, b, c])
+                    # paper x_1 = table var 2, x_3 = table var 0
+                    assert got == majority(3)(c, b, a)
+
+    def test_rejects_non_logic_matrix(self):
+        with pytest.raises(ValueError):
+            eval_structural(np.array([[2, 0], [0, 1]]), [1])
+
+    def test_specific_gates(self):
+        assert eval_structural(M_C, [1, 1]) == 1
+        assert eval_structural(M_C, [1, 0]) == 0
+        assert eval_structural(M_NAND, [1, 1]) == 0
+        assert eval_structural(M_NOR, [0, 0]) == 1
+        assert eval_structural(M_X, [1, 0]) == 1
+        assert eval_structural(M_E, [1, 1]) == 1

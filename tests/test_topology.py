@@ -1,0 +1,138 @@
+"""Fence and pDAG enumeration tests (Section III-A, Figs. 2–3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    all_fences,
+    count_dags,
+    count_fences,
+    enumerate_dags,
+    enumerate_skeletons,
+    fences_of_level,
+    is_valid_fence,
+    valid_fences,
+)
+
+
+class TestFences:
+    def test_f3_unpruned(self):
+        assert sorted(all_fences(3)) == [(1, 1, 1), (1, 2), (2, 1), (3,)]
+
+    def test_f3_pruned_matches_fig2b(self):
+        assert sorted(valid_fences(3)) == [(1, 1, 1), (2, 1)]
+
+    @given(st.integers(1, 10))
+    def test_composition_count(self, k):
+        assert len(all_fences(k)) == 2 ** (k - 1)
+
+    def test_fences_of_level(self):
+        assert fences_of_level(4, 2) == [(1, 3), (2, 2), (3, 1)]
+        with pytest.raises(ValueError):
+            fences_of_level(3, 4)
+
+    def test_invalid_fence_rules(self):
+        assert not is_valid_fence((1, 2))  # two top nodes
+        assert not is_valid_fence((3,))  # three top nodes
+        assert not is_valid_fence((3, 1))  # capacity: 3 > 2·1
+        assert is_valid_fence((2, 1))
+        assert is_valid_fence((2, 2, 1))
+        assert not is_valid_fence(())
+        assert not is_valid_fence((0, 1))
+
+    def test_capacity_rule_counts_all_above(self):
+        # level 0 has 4 nodes; above it sit 2 + 1 = 3 nodes with 6
+        # fanin slots, so 4 is fine even though 4 > 2·2.
+        assert is_valid_fence((4, 2, 1))
+
+    @given(st.integers(1, 9))
+    def test_valid_subset(self, k):
+        pruned = set(valid_fences(k))
+        assert pruned <= set(all_fences(k))
+        assert count_fences(k, pruned=True) == len(pruned)
+        for fence in pruned:
+            assert sum(fence) == k
+            assert fence[-1] == 1
+
+
+class TestDags:
+    def test_fence21_with_4_pis(self):
+        dags = list(enumerate_dags((2, 1), 4))
+        assert len(dags) == 3  # the 3 ways to pair up 4 PIs
+        for dag in dags:
+            assert dag.num_nodes == 3
+            assert dag.references_all_pis()
+            # top node consumes both level-1 nodes
+            assert dag.fanins[-1] == (4, 5)
+
+    def test_example7_dag_present(self):
+        fanins = {dag.fanins for dag in enumerate_dags((2, 1), 4)}
+        assert ((0, 1), (2, 3), (4, 5)) in fanins
+
+    def test_levels(self):
+        dag = next(iter(enumerate_dags((2, 1), 4)))
+        assert dag.level_of(0) == 0
+        assert dag.level_of(4) == 1
+        assert dag.level_of(dag.top_signal) == 2
+
+    def test_supports(self):
+        dag = next(iter(enumerate_dags((2, 1), 4)))
+        assert dag.support_of(dag.top_signal) == frozenset({0, 1, 2, 3})
+
+    def test_no_dangling_internal_nodes(self):
+        for fence in valid_fences(4):
+            for dag in enumerate_dags(fence, 3):
+                used = set()
+                for a, b in dag.fanins:
+                    used.update((a, b))
+                for node in range(dag.num_nodes - 1):
+                    assert dag.num_pis + node in used
+
+    def test_level_constraint(self):
+        """Every node takes at least one fanin from the level below."""
+        for fence in valid_fences(4):
+            for dag in enumerate_dags(fence, 4):
+                for i, (a, b) in enumerate(dag.fanins):
+                    node_level = dag.level_of(dag.num_pis + i)
+                    assert max(dag.level_of(a), dag.level_of(b)) == (
+                        node_level - 1
+                    )
+
+    def test_require_all_pis_flag(self):
+        with_all = count_dags((2, 1), 4, require_all_pis=True)
+        without = count_dags((2, 1), 4, require_all_pis=False)
+        assert without > with_all
+
+    def test_impossible_coverage(self):
+        # 3 gates cannot touch 5 distinct PIs (max 4 with 2 internal edges).
+        assert count_dags((2, 1), 5, require_all_pis=True) == 0
+
+    def test_symmetry_breaking_no_duplicates(self):
+        for fence in valid_fences(4):
+            dags = list(enumerate_dags(fence, 3))
+            assert len({d.fanins for d in dags}) == len(dags)
+
+    def test_bad_fence(self):
+        with pytest.raises(ValueError):
+            list(enumerate_dags((0, 1), 3))
+
+    def test_describe(self):
+        dag = next(iter(enumerate_dags((2, 1), 4)))
+        assert "pis=4" in dag.describe()
+
+
+class TestSkeletons:
+    def test_f3_skeletons(self):
+        assert len(enumerate_skeletons((2, 1))) >= 1
+        assert len(enumerate_skeletons((1, 1, 1))) >= 1
+
+    def test_skeletons_deduplicate(self):
+        skeletons = enumerate_skeletons((2, 1))
+        keys = set()
+        for dag in skeletons:
+            key = tuple(
+                tuple(s if s >= dag.num_pis else -1 for s in pair)
+                for pair in dag.fanins
+            )
+            assert key not in keys
+            keys.add(key)

@@ -1,0 +1,278 @@
+"""Unit and property tests for the bit-packed truth-table substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.truthtable import (
+    TruthTable,
+    all_tables,
+    constant,
+    from_bits,
+    from_function,
+    from_hex,
+    projection,
+)
+
+
+def random_table(max_vars=6):
+    return st.integers(1, max_vars).flatmap(
+        lambda n: st.builds(
+            TruthTable,
+            st.integers(0, (1 << (1 << n)) - 1),
+            st.just(n),
+        )
+    )
+
+
+class TestConstruction:
+    def test_rejects_negative_vars(self):
+        with pytest.raises(ValueError):
+            TruthTable(0, -1)
+
+    def test_rejects_oversized_bits(self):
+        with pytest.raises(ValueError):
+            TruthTable(1 << 4, 2)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 2)
+
+    def test_zero_vars(self):
+        t = TruthTable(1, 0)
+        assert t.num_rows == 1
+        assert t.value(0) == 1
+
+    def test_from_hex_roundtrip(self):
+        t = from_hex("8ff8", 4)
+        assert t.to_hex() == "8ff8"
+        assert from_hex("0x8FF8", 4) == t
+
+    def test_from_bits(self):
+        t = from_bits([0, 1, 1, 0], 2)
+        assert t.bits == 0x6
+
+    def test_from_bits_wrong_length(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 1], 2)
+
+    def test_from_bits_bad_value(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 0, 0], 2)
+
+    def test_from_function(self):
+        t = from_function(lambda a, b: a and b, 2)
+        assert t.bits == 0x8
+
+    def test_constant(self):
+        assert constant(0, 3).bits == 0
+        assert constant(1, 3).bits == 0xFF
+        with pytest.raises(ValueError):
+            constant(2, 3)
+
+    def test_projection(self):
+        for n in range(1, 5):
+            for v in range(n):
+                p = projection(v, n)
+                for m in range(1 << n):
+                    assert p.value(m) == (m >> v) & 1
+
+    def test_projection_complemented(self):
+        p = projection(1, 3, complemented=True)
+        assert p == ~projection(1, 3)
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(IndexError):
+            projection(3, 3)
+
+    def test_all_tables_count(self):
+        assert sum(1 for _ in all_tables(2)) == 16
+
+
+class TestEvaluation:
+    def test_call_matches_value(self):
+        t = from_hex("cafe", 4)
+        for m in range(16):
+            inputs = [(m >> i) & 1 for i in range(4)]
+            assert t(*inputs) == t.value(m)
+
+    def test_call_wrong_arity(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2)(1)
+
+    def test_call_non_boolean(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2)(1, 2)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(IndexError):
+            from_hex("8", 2).value(4)
+
+    def test_rows_onset_offset(self):
+        t = from_hex("6", 2)
+        assert list(t.rows()) == [0, 1, 1, 0]
+        assert t.onset() == [1, 2]
+        assert t.offset() == [0, 3]
+        assert t.count_ones() == 2
+
+
+class TestOperators:
+    def test_and_or_xor_not(self):
+        a, b = projection(0, 2), projection(1, 2)
+        assert (a & b).bits == 0x8
+        assert (a | b).bits == 0xE
+        assert (a ^ b).bits == 0x6
+        assert (~a).bits == 0b0101
+
+    def test_incompatible_arity(self):
+        with pytest.raises(ValueError):
+            projection(0, 2) & projection(0, 3)
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            projection(0, 2) & 3
+
+    def test_equality_and_hash(self):
+        a = from_hex("8", 2)
+        b = from_hex("8", 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != from_hex("8", 2).extend(3)
+        assert a != "8"
+
+    @given(random_table())
+    def test_double_negation(self, t):
+        assert ~~t == t
+
+    @given(random_table(), random_table())
+    def test_de_morgan(self, a, b):
+        if a.num_vars != b.num_vars:
+            return
+        assert ~(a & b) == (~a | ~b)
+
+
+class TestCofactors:
+    def test_cofactor_fixes_variable(self):
+        t = from_function(lambda a, b, c: (a and b) or c, 3)
+        c1 = t.cofactor(2, 1)
+        assert c1.is_constant() and c1.bits == c1.num_rows_mask()
+
+    def test_cofactor_bad_args(self):
+        t = from_hex("8", 2)
+        with pytest.raises(IndexError):
+            t.cofactor(2, 0)
+        with pytest.raises(ValueError):
+            t.cofactor(0, 2)
+
+    @given(random_table(), st.integers(0, 5), st.integers(0, 1))
+    def test_cofactor_independent_of_var(self, t, var, val):
+        var = var % t.num_vars
+        cof = t.cofactor(var, val)
+        assert not cof.depends_on(var)
+
+    @given(random_table(), st.integers(0, 5))
+    def test_shannon_expansion(self, t, var):
+        var = var % t.num_vars
+        x = projection(var, t.num_vars)
+        rebuilt = (x & t.cofactor(var, 1)) | (~x & t.cofactor(var, 0))
+        assert rebuilt == t
+
+    def test_restrict_shrinks(self):
+        t = from_function(lambda a, b, c: (a and b) or c, 3)
+        assert t.restrict(2, 0).bits == 0x8
+        assert t.restrict(2, 0).num_vars == 2
+
+    @given(random_table(), st.integers(0, 5))
+    def test_quantification(self, t, var):
+        var = var % t.num_vars
+        assert t.exists(var) == (t.cofactor(var, 0) | t.cofactor(var, 1))
+        assert t.forall(var) == (t.cofactor(var, 0) & t.cofactor(var, 1))
+
+
+class TestSupport:
+    def test_support_full(self):
+        assert from_hex("8ff8", 4).support() == (0, 1, 2, 3)
+
+    def test_support_partial(self):
+        t = projection(1, 4)
+        assert t.support() == (1,)
+        assert t.support_size() == 1
+
+    def test_support_empty(self):
+        assert constant(1, 3).support() == ()
+
+    def test_remove_vacuous(self):
+        t = from_function(lambda a, b, c: a ^ c, 3)
+        shrunk = t.remove_vacuous_variable(1)
+        assert shrunk.num_vars == 2
+        assert shrunk == from_function(lambda a, c: a ^ c, 2)
+
+    def test_remove_vacuous_rejects_support_var(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2).remove_vacuous_variable(0)
+
+    @given(random_table())
+    def test_extend_preserves_function(self, t):
+        big = t.extend(t.num_vars + 2)
+        assert big.support() == t.support()
+        for m in range(t.num_rows):
+            assert big.value(m) == t.value(m)
+
+
+class TestPermutation:
+    @given(random_table(), st.randoms())
+    @settings(max_examples=40)
+    def test_permute_roundtrip(self, t, rnd):
+        perm = list(range(t.num_vars))
+        rnd.shuffle(perm)
+        inverse = [0] * len(perm)
+        for i, p in enumerate(perm):
+            inverse[p] = i
+        assert t.permute(perm).permute(inverse) == t
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2).permute([0, 0])
+
+    @given(random_table(), st.integers(0, 5))
+    def test_flip_involution(self, t, var):
+        var = var % t.num_vars
+        assert t.flip_var(var).flip_var(var) == t
+
+    def test_swap_vars(self):
+        t = from_function(lambda a, b: a and not b, 2)
+        assert t.swap_vars(0, 1) == from_function(
+            lambda a, b: b and not a, 2
+        )
+
+    def test_flip_semantics(self):
+        t = projection(0, 2)
+        assert t.flip_var(0) == ~t
+
+
+class TestCompose:
+    def test_compose_identity(self):
+        t = from_hex("cafe", 4)
+        inner = [projection(i, 4) for i in range(4)]
+        assert t.compose(inner) == t
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2).compose([projection(0, 3)])
+
+    def test_compose_inner_mismatch(self):
+        with pytest.raises(ValueError):
+            from_hex("8", 2).compose([projection(0, 3), projection(0, 2)])
+
+    @given(random_table(3), st.randoms())
+    @settings(max_examples=30)
+    def test_compose_semantics(self, outer, rnd):
+        n_inner = 3
+        inner = [
+            TruthTable(rnd.getrandbits(1 << n_inner), n_inner)
+            for _ in range(outer.num_vars)
+        ]
+        composed = outer.compose(inner)
+        for m in range(1 << n_inner):
+            row = 0
+            for i, g in enumerate(inner):
+                row |= g.value(m) << i
+            assert composed.value(m) == outer.value(row)
