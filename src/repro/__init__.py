@@ -19,6 +19,14 @@ Quick start::
 
 from .truthtable import TruthTable, from_function, from_hex, projection
 from .chain import BooleanChain, select_best
+from .runtime.errors import (
+    BudgetExceeded,
+    EngineUnavailable,
+    SynthesisError,
+    SynthesisInfeasible,
+    VerificationFailed,
+    WorkerCrash,
+)
 from .core import (
     HierarchicalSynthesizer,
     STPSynthesizer,
@@ -38,6 +46,12 @@ __all__ = [
     "projection",
     "BooleanChain",
     "select_best",
+    "SynthesisError",
+    "BudgetExceeded",
+    "SynthesisInfeasible",
+    "WorkerCrash",
+    "VerificationFailed",
+    "EngineUnavailable",
     "HierarchicalSynthesizer",
     "STPSynthesizer",
     "SynthesisResult",

@@ -14,6 +14,7 @@ import time
 
 from ..chain.transform import lift_chain, shrink_to_support, trivial_chain
 from ..core.spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
+from ..runtime.errors import SynthesisInfeasible
 from ..sat.encodings import SSVEncoder, normalize_function
 from ..sat.solver import CDCLSolver
 from ..topology.fence import valid_fences
@@ -69,7 +70,7 @@ class FenceSynthesizer:
                     return SynthesisResult(
                         spec, [lifted], r, time.perf_counter() - start, stats
                     )
-        raise RuntimeError(
+        raise SynthesisInfeasible(
             f"FEN found no chain within {spec.effective_max_gates()} gates"
         )
 

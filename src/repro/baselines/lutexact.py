@@ -20,6 +20,7 @@ import time
 from ..chain.chain import BooleanChain
 from ..chain.transform import lift_chain, shrink_to_support, trivial_chain
 from ..core.spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
+from ..runtime.errors import SynthesisInfeasible
 from ..sat.encodings import SSVEncoder, normalize_function
 from ..sat.solver import CDCLSolver
 from ..truthtable.table import TruthTable
@@ -71,7 +72,7 @@ class LutExactSynthesizer:
                 return SynthesisResult(
                     spec, [lifted], r, time.perf_counter() - start, stats
                 )
-        raise RuntimeError(
+        raise SynthesisInfeasible(
             f"lutexact found no chain within {spec.effective_max_gates()} gates"
         )
 

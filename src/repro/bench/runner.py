@@ -6,11 +6,19 @@ simulation, and aggregates the paper's columns: mean solve time over
 solved instances, the number of timeouts, the number of instances
 solved, and — for the all-solutions STP algorithm — total time, mean
 time per solution, and the average solution count.
+
+Every instance is executed through the fault-tolerant runtime
+(:mod:`repro.runtime`), so a hung, crashed, or corrupt engine is
+recorded as a per-instance outcome instead of aborting the suite.
+With ``checkpoint_path`` set, outcomes stream to an append-only JSONL
+log as they complete; re-running with the same path replays the
+completed instances and executes only the unfinished ones — a
+``KeyboardInterrupt`` therefore loses at most the instance that was
+mid-flight.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -19,6 +27,9 @@ from ..baselines.fence_synth import FenceSynthesizer
 from ..baselines.lutexact import LutExactSynthesizer
 from ..core.hierarchical import HierarchicalSynthesizer
 from ..core.spec import SynthesisResult
+from ..runtime.checkpoint import CheckpointLog, instance_key
+from ..runtime.executor import ExecutionOutcome, FaultTolerantExecutor
+from ..runtime.faults import FaultPlan
 from ..truthtable.table import TruthTable
 
 __all__ = [
@@ -34,29 +45,59 @@ SynthesisFn = Callable[[TruthTable, float], SynthesisResult]
 
 @dataclass(frozen=True)
 class Algorithm:
-    """A named synthesis engine adapter."""
+    """A named synthesis engine adapter.
+
+    ``engines`` names the runtime fallback chain (registry keys from
+    :mod:`repro.runtime.engines`); when ``None`` the bare ``run``
+    callable is executed in-process with no fallback.  ``engine_kwargs``
+    carries per-engine tuning knobs across the chain.
+    """
 
     name: str
     run: SynthesisFn
     all_solutions: bool = False
+    engines: tuple[str, ...] | None = None
+    engine_kwargs: dict | None = None
 
 
 def default_algorithms(max_solutions: int = 256) -> list[Algorithm]:
-    """The paper's four contenders: BMS, FEN, ABC(lutexact), STP."""
+    """The paper's four contenders: BMS, FEN, ABC(lutexact), STP.
+
+    The STP contender carries the paper-motivated fallback chain
+    (hierarchical STP engine, then the CNF fence baseline); the
+    baselines run standalone.
+    """
     bms = BMSSynthesizer()
     fen = FenceSynthesizer()
     lut = LutExactSynthesizer()
     stp = HierarchicalSynthesizer(
         all_solutions=True, max_solutions=max_solutions
     )
+    stp_kwargs = {
+        "hier": {"max_solutions": max_solutions, "all_solutions": True},
+    }
     return [
-        Algorithm("BMS", lambda f, t: bms.synthesize(f, timeout=t)),
-        Algorithm("FEN", lambda f, t: fen.synthesize(f, timeout=t)),
-        Algorithm("ABC", lambda f, t: lut.synthesize(f, timeout=t)),
+        Algorithm(
+            "BMS",
+            lambda f, t: bms.synthesize(f, timeout=t),
+            engines=("bms",),
+        ),
+        Algorithm(
+            "FEN",
+            lambda f, t: fen.synthesize(f, timeout=t),
+            engines=("fen",),
+        ),
+        Algorithm(
+            "ABC",
+            lambda f, t: lut.synthesize(f, timeout=t),
+            engines=("lutexact",),
+        ),
         Algorithm(
             "STP",
             lambda f, t: stp.synthesize(f, timeout=t),
             all_solutions=True,
+            engines=("hier", "fen"),
+            engine_kwargs=stp_kwargs,
         ),
     ]
 
@@ -71,6 +112,41 @@ class InstanceOutcome:
     num_gates: int = -1
     num_solutions: int = 0
     error: str = ""
+    status: str = ""
+    engine: str = ""
+    fallback_from: str | None = None
+    cached: bool = False
+
+    def to_record(self, key: str) -> dict:
+        """Checkpoint representation of this outcome."""
+        return {
+            "key": key,
+            "function": self.function_hex,
+            "solved": self.solved,
+            "runtime": round(self.runtime, 6),
+            "num_gates": self.num_gates,
+            "num_solutions": self.num_solutions,
+            "error": self.error,
+            "status": self.status,
+            "engine": self.engine,
+            "fallback_from": self.fallback_from,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "InstanceOutcome":
+        """Rehydrate a checkpointed outcome (marked ``cached``)."""
+        return cls(
+            function_hex=record.get("function", ""),
+            solved=bool(record.get("solved", False)),
+            runtime=float(record.get("runtime", 0.0)),
+            num_gates=int(record.get("num_gates", -1)),
+            num_solutions=int(record.get("num_solutions", 0)),
+            error=record.get("error", ""),
+            status=record.get("status", ""),
+            engine=record.get("engine", ""),
+            fallback_from=record.get("fallback_from"),
+            cached=True,
+        )
 
 
 @dataclass
@@ -90,6 +166,13 @@ class SuiteReport:
     def num_timeouts(self) -> int:
         """Instances not solved in time (#t/o)."""
         return sum(1 for o in self.outcomes if not o.solved)
+
+    @property
+    def num_fallbacks(self) -> int:
+        """Instances solved only after degrading to a fallback engine."""
+        return sum(
+            1 for o in self.outcomes if o.solved and o.fallback_from
+        )
 
     @property
     def mean_time(self) -> float:
@@ -122,58 +205,125 @@ def run_suite(
     algorithms: Iterable[Algorithm],
     timeout: float,
     verbose: bool = False,
+    *,
+    checkpoint_path: str | None = None,
+    isolate: bool = False,
+    fault_plan: FaultPlan | None = None,
+    max_retries: int = 1,
+    memory_limit_mb: int | None = None,
 ) -> list[SuiteReport]:
     """Run every algorithm over every function; returns one report per
-    algorithm.  Every returned chain is validated by simulation."""
+    algorithm.  Every returned chain is validated by simulation.
+
+    With ``checkpoint_path``, completed instances are streamed to a
+    JSONL log and replayed on restart, so only unfinished instances
+    re-execute.  A ``KeyboardInterrupt`` propagates to the caller
+    after the in-flight state is flushed; everything already measured
+    is on disk.
+    """
+    log = CheckpointLog(checkpoint_path) if checkpoint_path else None
+    done = log.load() if log is not None else {}
     reports = []
     for algorithm in algorithms:
+        executor = _executor_for(
+            algorithm,
+            isolate=isolate,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
+            memory_limit_mb=memory_limit_mb,
+        )
         report = SuiteReport(algorithm.name, suite_name)
+        reports.append(report)
         for function in functions:
-            outcome = _run_instance(algorithm, function, timeout)
+            key = instance_key(
+                suite_name, algorithm.name, function.to_hex()
+            )
+            record = done.get(key)
+            if record is not None:
+                outcome = InstanceOutcome.from_record(record)
+            else:
+                # KeyboardInterrupt propagates from here: completed
+                # instances are already streamed to the log, so only
+                # the in-flight instance is lost (and re-runs later).
+                outcome = _run_instance(executor, function, timeout)
+                if log is not None:
+                    log.append(outcome.to_record(key))
             report.outcomes.append(outcome)
             if verbose:
-                status = (
-                    f"{outcome.runtime:.3f}s g={outcome.num_gates}"
-                    if outcome.solved
-                    else f"t/o ({outcome.error})" if outcome.error else "t/o"
-                )
-                print(
-                    f"  [{algorithm.name}] 0x{outcome.function_hex}: {status}"
-                )
-        reports.append(report)
+                _print_progress(algorithm.name, outcome)
     return reports
 
 
-def _run_instance(
-    algorithm: Algorithm, function: TruthTable, timeout: float
-) -> InstanceOutcome:
-    start = time.perf_counter()
-    try:
-        result = algorithm.run(function, timeout)
-    except TimeoutError:
-        return InstanceOutcome(
-            function.to_hex(), False, time.perf_counter() - start
-        )
-    except Exception as exc:  # pragma: no cover - defensive reporting
-        return InstanceOutcome(
-            function.to_hex(),
-            False,
-            time.perf_counter() - start,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    runtime = time.perf_counter() - start
-    for chain in result.chains:
-        if chain.simulate_output() != function:
-            return InstanceOutcome(
-                function.to_hex(),
-                False,
-                runtime,
-                error="invalid chain returned",
+def _executor_for(
+    algorithm: Algorithm,
+    *,
+    isolate: bool,
+    fault_plan: FaultPlan | None,
+    max_retries: int,
+    memory_limit_mb: int | None,
+) -> FaultTolerantExecutor:
+    if algorithm.engines is not None:
+        engines: Sequence = algorithm.engines
+    else:
+        engines = [(algorithm.name.lower(), algorithm.run)]
+        if isolate:
+            raise ValueError(
+                f"algorithm {algorithm.name!r} has no named engine "
+                "chain and cannot be process-isolated"
             )
-    return InstanceOutcome(
-        function.to_hex(),
-        True,
-        runtime,
-        num_gates=result.num_gates,
-        num_solutions=result.num_solutions,
+    return FaultTolerantExecutor(
+        engines,
+        isolate=isolate,
+        max_retries=max_retries,
+        memory_limit_mb=memory_limit_mb,
+        fault_plan=fault_plan,
+        engine_kwargs=algorithm.engine_kwargs,
     )
+
+
+def _run_instance(
+    executor: FaultTolerantExecutor,
+    function: TruthTable,
+    timeout: float,
+) -> InstanceOutcome:
+    outcome = executor.run(function, timeout)
+    return _to_instance_outcome(outcome)
+
+
+def _to_instance_outcome(outcome: ExecutionOutcome) -> InstanceOutcome:
+    if outcome.solved:
+        result = outcome.result
+        return InstanceOutcome(
+            outcome.function_hex,
+            True,
+            outcome.runtime,
+            num_gates=result.num_gates,
+            num_solutions=result.num_solutions,
+            status="ok",
+            engine=outcome.engine,
+            fallback_from=outcome.fallback_from,
+        )
+    return InstanceOutcome(
+        outcome.function_hex,
+        False,
+        outcome.runtime,
+        error=outcome.error,
+        status=outcome.status,
+        engine=outcome.engine,
+        fallback_from=outcome.fallback_from,
+    )
+
+
+def _print_progress(name: str, outcome: InstanceOutcome) -> None:
+    if outcome.solved:
+        status = f"{outcome.runtime:.3f}s g={outcome.num_gates}"
+        if outcome.fallback_from:
+            status += (
+                f" [{outcome.engine}, fell back from "
+                f"{outcome.fallback_from}]"
+            )
+    elif outcome.error:
+        status = f"{outcome.status or 't/o'} ({outcome.error})"
+    else:
+        status = outcome.status or "t/o"
+    print(f"  [{name}] 0x{outcome.function_hex}: {status}")

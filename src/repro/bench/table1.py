@@ -172,6 +172,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="per-instance progress"
     )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="JSONL checkpoint path; completed instances are streamed "
+        "here and replayed on restart (resume support)",
+    )
+    parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each instance in a killable worker process "
+        "(hard timeouts)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per engine after a worker crash",
+    )
+    parser.add_argument(
+        "--memory-limit-mb",
+        type=int,
+        default=None,
+        help="per-worker RLIMIT_AS cap (requires --isolate)",
+    )
     args = parser.parse_args(argv)
 
     wanted = {name.upper() for name in args.algorithms}
@@ -199,9 +224,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{[a.name for a in algorithms]}",
             file=sys.stderr,
         )
-        reports = run_suite(
-            suite_name, functions, algorithms, timeout, verbose=args.verbose
-        )
+        try:
+            reports = run_suite(
+                suite_name,
+                functions,
+                algorithms,
+                timeout,
+                verbose=args.verbose,
+                checkpoint_path=args.checkpoint,
+                isolate=args.isolate,
+                max_retries=args.retries,
+                memory_limit_mb=args.memory_limit_mb,
+            )
+        except KeyboardInterrupt:
+            print(
+                "interrupted — completed instances are checkpointed"
+                + (f" in {args.checkpoint}" if args.checkpoint else ""),
+                file=sys.stderr,
+            )
+            return 130
         all_reports[suite_name] = reports
 
     print_table(all_reports)

@@ -6,6 +6,22 @@ Installed as ``repro-synth`` (also ``python -m repro.cli``)::
     repro-synth 8ff8 --vars 4 --engine fen    # baseline comparison
     repro-synth e8 --vars 3 --cost depth --best-only
     repro-synth 8ff8 --vars 4 --blif out.blif # export the best chain
+    repro-synth 8ff8 --vars 4 --isolate       # hard-timeout worker
+
+Synthesis runs through the fault-tolerant runtime: by default the
+selected engine degrades to the CNF fence baseline on a crash, and the
+per-engine trail is printed on stderr.  Failures map to distinct exit
+codes so scripts can branch on them:
+
+====  =============================================
+code  meaning
+====  =============================================
+0     solved
+2     budget exceeded (timeout)
+3     worker crashed / engine unavailable
+4     infeasible within the gate cap
+65    malformed input (bad hex / arity)
+====  =============================================
 """
 
 from __future__ import annotations
@@ -14,18 +30,27 @@ import argparse
 import sys
 from typing import Sequence
 
-from .baselines import bms_synthesize, fence_synthesize, lutexact_synthesize
 from .chain.costs import COST_MODELS, rank_solutions
-from .core import hierarchical_synthesize, synthesize
 from .network import LogicNetwork, network_to_blif
+from .runtime.engines import ENGINE_NAMES
+from .runtime.executor import FaultTolerantExecutor
+from .runtime.faults import FaultPlan, FaultSpec
 from .truthtable import from_hex
 
-_ENGINES = {
-    "stp": synthesize,
-    "hier": hierarchical_synthesize,
-    "bms": bms_synthesize,
-    "fen": fence_synthesize,
-    "lutexact": lutexact_synthesize,
+#: Exit codes for the structured failure modes.
+EXIT_OK = 0
+EXIT_TIMEOUT = 2
+EXIT_CRASH = 3
+EXIT_INFEASIBLE = 4
+EXIT_BAD_INPUT = 65
+
+_STATUS_EXIT_CODES = {
+    "ok": EXIT_OK,
+    "timeout": EXIT_TIMEOUT,
+    "crash": EXIT_CRASH,
+    "unavailable": EXIT_CRASH,
+    "corrupt": EXIT_CRASH,
+    "infeasible": EXIT_INFEASIBLE,
 }
 
 
@@ -45,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=sorted(_ENGINES),
+        choices=ENGINE_NAMES,
         default="stp",
         help="synthesis engine (default: stp)",
     )
@@ -54,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--max-solutions", type=int, default=64, help="solution cap"
+    )
+    parser.add_argument(
+        "--max-gates",
+        type=int,
+        default=None,
+        help="gate cap (exit 4 when no chain fits)",
     )
     parser.add_argument(
         "--cost",
@@ -72,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the best chain as BLIF to this path",
     )
+    parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run the engine in a killable worker process "
+        "(hard wall-clock timeout)",
+    )
+    parser.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the CNF fence-engine fallback on crashes",
+    )
+    parser.add_argument(
+        "--memory-limit-mb",
+        type=int,
+        default=None,
+        help="per-worker RLIMIT_AS cap (requires --isolate)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        choices=("hang", "crash", "hard-crash", "corrupt", "timeout"),
+        default=None,
+        help=argparse.SUPPRESS,  # test hook: fault the primary engine
+    )
     return parser
 
 
@@ -82,26 +136,69 @@ def main(argv: Sequence[str] | None = None) -> int:
         target = from_hex(args.function, args.vars)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
 
-    engine = _ENGINES[args.engine]
-    kwargs = {}
-    if args.engine in ("stp", "hier"):
-        kwargs["max_solutions"] = args.max_solutions
-    try:
-        result = engine(target, timeout=args.timeout, **kwargs)
-    except TimeoutError:
-        print(
-            f"timeout after {args.timeout:.0f}s", file=sys.stderr
+    engines: tuple[str, ...] = (args.engine,)
+    if not args.no_fallback and args.engine != "fen":
+        engines = (args.engine, "fen")
+    engine_kwargs = {
+        name: {
+            "max_solutions": args.max_solutions,
+            "max_gates": args.max_gates,
+        }
+        for name in engines
+    }
+    fault_plan = None
+    if args.inject_fault:
+        fault_plan = FaultPlan(
+            {
+                target.to_hex(): FaultSpec(
+                    kind=args.inject_fault,
+                    engine=args.engine,
+                    times=None,
+                )
+            }
         )
-        return 1
+    executor = FaultTolerantExecutor(
+        engines,
+        isolate=args.isolate,
+        memory_limit_mb=args.memory_limit_mb,
+        fault_plan=fault_plan,
+        engine_kwargs=engine_kwargs,
+    )
+    outcome = executor.run(target, timeout=args.timeout)
 
+    # The engine-fallback trail goes to stderr so stdout stays parseable.
+    for record in outcome.trail:
+        if record.status != "ok":
+            print(
+                f"engine {record.engine} attempt {record.attempt}: "
+                f"{record.status} after {record.runtime:.3f}s"
+                + (f" ({record.error})" if record.error else ""),
+                file=sys.stderr,
+            )
+    if outcome.fallback_from:
+        print(
+            f"fell back: {outcome.fallback_from} -> {outcome.engine}",
+            file=sys.stderr,
+        )
+
+    if not outcome.solved:
+        print(
+            f"{outcome.status}: {outcome.error or 'synthesis failed'} "
+            f"[after {outcome.runtime:.3f}s, "
+            f"{outcome.attempts} attempt(s)]",
+            file=sys.stderr,
+        )
+        return _STATUS_EXIT_CODES.get(outcome.status, EXIT_CRASH)
+
+    result = outcome.result
     ranked = rank_solutions(result.chains, args.cost)
     shown = ranked[:1] if args.best_only else ranked
     print(
         f"0x{target.to_hex()}: optimum {result.num_gates} gates, "
         f"{result.num_solutions} solution(s) in {result.runtime:.3f}s "
-        f"[{args.engine}]"
+        f"[{outcome.engine}]"
     )
     for rank, (cost, chain) in enumerate(shown, start=1):
         print(f"-- solution {rank} ({args.cost}={cost:g})")
@@ -114,7 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         with open(args.blif, "w") as handle:
             handle.write(network_to_blif(network))
         print(f"wrote {args.blif}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..chain.chain import BooleanChain
+from ..runtime.errors import BudgetExceeded
 from ..truthtable.npn import NPNTransform, canonicalize
 from ..truthtable.table import TruthTable
 from .spec import SynthesisResult
@@ -67,34 +68,83 @@ class NPNDatabase:
     """Lazily-filled map from NPN classes to optimal chain sets.
 
     ``lookup(f)`` canonicalizes ``f``, synthesizes the representative
-    on first sight (any callable with the :class:`STPSynthesizer`
-    signature may be plugged in), and returns chains *for f itself* by
-    transforming the stored solutions.
+    on first sight, and returns chains *for f itself* by transforming
+    the stored solutions.
+
+    Population is **deadline-aware**: each class gets its own
+    wall-clock budget, runs through the fault-tolerant executor
+    (default fallback chain: STP factorization → CNF fence solver),
+    and a class that exhausts its budget or crashes every engine is
+    recorded in :attr:`skipped` — ``lookup`` then returns an empty
+    list for that orbit instead of aborting the whole population run
+    with an unhandled :class:`TimeoutError`.
+
+    Parameters
+    ----------
+    synthesizer:
+        Optional explicit engine (any object with the
+        :class:`STPSynthesizer` ``synthesize`` signature); it replaces
+        the default fallback chain.
+    timeout:
+        Per-class wall-clock budget in seconds.
+    executor:
+        Optional pre-configured
+        :class:`~repro.runtime.executor.FaultTolerantExecutor`;
+        overrides ``synthesizer``.
     """
 
     def __init__(
         self,
         synthesizer: STPSynthesizer | None = None,
         timeout: float | None = 120.0,
+        executor=None,
     ) -> None:
-        self._synthesizer = synthesizer or STPSynthesizer(
-            max_solutions=64
-        )
+        from ..runtime.executor import FaultTolerantExecutor
+
+        if executor is not None:
+            self._executor = executor
+        elif synthesizer is not None:
+            self._executor = FaultTolerantExecutor(
+                engines=[
+                    (
+                        "custom",
+                        lambda f, t: synthesizer.synthesize(f, timeout=t),
+                    )
+                ],
+            )
+        else:
+            self._executor = FaultTolerantExecutor(
+                engines=("stp", "fen"),
+                engine_kwargs={"stp": {"max_solutions": 64}},
+            )
         self._timeout = timeout
         self._store: dict[tuple[int, int], SynthesisResult] = {}
+        #: Per-class failure records keyed like the store; values are
+        #: :class:`~repro.runtime.executor.ExecutionOutcome`.
+        self.skipped: dict[tuple[int, int], object] = {}
 
     def __len__(self) -> int:
         return len(self._store)
 
     def lookup(self, function: TruthTable) -> list[BooleanChain]:
-        """All stored optimal chains, re-expressed for ``function``."""
+        """All stored optimal chains, re-expressed for ``function``.
+
+        Returns an empty list when the class representative could not
+        be synthesized within its budget; the failure is recorded in
+        :attr:`skipped` (and cached, so repeated lookups of a hopeless
+        orbit don't re-burn the budget).
+        """
         rep, transform = canonicalize(function)
         key = (rep.bits, rep.num_vars)
         result = self._store.get(key)
         if result is None:
-            result = self._synthesizer.synthesize(
-                rep, timeout=self._timeout
-            )
+            if key in self.skipped:
+                return []
+            outcome = self._executor.run(rep, timeout=self._timeout)
+            if not outcome.solved:
+                self.skipped[key] = outcome
+                return []
+            result = outcome.result
             self._store[key] = result
         # chain computes rep; we need f = transform.inverse()(rep).
         inverse = transform.inverse()
@@ -105,11 +155,23 @@ class NPNDatabase:
         return chains
 
     def optimal_size(self, function: TruthTable) -> int:
-        """Gate count of the class optimum (fills the cache)."""
+        """Gate count of the class optimum (fills the cache).
+
+        Raises :class:`BudgetExceeded` when the class was skipped —
+        an unknown optimum must not masquerade as a number.
+        """
         rep, _ = canonicalize(function)
         key = (rep.bits, rep.num_vars)
         if key not in self._store:
             self.lookup(function)
+        if key not in self._store:
+            outcome = self.skipped[key]
+            raise BudgetExceeded(
+                f"class 0x{rep.to_hex()} skipped "
+                f"({getattr(outcome, 'status', 'unknown')}); "
+                "optimum unknown",
+                budget=self._timeout,
+            )
         return self._store[key].num_gates
 
     def precompute(
@@ -117,7 +179,12 @@ class NPNDatabase:
         classes: list[TruthTable],
         progress: Callable[[int, int], None] | None = None,
     ) -> None:
-        """Fill the database for a list of class representatives."""
+        """Fill the database for a list of class representatives.
+
+        Classes whose budget expires are recorded in :attr:`skipped`
+        and the run continues — an interrupted or slow class never
+        aborts population.
+        """
         for index, rep in enumerate(classes):
             self.lookup(rep)
             if progress is not None:

@@ -100,7 +100,7 @@ class HierarchicalSynthesizer:
         for node in prime_nodes:
             assert node.prime_table is not None
             result = self._prime.synthesize(
-                node.prime_table, timeout=_remaining(deadline)
+                node.prime_table, timeout=deadline.remaining()
             )
             stats.merge(result.stats)
             prime_solutions.append(result.chains)
@@ -154,18 +154,12 @@ class HierarchicalSynthesizer:
         ]
         limit = self._max_solutions
         for combo in range(min(1 << len(flippable), limit)):
-            deadline.check()
+            deadline.check(every=32)
             variant = base
             for j, signal in enumerate(flippable):
                 if (combo >> j) & 1:
                     variant = flip_signal(variant, signal)
             yield _canonicalize_dont_cares(variant)
-
-
-def _remaining(deadline: Deadline) -> float | None:
-    if deadline._limit is None:  # noqa: SLF001 - internal collaboration
-        return None
-    return max(0.001, deadline._limit - deadline.elapsed)
 
 
 def _collect_primes(tree: DSDNode) -> list[DSDNode]:

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..chain.chain import BooleanChain
+from ..runtime.errors import BudgetExceeded
 from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
 from ..truthtable.table import TruthTable
 
@@ -18,26 +19,75 @@ class Deadline:
 
     Pure-Python algorithms cannot be preempted safely, so all long loops
     poll :meth:`check`.  A ``limit`` of ``None`` never expires.
+
+    Cooperation is best-effort: a loop that forgets to poll runs past
+    its budget, which is why the fault-tolerant runtime
+    (:mod:`repro.runtime`) additionally enforces *hard* timeouts by
+    killing worker processes.
     """
+
+    __slots__ = ("_limit", "_start", "_calls")
 
     def __init__(self, limit_seconds: float | None) -> None:
         self._limit = limit_seconds
         self._start = time.perf_counter()
+        self._calls = 0
+
+    @property
+    def limit(self) -> float | None:
+        """The armed budget in seconds (``None`` = unlimited)."""
+        return self._limit
 
     @property
     def elapsed(self) -> float:
         """Seconds since the deadline was armed."""
         return time.perf_counter() - self._start
 
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (``None`` = unlimited, min 0.0)."""
+        if self._limit is None:
+            return None
+        return max(0.0, self._limit - self.elapsed)
+
+    def subdeadline(self, limit_seconds: float | None = None) -> "Deadline":
+        """A nested deadline never outliving its parent.
+
+        The child is armed with ``min(limit_seconds, remaining())``;
+        either bound may be ``None`` (unlimited).  Sub-deadlines nest
+        arbitrarily, so a per-engine or per-prime-block budget can be
+        carved out of a per-instance budget which is itself carved out
+        of a suite budget.
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            child = limit_seconds
+        elif limit_seconds is None:
+            child = remaining
+        else:
+            child = min(limit_seconds, remaining)
+        return Deadline(child)
+
     def expired(self) -> bool:
         """True once the budget is exhausted."""
         return self._limit is not None and self.elapsed >= self._limit
 
-    def check(self) -> None:
-        """Raise :class:`TimeoutError` once the budget is exhausted."""
+    def check(self, every: int = 1) -> None:
+        """Raise :class:`BudgetExceeded` once the budget is exhausted.
+
+        ``every`` gives hot loops a cheap poll stride: the clock is
+        sampled only on every ``every``-th call, so a tight inner loop
+        can call ``deadline.check(every=64)`` per iteration without
+        paying a ``perf_counter()`` syscall each time.
+        """
+        if every > 1:
+            self._calls += 1
+            if self._calls % every:
+                return
         if self.expired():
-            raise TimeoutError(
-                f"synthesis exceeded {self._limit:.3f}s budget"
+            raise BudgetExceeded(
+                f"synthesis exceeded {self._limit:.3f}s budget",
+                budget=self._limit,
+                elapsed=self.elapsed,
             )
 
 

@@ -26,6 +26,7 @@ from typing import Iterator, Sequence
 
 from ..chain.chain import BooleanChain
 from ..chain.transform import flip_signal
+from ..runtime.errors import SynthesisInfeasible
 from ..topology.dag import DagTopology, enumerate_dags
 from ..topology.fence import valid_fences
 from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
@@ -72,8 +73,10 @@ class STPSynthesizer:
     ) -> SynthesisResult:
         """Synthesize all optimal chains for ``function``.
 
-        Raises :class:`TimeoutError` when the budget expires and
-        :class:`RuntimeError` when the gate cap is hit.
+        Raises :class:`~repro.runtime.errors.BudgetExceeded` (a
+        :class:`TimeoutError`) when the budget expires and
+        :class:`~repro.runtime.errors.SynthesisInfeasible` (a
+        :class:`RuntimeError`) when the gate cap is hit.
         """
         spec = SynthesisSpec(
             function=function,
@@ -118,7 +121,7 @@ class STPSynthesizer:
                 num_gates = r
                 break
         else:
-            raise RuntimeError(
+            raise SynthesisInfeasible(
                 f"no chain with up to {spec.effective_max_gates()} gates "
                 f"found for 0x{spec.function.to_hex()}"
             )
@@ -224,7 +227,7 @@ class STPSynthesizer:
                 if base.num_inputs + i != output_signal
             ]
             for combo in range(1 << len(flippable)):
-                deadline.check()
+                deadline.check(every=32)
                 variant = base
                 for j, signal in enumerate(flippable):
                     if (combo >> j) & 1:
@@ -277,7 +280,6 @@ def _assign_operators(
     demands: dict[int, TruthTable] = {dag.top_signal: f}
     ops: list[int | None] = [None] * num_nodes
     pi_tables = [projection(i, n) for i in range(n)]
-    tick = 0
 
     def fixed_of(signal: int) -> TruthTable | None:
         if signal < n:
@@ -312,7 +314,6 @@ def _assign_operators(
     demanded_signals: set[int] = {dag.top_signal}
 
     def rec(pending: set[int]) -> Iterator[BooleanChain]:
-        nonlocal tick
         if not pending:
             chain = BooleanChain(n)
             for i, (a, b) in enumerate(dag.fanins):
@@ -320,9 +321,7 @@ def _assign_operators(
             chain.set_output(dag.top_signal)
             yield chain
             return
-        tick += 1
-        if tick & 0x3F == 0:
-            deadline.check()
+        deadline.check(every=64)
         node = pick_node(pending)
         pending.discard(node)
         signal = n + node

@@ -1,0 +1,86 @@
+"""Streaming JSONL checkpoints for resumable benchmark runs.
+
+Table-I style suites run thousands of per-instance synthesis calls;
+losing hours of work to a Ctrl-C or a host reboot is not acceptable at
+that scale.  The checkpoint log is an append-only JSON-Lines file:
+one self-describing record per completed (algorithm, instance)
+measurement, flushed to disk as soon as it exists.  Restarting a run
+with the same checkpoint path replays the completed records and
+re-executes only the unfinished instances.
+
+The format is deliberately dumb — ``{"key": ..., **fields}`` per line —
+so it is greppable, diffable, and tolerant of a torn final line from a
+hard kill (truncated trailing records are skipped on load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+__all__ = ["CheckpointLog", "instance_key"]
+
+
+def instance_key(suite: str, algorithm: str, function_hex: str) -> str:
+    """Stable identity of one (suite, algorithm, instance) measurement."""
+    return f"{suite}/{algorithm}/{function_hex}"
+
+
+class CheckpointLog:
+    """Append-only JSONL log of per-instance outcome records."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+
+    @property
+    def path(self) -> str:
+        """Filesystem location of the log."""
+        return self._path
+
+    def load(self) -> dict[str, dict]:
+        """All completed records keyed by ``record["key"]``.
+
+        Later records win (a re-run instance overwrites its stale
+        entry); lines that fail to parse — e.g. a torn final write —
+        are skipped rather than poisoning the resume.
+        """
+        records: dict[str, dict] = {}
+        for record in self._iter_records():
+            key = record.get("key")
+            if key:
+                records[key] = record
+        return records
+
+    def _iter_records(self) -> Iterator[dict]:
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flushed before returning)."""
+        if "key" not in record:
+            raise ValueError("checkpoint records need a 'key' field")
+        directory = os.path.dirname(self._path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()

@@ -1,0 +1,131 @@
+"""Named synthesis-engine registry for the fault-tolerant runtime.
+
+Worker processes cannot receive arbitrary callables (they must cross a
+pickle boundary), so every engine the runtime can dispatch is named
+here and resolved by key — in the parent for in-process execution and
+in the child for isolated execution.
+
+Each adapter has the uniform signature ``(function, timeout, **kwargs)``
+and silently ignores tuning knobs the underlying engine does not
+support, so one ``engine_kwargs`` dict can be shared across a fallback
+chain of heterogeneous engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.spec import SynthesisResult
+from ..truthtable.table import TruthTable
+from .errors import EngineUnavailable
+
+__all__ = ["ENGINE_NAMES", "DEFAULT_FALLBACK_CHAIN", "get_engine"]
+
+EngineFn = Callable[..., SynthesisResult]
+
+#: The paper-motivated degradation order: the STP factorization engine
+#: first, the CNF fence-solver baseline as the fallback of last resort.
+DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = ("stp", "fen")
+
+
+def _stp(
+    function: TruthTable,
+    timeout: float | None,
+    *,
+    max_solutions: int | None = None,
+    max_gates: int | None = None,
+    all_solutions: bool | None = None,
+    **_ignored,
+) -> SynthesisResult:
+    from ..core.synthesizer import STPSynthesizer
+
+    kwargs = {}
+    if max_solutions is not None:
+        kwargs["max_solutions"] = max_solutions
+    if max_gates is not None:
+        kwargs["max_gates"] = max_gates
+    if all_solutions is not None:
+        kwargs["all_solutions"] = all_solutions
+    return STPSynthesizer(**kwargs).synthesize(function, timeout=timeout)
+
+
+def _hier(
+    function: TruthTable,
+    timeout: float | None,
+    *,
+    max_solutions: int | None = None,
+    all_solutions: bool | None = None,
+    **_ignored,
+) -> SynthesisResult:
+    from ..core.hierarchical import HierarchicalSynthesizer
+
+    kwargs = {}
+    if max_solutions is not None:
+        kwargs["max_solutions"] = max_solutions
+    if all_solutions is not None:
+        kwargs["all_solutions"] = all_solutions
+    return HierarchicalSynthesizer(**kwargs).synthesize(
+        function, timeout=timeout
+    )
+
+
+def _fen(
+    function: TruthTable,
+    timeout: float | None,
+    *,
+    max_gates: int | None = None,
+    **_ignored,
+) -> SynthesisResult:
+    from ..baselines.fence_synth import FenceSynthesizer
+
+    return FenceSynthesizer(max_gates=max_gates).synthesize(
+        function, timeout=timeout
+    )
+
+
+def _bms(
+    function: TruthTable,
+    timeout: float | None,
+    *,
+    max_gates: int | None = None,
+    **_ignored,
+) -> SynthesisResult:
+    from ..baselines.bms import BMSSynthesizer
+
+    return BMSSynthesizer(max_gates=max_gates).synthesize(
+        function, timeout=timeout
+    )
+
+
+def _lutexact(
+    function: TruthTable, timeout: float | None, **_ignored
+) -> SynthesisResult:
+    from ..baselines.lutexact import LutExactSynthesizer
+
+    return LutExactSynthesizer().synthesize(function, timeout=timeout)
+
+
+_REGISTRY: dict[str, EngineFn] = {
+    "stp": _stp,
+    "hier": _hier,
+    "fen": _fen,
+    "bms": _bms,
+    "lutexact": _lutexact,
+}
+
+ENGINE_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> EngineFn:
+    """Resolve an engine adapter by name.
+
+    Raises :class:`EngineUnavailable` for unknown names so a fallback
+    chain containing a typo degrades gracefully instead of crashing.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EngineUnavailable(
+            f"unknown synthesis engine {name!r}; "
+            f"available: {', '.join(ENGINE_NAMES)}"
+        ) from None

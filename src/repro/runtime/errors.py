@@ -1,0 +1,116 @@
+"""Structured exception hierarchy for the fault-tolerant runtime.
+
+Every failure mode of a synthesis run has a dedicated class so callers
+can branch on *what went wrong* instead of parsing messages:
+
+``SynthesisError``
+    Base class of everything the runtime raises deliberately.
+``BudgetExceeded``
+    The wall-clock budget ran out (also a :class:`TimeoutError`, so
+    pre-existing ``except TimeoutError`` sites keep working).
+``SynthesisInfeasible``
+    No chain exists within the gate cap (also a :class:`RuntimeError`
+    for backwards compatibility with the seed engines).
+``WorkerCrash``
+    An isolated worker process died or raised an unexpected exception.
+``VerificationFailed``
+    An engine returned a chain that does not realise the target.
+``EngineUnavailable``
+    A named engine is unknown or cannot run in this environment.
+
+This module has **no** intra-package imports so that low-level modules
+(e.g. :mod:`repro.core.spec`) can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SynthesisError",
+    "BudgetExceeded",
+    "SynthesisInfeasible",
+    "WorkerCrash",
+    "VerificationFailed",
+    "EngineUnavailable",
+    "classify_failure",
+]
+
+
+class SynthesisError(Exception):
+    """Base class for all deliberate synthesis-runtime failures."""
+
+    #: Short machine-readable tag used in outcome records / exit codes.
+    status = "error"
+
+
+class BudgetExceeded(SynthesisError, TimeoutError):
+    """The wall-clock budget for a synthesis run was exhausted.
+
+    Subclasses :class:`TimeoutError` so legacy ``except TimeoutError``
+    handlers (bench runner, CLI, tests) continue to work unchanged.
+    """
+
+    status = "timeout"
+
+    def __init__(
+        self,
+        message: str = "synthesis budget exceeded",
+        *,
+        budget: float | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class SynthesisInfeasible(SynthesisError, RuntimeError):
+    """No chain exists within the configured gate cap.
+
+    Subclasses :class:`RuntimeError` because the seed engines signalled
+    a hit gate cap with a bare ``RuntimeError``.
+    """
+
+    status = "infeasible"
+
+
+class WorkerCrash(SynthesisError):
+    """An isolated worker process died unexpectedly."""
+
+    status = "crash"
+
+    def __init__(
+        self,
+        message: str = "synthesis worker crashed",
+        *,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class VerificationFailed(SynthesisError):
+    """An engine returned a chain that does not realise the target."""
+
+    status = "corrupt"
+
+
+class EngineUnavailable(SynthesisError):
+    """A requested synthesis engine is unknown or cannot run here."""
+
+    status = "unavailable"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to its outcome-record status tag.
+
+    Structured errors carry their own tag; legacy ``TimeoutError`` and
+    ``RuntimeError`` raises from un-migrated engines are folded into
+    the matching structured category; anything else is a crash.
+    """
+    if isinstance(exc, SynthesisError):
+        return exc.status
+    if isinstance(exc, TimeoutError):
+        return BudgetExceeded.status
+    if isinstance(exc, (RuntimeError, MemoryError, AssertionError)):
+        return WorkerCrash.status
+    return WorkerCrash.status

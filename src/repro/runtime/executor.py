@@ -1,0 +1,369 @@
+"""Fault-tolerant synthesis execution: isolation, fallback, retry.
+
+:class:`FaultTolerantExecutor` is the single choke point every entry
+point (CLI, bench runner, NPN database) routes synthesis through.  One
+``run()`` call turns an arbitrary per-instance disaster — a hung loop,
+a crashed worker, a corrupt result, a missing engine — into a recorded
+:class:`ExecutionOutcome` instead of an aborted run:
+
+* each attempt runs either **in-process** (cheap, cooperative
+  deadline) or **process-isolated** (hard wall-clock kill via
+  :mod:`repro.runtime.worker`);
+* crashes are retried with exponential backoff (transient failures:
+  a flaky worker, an OOM-killed sibling);
+* persistent failures degrade down an **engine fallback chain**
+  (default: STP factorization engine, then the CNF fence-solver
+  baseline), with the full per-attempt trail recorded;
+* every returned chain is re-verified by simulation, so a corrupted
+  result is caught here and treated as an engine failure rather than
+  propagating bad circuits downstream.
+
+Timeouts are budgeted across the whole chain: a fallback engine only
+gets the budget its predecessors left behind, so ``run()`` honours the
+per-instance budget regardless of how many engines it tried.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.spec import Deadline, SynthesisResult
+from ..truthtable.table import TruthTable
+from .engines import DEFAULT_FALLBACK_CHAIN, get_engine
+from .errors import (
+    BudgetExceeded,
+    EngineUnavailable,
+    SynthesisError,
+    SynthesisInfeasible,
+    VerificationFailed,
+    WorkerCrash,
+    classify_failure,
+)
+from .faults import FaultPlan, execute_fault
+from .worker import DEFAULT_GRACE, WorkerTask, run_isolated
+
+__all__ = ["AttemptRecord", "ExecutionOutcome", "FaultTolerantExecutor"]
+
+#: An engine is either a registry name (isolatable) or a
+#: ``(name, callable)`` pair for ad-hoc in-process engines.
+EngineRef = "str | tuple[str, Callable[..., SynthesisResult]]"
+
+
+@dataclass
+class AttemptRecord:
+    """One engine attempt inside a ``run()`` call."""
+
+    engine: str
+    attempt: int
+    status: str
+    runtime: float
+    error: str = ""
+    fault: str = ""
+
+    def to_record(self) -> dict:
+        return {
+            "engine": self.engine,
+            "attempt": self.attempt,
+            "status": self.status,
+            "runtime": round(self.runtime, 6),
+            "error": self.error,
+            "fault": self.fault,
+        }
+
+
+@dataclass
+class ExecutionOutcome:
+    """The recorded result of one fault-tolerant synthesis run."""
+
+    function_hex: str
+    num_vars: int
+    status: str  # "ok" | "timeout" | "crash" | "infeasible" | ...
+    engine: str = ""
+    fallback_from: str | None = None
+    attempts: int = 0
+    runtime: float = 0.0
+    error: str = ""
+    result: SynthesisResult | None = None
+    trail: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        """True when a verified result was produced."""
+        return self.status == "ok" and self.result is not None
+
+    def to_record(self) -> dict:
+        """JSON-safe summary (sans the result object) for checkpoints."""
+        return {
+            "function": self.function_hex,
+            "num_vars": self.num_vars,
+            "status": self.status,
+            "engine": self.engine,
+            "fallback_from": self.fallback_from,
+            "attempts": self.attempts,
+            "runtime": round(self.runtime, 6),
+            "error": self.error,
+            "num_gates": (
+                self.result.num_gates if self.result is not None else -1
+            ),
+            "num_solutions": (
+                self.result.num_solutions if self.result is not None else 0
+            ),
+            "trail": [record.to_record() for record in self.trail],
+        }
+
+
+class FaultTolerantExecutor:
+    """Runs synthesis instances with isolation, retry, and fallback.
+
+    Parameters
+    ----------
+    engines:
+        Fallback chain, most preferred first.  Entries are registry
+        names (``"stp"``, ``"fen"``, …) or ``(name, callable)`` pairs;
+        callables run in-process only.
+    isolate:
+        Run named engines in killable worker processes (hard timeout).
+    max_retries:
+        Extra attempts per engine after a crash (transient-failure
+        retry); timeouts and infeasibility are never retried.
+    backoff / backoff_factor:
+        Exponential backoff between retries, in seconds.
+    grace:
+        Hard-kill multiplier for isolated workers (kill at
+        ``grace × budget``; keep below 1.5 to honour the runtime's
+        "killed within 1.5× budget" guarantee).
+    memory_limit_mb:
+        Optional ``RLIMIT_AS`` cap applied inside each worker.
+    fault_plan:
+        Deterministic fault injection (tests only).
+    verify:
+        Re-simulate every returned chain and treat mismatches as
+        :class:`VerificationFailed`.
+    fallback_on_timeout:
+        Also walk the fallback chain when an engine times out.  Off by
+        default: Table-I semantics charge the timeout to the engine,
+        and a later engine would inherit an empty budget anyway.
+    engine_kwargs:
+        Per-engine tuning knobs, e.g. ``{"stp": {"max_solutions": 64}}``.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence = DEFAULT_FALLBACK_CHAIN,
+        *,
+        isolate: bool = False,
+        max_retries: int = 1,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        grace: float = DEFAULT_GRACE,
+        memory_limit_mb: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        verify: bool = True,
+        fallback_on_timeout: bool = False,
+        engine_kwargs: dict[str, dict] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self._engines: list[tuple[str, Callable | None]] = []
+        for entry in engines:
+            if isinstance(entry, str):
+                self._engines.append((entry, None))
+            else:
+                name, fn = entry
+                if isolate:
+                    raise ValueError(
+                        f"engine {name!r} is a bare callable and cannot "
+                        "be process-isolated; register it by name instead"
+                    )
+                self._engines.append((name, fn))
+        self._isolate = isolate
+        self._max_retries = max(0, max_retries)
+        self._backoff = backoff
+        self._backoff_factor = backoff_factor
+        self._grace = grace
+        self._memory_limit_mb = memory_limit_mb
+        self._fault_plan = fault_plan
+        self._verify = verify
+        self._fallback_on_timeout = fallback_on_timeout
+        self._engine_kwargs = engine_kwargs or {}
+        self._sleep = sleep
+
+    @property
+    def engine_names(self) -> tuple[str, ...]:
+        """The configured fallback chain, most preferred first."""
+        return tuple(name for name, _ in self._engines)
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        function: TruthTable,
+        timeout: float | None = None,
+        *,
+        key: str | None = None,
+    ) -> ExecutionOutcome:
+        """Synthesize ``function`` with full fault tolerance.
+
+        Never raises for per-instance failures — the outcome records
+        what happened.  ``KeyboardInterrupt`` is deliberately *not*
+        swallowed so suite runners can checkpoint and stop.
+        """
+        fault_key = key if key is not None else function.to_hex()
+        deadline = Deadline(timeout)
+        outcome = ExecutionOutcome(
+            function_hex=function.to_hex(),
+            num_vars=function.num_vars,
+            status="crash",
+        )
+        first_engine: str | None = None
+        last_error: str = ""
+        last_status: str = "crash"
+
+        for name, fn in self._engines:
+            if first_engine is None:
+                first_engine = name
+            engine_done, status, error = self._run_engine(
+                name, fn, function, deadline, fault_key, outcome
+            )
+            if engine_done is not None:
+                outcome.status = "ok"
+                outcome.engine = name
+                outcome.fallback_from = (
+                    first_engine if name != first_engine else None
+                )
+                outcome.result = engine_done
+                outcome.runtime = deadline.elapsed
+                return outcome
+            last_status, last_error = status, error
+            if status == "timeout" and not self._fallback_on_timeout:
+                break
+            if status == "infeasible":
+                # Exact engines agree on feasibility; don't burn the
+                # remaining budget rediscovering it.
+                break
+            if deadline.expired():
+                last_status, last_error = "timeout", (
+                    error or "budget exhausted during fallback"
+                )
+                break
+
+        outcome.status = last_status
+        outcome.engine = ""
+        outcome.fallback_from = None
+        outcome.error = last_error
+        outcome.runtime = deadline.elapsed
+        return outcome
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_engine(
+        self,
+        name: str,
+        fn: Callable | None,
+        function: TruthTable,
+        deadline: Deadline,
+        fault_key: str,
+        outcome: ExecutionOutcome,
+    ) -> tuple[SynthesisResult | None, str, str]:
+        """All attempts (first try + retries) on one engine."""
+        pause = self._backoff
+        status, error = "crash", ""
+        for attempt in range(self._max_retries + 1):
+            budget = deadline.remaining()
+            if budget is not None and budget <= 0:
+                return None, "timeout", "no budget left for attempt"
+            started = time.perf_counter()
+            fault = (
+                self._fault_plan.draw(fault_key, name)
+                if self._fault_plan is not None
+                else None
+            )
+            try:
+                result = self._attempt(name, fn, function, budget, fault)
+                if self._verify:
+                    self._check_result(result, function)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                status = classify_failure(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                outcome.attempts += 1
+                outcome.trail.append(
+                    AttemptRecord(
+                        engine=name,
+                        attempt=attempt,
+                        status=status,
+                        runtime=time.perf_counter() - started,
+                        error=error,
+                        fault=fault.kind if fault else "",
+                    )
+                )
+                if status not in ("crash",):
+                    return None, status, error
+                if attempt < self._max_retries:
+                    remaining = deadline.remaining()
+                    nap = pause if remaining is None else min(
+                        pause, max(0.0, remaining)
+                    )
+                    if nap > 0:
+                        self._sleep(nap)
+                    pause *= self._backoff_factor
+                continue
+            outcome.attempts += 1
+            outcome.trail.append(
+                AttemptRecord(
+                    engine=name,
+                    attempt=attempt,
+                    status="ok",
+                    runtime=time.perf_counter() - started,
+                    fault=fault.kind if fault else "",
+                )
+            )
+            return result, "ok", ""
+        return None, status, error
+
+    def _attempt(
+        self,
+        name: str,
+        fn: Callable | None,
+        function: TruthTable,
+        budget: float | None,
+        fault,
+    ) -> SynthesisResult:
+        """One attempt: injected fault, isolated worker, or in-process."""
+        kwargs = self._engine_kwargs.get(name, {})
+        if self._isolate:
+            task = WorkerTask(
+                engine=name,
+                bits=function.bits,
+                num_vars=function.num_vars,
+                timeout=budget,
+                engine_kwargs=kwargs,
+                fault=fault,
+                memory_limit_mb=self._memory_limit_mb,
+            )
+            return run_isolated(task, grace=self._grace)
+        if fault is not None:
+            return execute_fault(fault, function, budget, isolated=False)
+        engine = get_engine(name) if fn is None else fn
+        return engine(function, budget, **kwargs)
+
+    def _check_result(
+        self, result: SynthesisResult, function: TruthTable
+    ) -> None:
+        if not isinstance(result, SynthesisResult):
+            raise WorkerCrash(
+                f"engine returned {type(result).__name__}, "
+                "not a SynthesisResult"
+            )
+        for chain in result.chains:
+            if chain.simulate_output() != function:
+                raise VerificationFailed(
+                    f"engine returned a chain that does not realise "
+                    f"0x{function.to_hex()}"
+                )

@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the synthesis runtime.
+
+The robustness machinery (hard timeouts, engine fallback, retry,
+checkpoint/resume) only earns its keep when every degradation path is
+exercised by tests.  Real pathological instances are slow and
+non-portable, so this module injects *synthetic* faults at the exact
+seam where an engine would run, keyed deterministically by instance.
+
+A :class:`FaultPlan` maps an instance key (by convention the target's
+hex truth table, optionally qualified by engine) to :class:`FaultSpec`
+entries.  The executor consults the plan before dispatching each
+attempt; a drawn fault replaces the engine call:
+
+``hang``
+    A busy loop that never polls its deadline — the canonical
+    "cooperative timeout is not enough" failure.  Under process
+    isolation the parent hard-kills it; in-process it spins until the
+    budget elapses and then raises :class:`BudgetExceeded` (the best a
+    cooperative harness can do, which is exactly the point).
+``crash``
+    Raises ``RuntimeError`` — a transient worker failure, retryable.
+``hard-crash``
+    Kills the worker process via ``os._exit`` (isolated mode only;
+    in-process it degrades to :class:`WorkerCrash`).
+``corrupt``
+    Returns a structurally valid chain computing the *wrong* function,
+    so result verification must catch it.
+``timeout``
+    Raises :class:`BudgetExceeded` immediately — a cheap way to script
+    budget exhaustion without burning wall-clock in tests.
+``hog``
+    Allocates memory without bound, for exercising ``RLIMIT_AS`` caps.
+``interrupt``
+    Raises ``KeyboardInterrupt`` — scripts a mid-suite Ctrl-C for the
+    checkpoint-flush regression tests.
+
+Faults fire a limited number of ``times`` (default: once) so retry and
+fallback logic can be scripted precisely: a ``crash`` with ``times=1``
+makes the first attempt fail and the retry succeed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .errors import BudgetExceeded, WorkerCrash
+
+__all__ = ["FaultSpec", "FaultPlan", "busy_wait", "execute_fault"]
+
+_KINDS = frozenset(
+    {"hang", "crash", "hard-crash", "corrupt", "timeout", "hog", "interrupt"}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    Parameters
+    ----------
+    kind:
+        One of the fault kinds documented in the module docstring.
+    engine:
+        Restrict the fault to attempts on this engine (``None`` = any).
+    times:
+        How many attempts the fault fires for before burning out
+        (``None`` = every attempt, forever).
+    delay:
+        Seconds of busy-waiting before the fault manifests.
+    """
+
+    kind: str
+    engine: str | None = None
+    times: int | None = 1
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(_KINDS)}"
+            )
+
+
+class FaultPlan:
+    """Deterministic instance-keyed schedule of injected faults.
+
+    The plan is consulted in the *parent* process, so burn-out counting
+    (``times``) is exact even when the faulty attempt runs in a worker
+    process that is subsequently killed.
+    """
+
+    def __init__(
+        self, faults: dict[str, FaultSpec | list[FaultSpec]] | None = None
+    ) -> None:
+        self._faults: dict[str, list[FaultSpec]] = {}
+        self._fired: dict[tuple[str, int], int] = {}
+        for key, specs in (faults or {}).items():
+            if isinstance(specs, FaultSpec):
+                specs = [specs]
+            self._faults[key] = list(specs)
+
+    def add(self, key: str, spec: FaultSpec) -> "FaultPlan":
+        """Register another fault; returns ``self`` for chaining."""
+        self._faults.setdefault(key, []).append(spec)
+        return self
+
+    def draw(self, key: str, engine: str | None = None) -> FaultSpec | None:
+        """The fault to inject for this attempt, if any (and burn it)."""
+        for index, spec in enumerate(self._faults.get(key, ())):
+            if spec.engine is not None and spec.engine != engine:
+                continue
+            fired = self._fired.get((key, index), 0)
+            if spec.times is not None and fired >= spec.times:
+                continue
+            self._fired[(key, index)] = fired + 1
+            return spec
+        return None
+
+    def fired(self, key: str) -> int:
+        """Total number of faults drawn for ``key`` so far."""
+        return sum(
+            count for (k, _), count in self._fired.items() if k == key
+        )
+
+
+def busy_wait(seconds: float | None) -> None:
+    """Spin without polling any deadline; ``None`` spins forever.
+
+    Deliberately *not* ``time.sleep``: a sleeping worker would be
+    interruptible in ways a compute-bound loop is not, and the whole
+    point of the ``hang`` fault is to model a loop that forgot to poll.
+    """
+    start = time.perf_counter()
+    x = 0
+    while seconds is None or time.perf_counter() - start < seconds:
+        x = (x + 1) & 0xFFFF
+
+
+def execute_fault(
+    spec: FaultSpec,
+    function,
+    timeout: float | None,
+    isolated: bool,
+):
+    """Run an injected fault in place of a synthesis engine.
+
+    Returns a (corrupt) :class:`~repro.core.spec.SynthesisResult` for
+    the ``corrupt`` kind; every other kind raises or never returns.
+    """
+    if spec.delay:
+        busy_wait(spec.delay)
+    if spec.kind == "hang":
+        if isolated:
+            busy_wait(None)  # the parent's hard timeout must kill us
+        busy_wait(timeout)
+        raise BudgetExceeded(
+            "injected hang outlived its budget",
+            budget=timeout,
+            elapsed=timeout,
+        )
+    if spec.kind == "timeout":
+        raise BudgetExceeded(
+            "injected timeout", budget=timeout, elapsed=0.0
+        )
+    if spec.kind == "crash":
+        raise RuntimeError("injected crash")
+    if spec.kind == "hard-crash":
+        if isolated:
+            import os
+
+            os._exit(66)
+        raise WorkerCrash("injected hard crash", exitcode=66)
+    if spec.kind == "hog":
+        hoard = []
+        while True:  # pragma: no branch - terminated by MemoryError/kill
+            hoard.append(bytearray(16 * 1024 * 1024))
+    if spec.kind == "interrupt":
+        raise KeyboardInterrupt("injected interrupt")
+    if spec.kind == "corrupt":
+        return _corrupt_result(function, timeout)
+    raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+
+
+def _corrupt_result(function, timeout: float | None):
+    """A well-formed result whose chain computes the wrong function."""
+    from ..chain.chain import BooleanChain
+    from ..core.spec import SynthesisResult, SynthesisSpec
+
+    wrong = BooleanChain(function.num_vars)
+    # Constant 0 differs from every target except constant 0 itself,
+    # in which case the complemented constant does.
+    complemented = function.bits == 0
+    wrong.set_output(BooleanChain.CONST0, complemented=complemented)
+    spec = SynthesisSpec(function=function, timeout=timeout, verify=False)
+    return SynthesisResult(
+        spec=spec, chains=[wrong], num_gates=0, runtime=0.0
+    )

@@ -1,0 +1,186 @@
+"""Process-isolated synthesis workers with hard wall-clock timeouts.
+
+The cooperative :class:`~repro.core.spec.Deadline` is only as reliable
+as the hottest loop's polling discipline.  This module provides the
+uncooperative backstop: the engine runs in a child process, the parent
+waits at most ``grace × budget`` for a result, and a worker that is
+still running past that point is killed outright.  A killed or crashed
+worker surfaces as a structured :class:`BudgetExceeded` /
+:class:`WorkerCrash` instead of wedging the suite.
+
+An optional ``resource.setrlimit(RLIMIT_AS)`` cap turns pathological
+memory growth into a clean in-child ``MemoryError`` (reported as a
+crash) rather than an OOM-killed test host.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..core.spec import SynthesisResult
+from ..truthtable.table import TruthTable
+from .engines import get_engine
+from .errors import (
+    BudgetExceeded,
+    EngineUnavailable,
+    SynthesisInfeasible,
+    WorkerCrash,
+)
+from .faults import FaultSpec, execute_fault
+
+__all__ = ["WorkerTask", "run_isolated", "DEFAULT_GRACE"]
+
+#: Hard-kill multiplier: a worker is allowed ``grace × budget`` seconds
+#: of wall clock before the parent kills it.  1.4 keeps the guarantee
+#: "killed within 1.5× its budget" with margin for kill/join overhead.
+DEFAULT_GRACE = 1.4
+
+#: Floor on the hard timeout so tiny budgets still cover process
+#: start-up on slow machines.
+_MIN_HARD_TIMEOUT = 0.25
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """A picklable description of one isolated synthesis attempt."""
+
+    engine: str
+    bits: int
+    num_vars: int
+    timeout: float | None
+    engine_kwargs: dict = field(default_factory=dict)
+    fault: FaultSpec | None = None
+    memory_limit_mb: int | None = None
+
+    def function(self) -> TruthTable:
+        """Reconstruct the target truth table."""
+        return TruthTable(self.bits, self.num_vars)
+
+
+def _apply_memory_limit(limit_mb: int) -> None:
+    import resource
+
+    limit = limit_mb * 1024 * 1024
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY:
+        limit = min(limit, hard)
+    resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+
+
+def _child_main(task: WorkerTask, conn) -> None:
+    """Worker entry point: run the engine (or a fault) and report back.
+
+    The protocol is a single ``(tag, payload)`` tuple: ``("ok",
+    SynthesisResult)`` or ``(status, message)`` for structured
+    failures.  Anything that prevents even that handshake (hard kill,
+    ``os._exit``, rlimit SIGKILL) is detected by the parent as EOF.
+    """
+    try:
+        if task.memory_limit_mb is not None:
+            _apply_memory_limit(task.memory_limit_mb)
+        function = task.function()
+        if task.fault is not None:
+            result = execute_fault(
+                task.fault, function, task.timeout, isolated=True
+            )
+        else:
+            engine = get_engine(task.engine)
+            result = engine(function, task.timeout, **task.engine_kwargs)
+        try:
+            conn.send(("ok", result))
+        except Exception as exc:
+            conn.send(("crash", f"unpicklable worker result: {exc}"))
+    except BudgetExceeded as exc:
+        conn.send(("timeout", str(exc)))
+    except SynthesisInfeasible as exc:
+        conn.send(("infeasible", str(exc)))
+    except EngineUnavailable as exc:
+        conn.send(("unavailable", str(exc)))
+    except MemoryError:
+        conn.send(("crash", "worker exceeded its memory cap"))
+    except Exception as exc:
+        conn.send(("crash", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _context():
+    """Prefer fork (fast, inherits the warm interpreter) over spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_isolated(
+    task: WorkerTask, *, grace: float = DEFAULT_GRACE
+) -> SynthesisResult:
+    """Run one synthesis attempt in a worker process.
+
+    Blocks until the worker reports, crashes, or exceeds the hard
+    timeout ``max(grace × timeout, 0.25s)``; a worker still alive at
+    that point is killed and reported as :class:`BudgetExceeded`.
+    """
+    ctx = _context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_child_main, args=(task, child_conn), daemon=True
+    )
+    start = time.perf_counter()
+    process.start()
+    child_conn.close()
+    # The hard deadline is measured from *before* the fork so process
+    # start-up overhead cannot push the kill past grace × budget.
+    hard_timeout = None
+    if task.timeout is not None:
+        hard_timeout = max(task.timeout * grace, _MIN_HARD_TIMEOUT)
+        hard_timeout = max(
+            0.0, hard_timeout - (time.perf_counter() - start)
+        )
+    try:
+        if not parent_conn.poll(hard_timeout):
+            _kill(process)
+            raise BudgetExceeded(
+                f"worker for engine {task.engine!r} exceeded its "
+                f"{task.timeout:.3f}s budget and was killed after "
+                f"{time.perf_counter() - start:.3f}s",
+                budget=task.timeout,
+                elapsed=time.perf_counter() - start,
+            )
+        try:
+            tag, payload = parent_conn.recv()
+        except EOFError:
+            process.join(timeout=5.0)
+            raise WorkerCrash(
+                f"worker for engine {task.engine!r} died without "
+                f"reporting (exit code {process.exitcode})",
+                exitcode=process.exitcode,
+            ) from None
+    finally:
+        parent_conn.close()
+        if process.is_alive():
+            _kill(process)
+        else:
+            process.join(timeout=5.0)
+
+    if tag == "ok":
+        return payload
+    if tag == "timeout":
+        raise BudgetExceeded(payload, budget=task.timeout)
+    if tag == "infeasible":
+        raise SynthesisInfeasible(payload)
+    if tag == "unavailable":
+        raise EngineUnavailable(payload)
+    raise WorkerCrash(payload, exitcode=process.exitcode)
+
+
+def _kill(process) -> None:
+    """Terminate, escalate to SIGKILL, and reap a stuck worker."""
+    process.terminate()
+    process.join(timeout=1.0)
+    if process.is_alive():  # pragma: no cover - terminate usually lands
+        process.kill()
+        process.join(timeout=5.0)

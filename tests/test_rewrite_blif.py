@@ -183,6 +183,7 @@ class TestCli:
         assert net.simulate()[0].bits == 0x6
 
     def test_cli_bad_hex(self, capsys):
-        from repro.cli import main
+        # exit 2 now means "budget exceeded"; malformed input is 65
+        from repro.cli import EXIT_BAD_INPUT, main
 
-        assert main(["zzz", "--vars", "3"]) == 2
+        assert main(["zzz", "--vars", "3"]) == EXIT_BAD_INPUT

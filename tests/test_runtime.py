@@ -1,0 +1,327 @@
+"""Fault-tolerant runtime tests: errors, workers, executor, faults.
+
+Every degradation path the runtime promises is exercised here via the
+deterministic fault-injection harness — hung workers, crashed workers,
+corrupt results, missing engines, retry with backoff, and the
+STP → FEN fallback chain.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.engines import (
+    DEFAULT_FALLBACK_CHAIN,
+    ENGINE_NAMES,
+    get_engine,
+)
+from repro.runtime.errors import (
+    BudgetExceeded,
+    EngineUnavailable,
+    SynthesisError,
+    SynthesisInfeasible,
+    VerificationFailed,
+    WorkerCrash,
+    classify_failure,
+)
+from repro.runtime.executor import ExecutionOutcome, FaultTolerantExecutor
+from repro.runtime.faults import FaultPlan, FaultSpec, execute_fault
+from repro.runtime.worker import WorkerTask, run_isolated
+from repro.truthtable import from_hex
+
+EASY = from_hex("8ff8", 4)  # paper Example 7: optimum is 3 gates
+
+
+class TestErrorHierarchy:
+    def test_every_failure_is_a_synthesis_error(self):
+        for cls in (
+            BudgetExceeded,
+            WorkerCrash,
+            VerificationFailed,
+            EngineUnavailable,
+            SynthesisInfeasible,
+        ):
+            assert issubclass(cls, SynthesisError)
+
+    def test_legacy_compatibility(self):
+        # Seed-era handlers catch TimeoutError / RuntimeError; the
+        # structured classes must keep satisfying them.
+        assert issubclass(BudgetExceeded, TimeoutError)
+        assert issubclass(SynthesisInfeasible, RuntimeError)
+
+    def test_budget_exceeded_carries_numbers(self):
+        exc = BudgetExceeded("x", budget=1.5, elapsed=2.0)
+        assert exc.budget == 1.5
+        assert exc.elapsed == 2.0
+
+    def test_classify(self):
+        assert classify_failure(BudgetExceeded()) == "timeout"
+        assert classify_failure(TimeoutError()) == "timeout"
+        assert classify_failure(SynthesisInfeasible()) == "infeasible"
+        assert classify_failure(WorkerCrash()) == "crash"
+        assert classify_failure(VerificationFailed()) == "corrupt"
+        assert classify_failure(EngineUnavailable()) == "unavailable"
+        assert classify_failure(ValueError("boom")) == "crash"
+
+
+class TestEngineRegistry:
+    def test_known_engines(self):
+        assert set(DEFAULT_FALLBACK_CHAIN) <= set(ENGINE_NAMES)
+        for name in ENGINE_NAMES:
+            assert callable(get_engine(name))
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineUnavailable):
+            get_engine("abc9000")
+
+    def test_adapters_ignore_foreign_kwargs(self):
+        # One shared kwargs dict must be usable across a heterogeneous
+        # chain; engines silently drop the knobs they don't support.
+        result = get_engine("fen")(
+            EASY, 30.0, max_solutions=4, all_solutions=True
+        )
+        assert result.chains[0].simulate_output() == EASY
+
+
+class TestFaultPlan:
+    def test_draw_burns_out(self):
+        plan = FaultPlan({"k": FaultSpec("crash", times=2)})
+        assert plan.draw("k").kind == "crash"
+        assert plan.draw("k").kind == "crash"
+        assert plan.draw("k") is None
+        assert plan.fired("k") == 2
+
+    def test_engine_scoping(self):
+        plan = FaultPlan({"k": FaultSpec("crash", engine="stp")})
+        assert plan.draw("k", "fen") is None
+        assert plan.draw("k", "stp").kind == "crash"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("segfault")
+
+    def test_corrupt_fault_is_wrong_but_well_formed(self):
+        result = execute_fault(
+            FaultSpec("corrupt"), EASY, None, isolated=False
+        )
+        assert result.chains[0].simulate_output() != EASY
+
+
+class TestIsolatedWorker:
+    def test_result_crosses_the_process_boundary(self):
+        task = WorkerTask(
+            "stp", EASY.bits, 4, 30.0, {"max_solutions": 2}
+        )
+        result = run_isolated(task)
+        assert result.num_gates == 3
+        for chain in result.chains:
+            assert chain.simulate_output() == EASY
+
+    def test_hung_worker_is_killed_within_1_5x_budget(self):
+        """Acceptance: a non-polling busy loop cannot wedge the run."""
+        task = WorkerTask(
+            "stp", EASY.bits, 4, 1.0, fault=FaultSpec("hang")
+        )
+        start = time.perf_counter()
+        with pytest.raises(BudgetExceeded):
+            run_isolated(task)
+        assert time.perf_counter() - start < 1.5
+
+    def test_hard_crash_is_a_worker_crash(self):
+        task = WorkerTask(
+            "stp", EASY.bits, 4, 10.0, fault=FaultSpec("hard-crash")
+        )
+        with pytest.raises(WorkerCrash) as info:
+            run_isolated(task)
+        assert info.value.exitcode == 66
+
+    def test_in_child_exception_is_a_worker_crash(self):
+        task = WorkerTask(
+            "stp", EASY.bits, 4, 10.0, fault=FaultSpec("crash")
+        )
+        with pytest.raises(WorkerCrash):
+            run_isolated(task)
+
+    def test_infeasible_crosses_the_boundary(self):
+        task = WorkerTask(
+            "stp", EASY.bits, 4, 30.0, {"max_gates": 1}
+        )
+        with pytest.raises(SynthesisInfeasible):
+            run_isolated(task)
+
+    def test_memory_cap_turns_hog_into_crash(self):
+        task = WorkerTask(
+            "stp",
+            EASY.bits,
+            4,
+            10.0,
+            fault=FaultSpec("hog"),
+            memory_limit_mb=256,
+        )
+        start = time.perf_counter()
+        with pytest.raises(WorkerCrash):
+            run_isolated(task)
+        # MemoryError fires long before the hard timeout would.
+        assert time.perf_counter() - start < 10.0
+
+
+class TestExecutorFallback:
+    def test_plain_run(self):
+        executor = FaultTolerantExecutor(
+            ("stp", "fen"), engine_kwargs={"stp": {"max_solutions": 4}}
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.solved
+        assert outcome.engine == "stp"
+        assert outcome.fallback_from is None
+        assert outcome.attempts == 1
+
+    def test_stp_crash_degrades_to_verified_fen(self):
+        """Acceptance: an injected STP crash falls back to the CNF
+        fence baseline, which still returns a simulation-verified
+        chain, and the outcome records the degradation."""
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("crash", engine="stp", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp", "fen"), fault_plan=plan, backoff=0.01
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.solved
+        assert outcome.engine == "fen"
+        assert outcome.fallback_from == "stp"
+        for chain in outcome.result.chains:
+            assert chain.simulate_output() == EASY
+        # the trail shows the crashed attempts before the rescue
+        assert [r.status for r in outcome.trail][-1] == "ok"
+        assert "crash" in {r.status for r in outcome.trail}
+
+    def test_transient_crash_is_retried_with_backoff(self):
+        naps = []
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("crash", engine="stp", times=1)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp",),
+            fault_plan=plan,
+            max_retries=2,
+            backoff=0.01,
+            backoff_factor=3.0,
+            engine_kwargs={"stp": {"max_solutions": 2}},
+            sleep=naps.append,
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.solved
+        assert outcome.engine == "stp"
+        assert outcome.attempts == 2
+        assert naps == [pytest.approx(0.01)]
+
+    def test_backoff_grows_exponentially(self):
+        naps = []
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("crash", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp",),
+            fault_plan=plan,
+            max_retries=2,
+            backoff=0.01,
+            backoff_factor=3.0,
+            sleep=naps.append,
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.status == "crash"
+        assert outcome.attempts == 3
+        assert naps == [pytest.approx(0.01), pytest.approx(0.03)]
+
+    def test_corrupt_result_is_caught_and_degraded(self):
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("corrupt", engine="stp", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp", "fen"), fault_plan=plan
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.solved
+        assert outcome.engine == "fen"
+        assert outcome.fallback_from == "stp"
+        assert outcome.trail[0].status == "corrupt"
+
+    def test_timeout_does_not_fall_back_by_default(self):
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("timeout", engine="stp", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp", "fen"), fault_plan=plan
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert not outcome.solved
+        assert outcome.status == "timeout"
+        # fen never ran
+        assert {r.engine for r in outcome.trail} == {"stp"}
+
+    def test_unavailable_engine_falls_through(self):
+        executor = FaultTolerantExecutor(("nonesuch", "fen"))
+        outcome = executor.run(EASY, timeout=30)
+        assert outcome.solved
+        assert outcome.engine == "fen"
+
+    def test_whole_chain_failing_records_last_error(self):
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("crash", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp", "fen"),
+            fault_plan=plan,
+            max_retries=0,
+            backoff=0.0,
+        )
+        outcome = executor.run(EASY, timeout=30)
+        assert not outcome.solved
+        assert outcome.status == "crash"
+        assert outcome.engine == ""
+        assert "injected crash" in outcome.error
+        assert len(outcome.trail) == 2  # one attempt per engine
+
+    def test_isolated_hang_outcome_recorded_and_run_continues(self):
+        """Acceptance: a hung worker is killed, recorded as a timeout
+        outcome, and the caller can keep going."""
+        plan = FaultPlan(
+            {EASY.to_hex(): FaultSpec("hang", times=None)}
+        )
+        executor = FaultTolerantExecutor(
+            ("stp",), isolate=True, fault_plan=plan, max_retries=0
+        )
+        start = time.perf_counter()
+        outcome = executor.run(EASY, timeout=1.0)
+        assert time.perf_counter() - start < 1.5
+        assert outcome.status == "timeout"
+        assert not outcome.solved
+        # the executor is reusable after a kill
+        clean = FaultTolerantExecutor(
+            ("stp",), isolate=True,
+            engine_kwargs={"stp": {"max_solutions": 2}},
+        )
+        assert clean.run(EASY, timeout=30).solved
+
+    def test_outcome_record_is_json_safe(self):
+        import json
+
+        executor = FaultTolerantExecutor(
+            ("stp",), engine_kwargs={"stp": {"max_solutions": 2}}
+        )
+        outcome = executor.run(EASY, timeout=30)
+        record = json.loads(json.dumps(outcome.to_record()))
+        assert record["status"] == "ok"
+        assert record["num_gates"] == 3
+        assert record["trail"][0]["engine"] == "stp"
+
+    def test_callable_engines_cannot_be_isolated(self):
+        with pytest.raises(ValueError):
+            FaultTolerantExecutor(
+                [("x", lambda f, t: None)], isolate=True
+            )
+
+    def test_needs_at_least_one_engine(self):
+        with pytest.raises(ValueError):
+            FaultTolerantExecutor(())

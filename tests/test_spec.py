@@ -5,6 +5,7 @@ import time
 import pytest
 
 from repro.core.spec import Deadline, SynthesisSpec, SynthesisStats
+from repro.runtime.errors import BudgetExceeded, SynthesisError
 from repro.truthtable import from_hex, parity
 
 
@@ -20,11 +21,62 @@ class TestDeadline:
         with pytest.raises(TimeoutError):
             d.check()
 
+    def test_expiry_is_structured(self):
+        d = Deadline(0.0)
+        with pytest.raises(BudgetExceeded) as info:
+            d.check()
+        assert isinstance(info.value, SynthesisError)
+        assert isinstance(info.value, TimeoutError)
+        assert info.value.budget == 0.0
+        assert info.value.elapsed >= 0.0
+
     def test_elapsed_grows(self):
         d = Deadline(None)
         first = d.elapsed
         time.sleep(0.01)
         assert d.elapsed > first
+
+    def test_remaining(self):
+        assert Deadline(None).remaining() is None
+        d = Deadline(60.0)
+        remaining = d.remaining()
+        assert 0.0 < remaining <= 60.0
+        assert Deadline(0.0).remaining() == 0.0
+
+    def test_subdeadline_inherits_tighter_bound(self):
+        parent = Deadline(60.0)
+        child = parent.subdeadline(5.0)
+        assert child.remaining() <= 5.0
+        # the parent bound wins when it is tighter
+        tight = Deadline(0.0)
+        assert tight.subdeadline(10.0).expired()
+        # unlimited parent passes the child limit through
+        free = Deadline(None)
+        assert free.subdeadline(2.0).remaining() <= 2.0
+        assert free.subdeadline(None).remaining() is None
+
+    def test_subdeadline_nests(self):
+        parent = Deadline(60.0)
+        grandchild = parent.subdeadline(10.0).subdeadline(None)
+        assert grandchild.remaining() <= 10.0
+        with pytest.raises(BudgetExceeded):
+            parent.subdeadline(0.0).check()
+
+    def test_check_stride_skips_clock_polls(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        # With a stride of 8 the first seven polls are free even
+        # though the budget is long gone ...
+        for _ in range(7):
+            d.check(every=8)
+        # ... and the eighth call samples the clock and raises.
+        with pytest.raises(BudgetExceeded):
+            d.check(every=8)
+
+    def test_check_stride_one_always_polls(self):
+        d = Deadline(0.0)
+        with pytest.raises(BudgetExceeded):
+            d.check(every=1)
 
 
 class TestSpec:
