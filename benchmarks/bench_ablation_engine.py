@@ -5,21 +5,29 @@
 * the exact 3-variable size-bound prune vs the generic ``support - 1``
   bound,
 * hierarchical (DSD-first) STP vs the flat DAG engine,
-* the STP circuit AllSAT verifier vs plain truth-table simulation.
+* the STP circuit AllSAT verifier vs plain truth-table simulation,
+* the cross-call topology cache vs per-call fence/DAG re-enumeration.
 """
 
 import pytest
 
+from repro.cache import SynthesisCache
 from repro.core import (
     FactorizationEngine,
-    STPSynthesizer,
-    hierarchical_synthesize,
+    SynthesisContext,
+    SynthesisSpec,
+    run_pipeline,
     verify_chain,
 )
 from repro.core.sizebound import min_gates_lower_bound
-from repro.truthtable import from_hex, majority, projection
+from repro.engine import create_engine, run_engine
+from repro.truthtable import from_hex, majority
 
 MAJ = majority(3)
+
+# A small NPN4 subset: the paper's running example plus three
+# structurally distinct 4-input functions.
+NPN4_SUBSET = ["8ff8", "1ee1", "0357", "6996"]
 
 
 @pytest.mark.parametrize("canonical", [True, False])
@@ -67,16 +75,18 @@ def test_ablation_flat_vs_hierarchical(benchmark):
     f = from_hex("8ff8", 4)  # or(and(a,b), xor(c,d)) — fully DSD
 
     def hierarchical():
-        return hierarchical_synthesize(f, timeout=60, max_solutions=16)
+        return run_engine("hier", f, timeout=60, max_solutions=16)
 
     result = benchmark(hierarchical)
-    flat = STPSynthesizer(all_solutions=False).synthesize(f, timeout=60)
+    flat = create_engine("stp", all_solutions=False).synthesize(
+        SynthesisSpec(function=f, timeout=60)
+    )
     assert result.num_gates == flat.num_gates == 3
 
 
 def test_ablation_circuit_sat_verifier(benchmark):
     """The circuit AllSAT verifier agrees with direct simulation."""
-    result = STPSynthesizer(max_solutions=8).synthesize(MAJ, timeout=60)
+    result = run_engine("stp", MAJ, timeout=60, max_solutions=8)
     chains = result.chains
 
     def verify_all():
@@ -85,3 +95,36 @@ def test_ablation_circuit_sat_verifier(benchmark):
     verdicts = benchmark(verify_all)
     assert all(verdicts)
     assert all(c.simulate_output() == MAJ for c in chains)
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["cache-on", "cache-off"])
+def test_ablation_topology_cache(benchmark, cached):
+    """A warm topology/factorization cache vs per-call re-enumeration.
+
+    Runs the same NPN4 subset either against one shared warm
+    ``SynthesisCache`` (steady-state ``run_suite`` behaviour) or with
+    caching disabled (every call re-enumerates fences and DAGs, the
+    pre-cache behaviour).  Results must be identical either way; the
+    cache-on timing should be measurably below cache-off.
+    """
+    functions = [from_hex(bits, 4) for bits in NPN4_SUBSET]
+    shared = SynthesisCache(enabled=cached)
+
+    def run_subset():
+        sizes = []
+        for f in functions:
+            ctx = SynthesisContext.create(timeout=60, cache=shared)
+            result = run_pipeline(
+                SynthesisSpec(function=f, timeout=60, max_solutions=8),
+                ctx,
+            )
+            sizes.append(result.num_gates)
+        return sizes
+
+    if cached:
+        run_subset()  # warm the cache; measure steady state
+
+    sizes = benchmark(run_subset)
+    assert sizes == [3, 3, 3, 3]
+    if cached:
+        assert shared.topology.hits > 0

@@ -4,7 +4,6 @@ canonicalization and DSD decomposition."""
 
 import random
 
-import pytest
 
 from repro.sat import CNF, solve_cnf
 from repro.stp import stp, truth_table_to_canonical

@@ -13,7 +13,6 @@ workloads are seconds-scale searches, not microbenchmarks.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.runner import default_algorithms, run_suite
 from repro.bench.suites import get_suite

@@ -30,11 +30,21 @@ from .runtime.errors import (
 from .core import (
     HierarchicalSynthesizer,
     STPSynthesizer,
+    SynthesisContext,
     SynthesisResult,
+    SynthesisSpec,
     hierarchical_synthesize,
     synthesize,
     synthesize_all,
     verify_chain,
+)
+from .cache import SynthesisCache, get_cache, reset_cache, set_cache
+from .engine import (
+    Engine,
+    EngineCapabilities,
+    create_engine,
+    engine_names,
+    run_engine,
 )
 
 __version__ = "1.0.0"
@@ -54,7 +64,18 @@ __all__ = [
     "EngineUnavailable",
     "HierarchicalSynthesizer",
     "STPSynthesizer",
+    "SynthesisContext",
     "SynthesisResult",
+    "SynthesisSpec",
+    "SynthesisCache",
+    "get_cache",
+    "set_cache",
+    "reset_cache",
+    "Engine",
+    "EngineCapabilities",
+    "create_engine",
+    "engine_names",
+    "run_engine",
     "hierarchical_synthesize",
     "synthesize",
     "synthesize_all",

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-from ..chain.chain import BooleanChain
 from ..chain.transform import lift_chain, shrink_to_support, trivial_chain
 from ..core.spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
 from ..runtime.errors import SynthesisInfeasible

@@ -20,13 +20,12 @@ mid-flight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable, Sequence
 
-from ..baselines.bms import BMSSynthesizer
-from ..baselines.fence_synth import FenceSynthesizer
-from ..baselines.lutexact import LutExactSynthesizer
-from ..core.hierarchical import HierarchicalSynthesizer
+from ..cache import get_cache
 from ..core.spec import SynthesisResult
+from ..engine import run_engine
 from ..runtime.checkpoint import CheckpointLog, instance_key
 from ..runtime.executor import ExecutionOutcome, FaultTolerantExecutor
 from ..runtime.faults import FaultPlan
@@ -65,36 +64,28 @@ def default_algorithms(max_solutions: int = 256) -> list[Algorithm]:
 
     The STP contender carries the paper-motivated fallback chain
     (hierarchical STP engine, then the CNF fence baseline); the
-    baselines run standalone.
+    baselines run standalone.  Every ``run`` callable dispatches
+    through the engine registry (:mod:`repro.engine`), so the bare
+    in-process path and the named fallback-chain path exercise the
+    same code.
     """
-    bms = BMSSynthesizer()
-    fen = FenceSynthesizer()
-    lut = LutExactSynthesizer()
-    stp = HierarchicalSynthesizer(
-        all_solutions=True, max_solutions=max_solutions
-    )
     stp_kwargs = {
         "hier": {"max_solutions": max_solutions, "all_solutions": True},
     }
     return [
+        Algorithm("BMS", partial(run_engine, "bms"), engines=("bms",)),
+        Algorithm("FEN", partial(run_engine, "fen"), engines=("fen",)),
         Algorithm(
-            "BMS",
-            lambda f, t: bms.synthesize(f, timeout=t),
-            engines=("bms",),
-        ),
-        Algorithm(
-            "FEN",
-            lambda f, t: fen.synthesize(f, timeout=t),
-            engines=("fen",),
-        ),
-        Algorithm(
-            "ABC",
-            lambda f, t: lut.synthesize(f, timeout=t),
-            engines=("lutexact",),
+            "ABC", partial(run_engine, "lutexact"), engines=("lutexact",)
         ),
         Algorithm(
             "STP",
-            lambda f, t: stp.synthesize(f, timeout=t),
+            partial(
+                run_engine,
+                "hier",
+                max_solutions=max_solutions,
+                all_solutions=True,
+            ),
             all_solutions=True,
             engines=("hier", "fen"),
             engine_kwargs=stp_kwargs,
@@ -116,6 +107,8 @@ class InstanceOutcome:
     engine: str = ""
     fallback_from: str | None = None
     cached: bool = False
+    #: JSON-safe per-run search/cache stats (``SynthesisStats.to_record``).
+    stats: dict = field(default_factory=dict)
 
     def to_record(self, key: str) -> dict:
         """Checkpoint representation of this outcome."""
@@ -130,6 +123,7 @@ class InstanceOutcome:
             "status": self.status,
             "engine": self.engine,
             "fallback_from": self.fallback_from,
+            "stats": self.stats,
         }
 
     @classmethod
@@ -146,6 +140,7 @@ class InstanceOutcome:
             engine=record.get("engine", ""),
             fallback_from=record.get("fallback_from"),
             cached=True,
+            stats=record.get("stats", {}) or {},
         )
 
 
@@ -211,6 +206,7 @@ def run_suite(
     fault_plan: FaultPlan | None = None,
     max_retries: int = 1,
     memory_limit_mb: int | None = None,
+    cache_path: str | None = None,
 ) -> list[SuiteReport]:
     """Run every algorithm over every function; returns one report per
     algorithm.  Every returned chain is validated by simulation.
@@ -220,37 +216,48 @@ def run_suite(
     re-execute.  A ``KeyboardInterrupt`` propagates to the caller
     after the in-flight state is flushed; everything already measured
     is on disk.
+
+    With ``cache_path``, the process-global synthesis cache (topology
+    families) is loaded before the suite and saved after it, so
+    resumed checkpoint runs and later suites skip re-enumerating the
+    shared fence/DAG families.
     """
+    if cache_path:
+        get_cache().load(cache_path)
     log = CheckpointLog(checkpoint_path) if checkpoint_path else None
     done = log.load() if log is not None else {}
     reports = []
-    for algorithm in algorithms:
-        executor = _executor_for(
-            algorithm,
-            isolate=isolate,
-            fault_plan=fault_plan,
-            max_retries=max_retries,
-            memory_limit_mb=memory_limit_mb,
-        )
-        report = SuiteReport(algorithm.name, suite_name)
-        reports.append(report)
-        for function in functions:
-            key = instance_key(
-                suite_name, algorithm.name, function.to_hex()
+    try:
+        for algorithm in algorithms:
+            executor = _executor_for(
+                algorithm,
+                isolate=isolate,
+                fault_plan=fault_plan,
+                max_retries=max_retries,
+                memory_limit_mb=memory_limit_mb,
             )
-            record = done.get(key)
-            if record is not None:
-                outcome = InstanceOutcome.from_record(record)
-            else:
-                # KeyboardInterrupt propagates from here: completed
-                # instances are already streamed to the log, so only
-                # the in-flight instance is lost (and re-runs later).
-                outcome = _run_instance(executor, function, timeout)
-                if log is not None:
-                    log.append(outcome.to_record(key))
-            report.outcomes.append(outcome)
-            if verbose:
-                _print_progress(algorithm.name, outcome)
+            report = SuiteReport(algorithm.name, suite_name)
+            reports.append(report)
+            for function in functions:
+                key = instance_key(
+                    suite_name, algorithm.name, function.to_hex()
+                )
+                record = done.get(key)
+                if record is not None:
+                    outcome = InstanceOutcome.from_record(record)
+                else:
+                    # KeyboardInterrupt propagates from here: completed
+                    # instances are already streamed to the log, so only
+                    # the in-flight instance is lost (and re-runs later).
+                    outcome = _run_instance(executor, function, timeout)
+                    if log is not None:
+                        log.append(outcome.to_record(key))
+                report.outcomes.append(outcome)
+                if verbose:
+                    _print_progress(algorithm.name, outcome)
+    finally:
+        if cache_path:
+            get_cache().save(cache_path)
     return reports
 
 
@@ -302,6 +309,7 @@ def _to_instance_outcome(outcome: ExecutionOutcome) -> InstanceOutcome:
             status="ok",
             engine=outcome.engine,
             fallback_from=outcome.fallback_from,
+            stats=result.stats.to_record(),
         )
     return InstanceOutcome(
         outcome.function_hex,

@@ -23,7 +23,7 @@ import json
 import sys
 from typing import Sequence
 
-from .runner import Algorithm, SuiteReport, default_algorithms, run_suite
+from .runner import SuiteReport, default_algorithms, run_suite
 from .suites import SUITE_NAMES, SUITE_SIZES, get_suite
 
 __all__ = ["main", "format_row", "print_table", "summarize"]
@@ -180,6 +180,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "here and replayed on restart (resume support)",
     )
     parser.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        help="topology-cache persistence path; loaded before each "
+        "suite and saved after, so resumed/repeated runs skip "
+        "re-enumerating fence/DAG families",
+    )
+    parser.add_argument(
         "--isolate",
         action="store_true",
         help="run each instance in a killable worker process "
@@ -235,6 +243,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 isolate=args.isolate,
                 max_retries=args.retries,
                 memory_limit_mb=args.memory_limit_mb,
+                cache_path=args.cache,
             )
         except KeyboardInterrupt:
             print(

@@ -1,0 +1,76 @@
+"""Cross-call pool of memoizing factorization engines.
+
+A :class:`~repro.core.factorization.FactorizationEngine` memoizes its
+queries on canonical-form bytes plus the local cone shape — exactly
+the key the ISSUE's factorization memo calls for — but used to be
+created fresh for every synthesis run, discarding the memo each time.
+This pool keys engines on ``(num_vars, operators, cap)`` and rebinds
+only the per-run deadline and stats sink, so structurally identical
+factorization queries from *different* targets (or different suite
+instances) are answered from the memo.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["FactorizationPool"]
+
+#: Query-memo size at which an engine's caches are dropped — a memory
+#: backstop for unbounded suites, far above any Table-I working set.
+DEFAULT_MAX_QUERIES_PER_ENGINE = 1_000_000
+
+
+class FactorizationPool:
+    """Reusable factorization engines keyed on their immutable config."""
+
+    def __init__(
+        self, max_queries_per_engine: int = DEFAULT_MAX_QUERIES_PER_ENGINE
+    ) -> None:
+        self._engines: dict[tuple, object] = {}
+        self._max_queries = max_queries_per_engine
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def engine_for(
+        self,
+        num_vars: int,
+        operators: Sequence[int],
+        max_solutions_per_query: int,
+        deadline=None,
+        stats=None,
+    ):
+        """A factorization engine for this config, memo preserved.
+
+        The engine's deadline and stats sink are rebound on every call:
+        runs are sequential, and a nested run's sub-deadline never
+        outlives its parent, so rebinding is sound.
+        """
+        from ..core.factorization import FactorizationEngine
+
+        key = (num_vars, tuple(operators), max_solutions_per_query)
+        engine = self._engines.get(key)
+        hit = engine is not None
+        if stats is not None:
+            stats.record_cache("factorization_pool", hit)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            engine = FactorizationEngine(
+                num_vars,
+                tuple(operators),
+                max_solutions_per_query=max_solutions_per_query,
+            )
+            self._engines[key] = engine
+        if engine.cached_queries > self._max_queries:
+            engine.clear_caches()
+        engine.bind(deadline=deadline, stats=stats)
+        return engine
+
+    def clear(self) -> None:
+        """Drop every pooled engine (counters are kept)."""
+        self._engines.clear()

@@ -11,7 +11,7 @@ solutions are expressed as 2-LUTs").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..truthtable.operations import binary_op_name

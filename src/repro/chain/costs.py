@@ -10,9 +10,8 @@ callable) with deterministic tie-breaking.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping
 
-from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
 from .chain import BooleanChain
 
 __all__ = [

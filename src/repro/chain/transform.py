@@ -23,6 +23,7 @@ __all__ = [
     "trivial_chain",
     "flip_signal",
     "polarity_variants",
+    "npn_transform_chain",
 ]
 
 
@@ -105,6 +106,48 @@ def flip_signal(chain: BooleanChain, signal: int) -> BooleanChain:
             out_signal, complemented ^ (out_signal == signal)
         )
     return flipped
+
+
+def npn_transform_chain(chain: BooleanChain, transform) -> BooleanChain:
+    """A chain computing ``transform.apply(f)`` from one computing ``f``.
+
+    ``g(y) = f(x) ^ out`` with ``x_i = y_{perm[i]} ^ flips_i``, so the
+    rewrite permutes the input signals, absorbs each input complement
+    into the reading gates' codes (and the output flag for direct
+    input outputs), and XORs the output complement flag.  Gate count is
+    unchanged, making this the bijection that maps the optimal solution
+    set of an NPN class representative onto any orbit member's.
+    """
+    n = chain.num_inputs
+    perm = transform.perm
+    flips = transform.input_flips
+    if len(perm) != n:
+        raise ValueError("transform arity does not match chain")
+
+    def remap(signal: int) -> int:
+        if signal != BooleanChain.CONST0 and signal < n:
+            return perm[signal]
+        return signal
+
+    rewritten = BooleanChain(n)
+    for gate in chain.gates:
+        code = gate.op
+        for pos, fanin in enumerate(gate.fanins):
+            if fanin != BooleanChain.CONST0 and fanin < n:
+                if (flips >> fanin) & 1:
+                    code = _flip_code_input(code, gate.arity, pos)
+        rewritten.add_gate(code, tuple(remap(f) for f in gate.fanins))
+    for signal, complemented in chain.outputs:
+        flipped_input = (
+            signal != BooleanChain.CONST0
+            and signal < n
+            and bool((flips >> signal) & 1)
+        )
+        rewritten.set_output(
+            remap(signal),
+            complemented ^ flipped_input ^ bool(transform.output_flip),
+        )
+    return rewritten
 
 
 def polarity_variants(

@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the best chain as BLIF to this path",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print search counters, per-stage timings, and cache "
+        "hit/miss counts after the solutions",
+    )
+    parser.add_argument(
         "--isolate",
         action="store_true",
         help="run the engine in a killable worker process "
@@ -204,6 +210,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"-- solution {rank} ({args.cost}={cost:g})")
         print(chain.format())
 
+    if args.stats:
+        _print_stats(result.stats.to_record())
+
     if args.blif and ranked:
         network = LogicNetwork.from_chain(
             ranked[0][1], name=f"f{target.to_hex()}"
@@ -212,6 +221,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             handle.write(network_to_blif(network))
         print(f"wrote {args.blif}")
     return EXIT_OK
+
+
+def _print_stats(record: dict) -> None:
+    """Render a ``SynthesisStats.to_record()`` summary on stdout."""
+    print("-- stats")
+    print(
+        "search: "
+        f"fences={record['fences_examined']} "
+        f"dags={record['dags_examined']} "
+        f"candidates={record['candidates_generated']} "
+        f"verified={record['candidates_verified']} "
+        f"verify_failures={record['verification_failures']}"
+    )
+    for stage, seconds in sorted(record["stage_seconds"].items()):
+        print(f"stage {stage}: {seconds:.4f}s")
+    hits = record["cache_hits"]
+    misses = record["cache_misses"]
+    for cache in sorted(set(hits) | set(misses)):
+        print(
+            f"cache {cache}: hits={hits.get(cache, 0)} "
+            f"misses={misses.get(cache, 0)}"
+        )
 
 
 if __name__ == "__main__":

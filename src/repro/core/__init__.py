@@ -1,7 +1,14 @@
 """The paper's primary contribution: STP-based exact synthesis —
 matrix factorization, the circuit AllSAT solver, and the synthesizer."""
 
-from .spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
+from .spec import (
+    Deadline,
+    SynthesisResult,
+    SynthesisSpec,
+    SynthesisStats,
+    SynthStats,
+)
+from .context import SynthesisContext
 from .factorization import Factorization, FactorizationEngine, is_complement_closed
 from .circuit_sat import (
     chain_all_sat,
@@ -11,6 +18,7 @@ from .circuit_sat import (
     simulate_solutions,
     verify_chain,
 )
+from .pipeline import PipelineState, run_pipeline
 from .synthesizer import STPSynthesizer, synthesize, synthesize_all
 from .hierarchical import HierarchicalSynthesizer, hierarchical_synthesize
 from .database import NPNDatabase, apply_transform_to_chain
@@ -21,6 +29,10 @@ __all__ = [
     "SynthesisResult",
     "SynthesisSpec",
     "SynthesisStats",
+    "SynthStats",
+    "SynthesisContext",
+    "PipelineState",
+    "run_pipeline",
     "Factorization",
     "FactorizationEngine",
     "is_complement_closed",

@@ -12,56 +12,18 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..cache import get_cache
 from ..chain.chain import BooleanChain
+from ..chain.transform import npn_transform_chain
 from ..runtime.errors import BudgetExceeded
-from ..truthtable.npn import NPNTransform, canonicalize
 from ..truthtable.table import TruthTable
 from .spec import SynthesisResult
-from .synthesizer import STPSynthesizer
 
 __all__ = ["apply_transform_to_chain", "NPNDatabase"]
 
-
-def _flip_code_input(code: int, arity: int, position: int) -> int:
-    out = 0
-    for row in range(1 << arity):
-        if (code >> (row ^ (1 << position))) & 1:
-            out |= 1 << row
-    return out
-
-
-def apply_transform_to_chain(
-    chain: BooleanChain, transform: NPNTransform
-) -> BooleanChain:
-    """Chain computing ``transform.apply(g)`` given one computing ``g``.
-
-    The transform's input permutation reroutes primary-input fanins,
-    input complementations flip the corresponding gate-code positions,
-    and the output complementation toggles the output flag — gate count
-    and topology are untouched.
-    """
-    n = chain.num_inputs
-    if len(transform.perm) != n:
-        raise ValueError("transform arity does not match the chain")
-    out = BooleanChain(n)
-    for gate in chain.gates:
-        code = gate.op
-        fanins = []
-        for pos, f in enumerate(gate.fanins):
-            if f < n:
-                if (transform.input_flips >> f) & 1:
-                    code = _flip_code_input(code, gate.arity, pos)
-                fanins.append(transform.perm[f])
-            else:
-                fanins.append(f)
-        out.add_gate(code, tuple(fanins))
-    for signal, complemented in chain.outputs:
-        if signal != BooleanChain.CONST0 and signal < n:
-            if (transform.input_flips >> signal) & 1:
-                complemented = not complemented
-            signal = transform.perm[signal]
-        out.set_output(signal, complemented ^ transform.output_flip)
-    return out
+#: The chain-level NPN transform now lives with the other chain
+#: rewrites; this module keeps its historic name as an alias.
+apply_transform_to_chain = npn_transform_chain
 
 
 class NPNDatabase:
@@ -82,8 +44,8 @@ class NPNDatabase:
     Parameters
     ----------
     synthesizer:
-        Optional explicit engine (any object with the
-        :class:`STPSynthesizer` ``synthesize`` signature); it replaces
+        Optional explicit engine (any object with the standard
+        ``synthesize(function, timeout=...)`` signature); it replaces
         the default fallback chain.
     timeout:
         Per-class wall-clock budget in seconds.
@@ -95,7 +57,7 @@ class NPNDatabase:
 
     def __init__(
         self,
-        synthesizer: STPSynthesizer | None = None,
+        synthesizer=None,
         timeout: float | None = 120.0,
         executor=None,
     ) -> None:
@@ -134,7 +96,7 @@ class NPNDatabase:
         :attr:`skipped` (and cached, so repeated lookups of a hopeless
         orbit don't re-burn the budget).
         """
-        rep, transform = canonicalize(function)
+        rep, transform = get_cache().npn_canonical(function)
         key = (rep.bits, rep.num_vars)
         result = self._store.get(key)
         if result is None:
@@ -160,7 +122,7 @@ class NPNDatabase:
         Raises :class:`BudgetExceeded` when the class was skipped —
         an unknown optimum must not masquerade as a number.
         """
-        rep, _ = canonicalize(function)
+        rep, _ = get_cache().npn_canonical(function)
         key = (rep.bits, rep.num_vars)
         if key not in self._store:
             self.lookup(function)

@@ -97,6 +97,7 @@ class FactorizationEngine:
         self._closed = is_complement_closed(self._ops)
         self._cap = max_solutions_per_query
         self._deadline = deadline
+        self._stats = None
         # local-shape solution cache and assorted small caches
         self._local_cache: dict[tuple, tuple] = {}
         self._shape_cache: dict[tuple, tuple] = {}
@@ -108,6 +109,30 @@ class FactorizationEngine:
     def prunes_enabled(self) -> bool:
         """Whether minimality prunes are active (operator set closed)."""
         return self._closed
+
+    @property
+    def cached_queries(self) -> int:
+        """Number of memoized top-level queries."""
+        return len(self._query_cache)
+
+    def bind(self, deadline: Deadline | None = None, stats=None) -> None:
+        """Rebind the per-run deadline and stats sink.
+
+        The memo keys depend only on the immutable ``(num_vars,
+        operators, cap)`` config, so one engine can serve many runs —
+        the cross-call factorization memo — as long as each run binds
+        its own deadline before querying.
+        """
+        self._deadline = deadline
+        self._stats = stats
+
+    def clear_caches(self) -> None:
+        """Drop all memoized state (memory backstop for long suites)."""
+        self._local_cache.clear()
+        self._shape_cache.clear()
+        self._localize_cache.clear()
+        self._globalize_cache.clear()
+        self._query_cache.clear()
 
     # ------------------------------------------------------------------
     # public query
@@ -148,6 +173,8 @@ class FactorizationEngine:
             canonical,
         )
         cached = self._query_cache.get(key)
+        if self._stats is not None:
+            self._stats.record_cache("factorization", cached is not None)
         if cached is not None:
             return cached
         if self._deadline is not None:
@@ -209,8 +236,6 @@ class FactorizationEngine:
         key = (bits, vars_sorted)
         if key in self._localize_cache:
             return self._localize_cache[key]
-        n = self._num_vars
-        var_set = set(vars_sorted)
         local_bits = 0
         leak = False
         # Verify the value only depends on the cone and read it off.

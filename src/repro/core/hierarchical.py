@@ -14,6 +14,12 @@ is the read-once tree with ``support - 1`` gates).  The solution *set*
 is generated as (product of prime-block solution sets) × (all internal
 polarity variants), mirroring the all-solutions semantics of the flat
 engine within the fixed DSD skeleton.
+
+Prime blocks are dispatched through the engine registry
+(:mod:`repro.engine`), each in a child
+:class:`~repro.core.context.SynthesisContext` so sub-deadlines nest
+under the run's budget, the cross-call caches are shared, and prime
+stats merge back without double counting.
 """
 
 from __future__ import annotations
@@ -32,8 +38,9 @@ from ..chain.transform import (
 from ..truthtable.dsd import DSDNode, dsd_decompose
 from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
 from ..truthtable.table import TruthTable
-from .spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
-from .synthesizer import STPSynthesizer, _canonicalize_dont_cares
+from .context import SynthesisContext
+from .spec import Deadline, SynthesisResult, SynthesisSpec
+from .synthesizer import _canonicalize_dont_cares
 
 __all__ = ["HierarchicalSynthesizer", "hierarchical_synthesize"]
 
@@ -50,8 +57,11 @@ class HierarchicalSynthesizer:
     all_solutions:
         When False only the base chain is returned.
     prime_synthesizer:
-        Engine for non-decomposable blocks; defaults to a flat
-        :class:`STPSynthesizer` in all-solutions mode.
+        Optional explicit engine object for non-decomposable blocks
+        (anything with the ``synthesize(function, timeout=...)``
+        signature); overrides ``prime_engine``.
+    prime_engine:
+        Registry name of the prime-block engine (default ``"stp"``).
     """
 
     def __init__(
@@ -59,24 +69,22 @@ class HierarchicalSynthesizer:
         operators: Sequence[int] = NONTRIVIAL_BINARY_OPS,
         max_solutions: int = 10_000,
         all_solutions: bool = True,
-        prime_synthesizer: STPSynthesizer | None = None,
+        prime_synthesizer=None,
+        prime_engine: str = "stp",
     ) -> None:
         self._operators = tuple(operators)
         self._max_solutions = max_solutions
         self._all_solutions = all_solutions
-        self._prime = prime_synthesizer or STPSynthesizer(
-            operators=self._operators,
-            all_solutions=all_solutions,
-            max_solutions=max(64, max_solutions // 8),
-        )
+        self._prime = prime_synthesizer
+        self._prime_engine = prime_engine
 
     def synthesize(
-        self, function: TruthTable, timeout: float | None = None
+        self,
+        function: TruthTable,
+        timeout: float | None = None,
+        ctx: SynthesisContext | None = None,
     ) -> SynthesisResult:
         """Synthesize via DSD factorization + exact prime synthesis."""
-        start = time.perf_counter()
-        deadline = Deadline(timeout)
-        stats = SynthesisStats()
         spec = SynthesisSpec(
             function=function,
             operators=self._operators,
@@ -84,24 +92,35 @@ class HierarchicalSynthesizer:
             all_solutions=self._all_solutions,
             max_solutions=self._max_solutions,
         )
+        return self.run(spec, ctx=ctx)
 
-        chain = trivial_chain(function)
+    def run(
+        self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
+    ) -> SynthesisResult:
+        """Synthesize according to an explicit spec."""
+        if ctx is None:
+            ctx = SynthesisContext.create(timeout=spec.timeout)
+        start = time.perf_counter()
+        deadline = ctx.deadline
+        stats = ctx.stats
+
+        chain = trivial_chain(spec.function)
         if chain is not None:
             return SynthesisResult(
                 spec, [chain], 0, time.perf_counter() - start, stats
             )
 
-        local, support = shrink_to_support(function)
-        tree = dsd_decompose(local)
+        with ctx.stage("normalize"):
+            local, support = shrink_to_support(spec.function)
+        with ctx.stage("dsd"):
+            tree = dsd_decompose(local)
 
         # Synthesize every prime block exactly; collect alternatives.
         prime_nodes = _collect_primes(tree)
         prime_solutions: list[list[BooleanChain]] = []
         for node in prime_nodes:
             assert node.prime_table is not None
-            result = self._prime.synthesize(
-                node.prime_table, timeout=deadline.remaining()
-            )
+            result = self._synthesize_prime(node.prime_table, ctx)
             stats.merge(result.stats)
             prime_solutions.append(result.chains)
 
@@ -132,12 +151,38 @@ class HierarchicalSynthesizer:
         if not self._all_solutions:
             chains = chains[:1]
         lifted = [
-            lift_chain(c, function.num_vars, support) for c in chains
+            lift_chain(c, spec.function.num_vars, support) for c in chains
         ]
         num_gates = lifted[0].num_gates if lifted else 0
         return SynthesisResult(
             spec, lifted, num_gates, time.perf_counter() - start, stats
         )
+
+    def _synthesize_prime(
+        self, prime_table: TruthTable, ctx: SynthesisContext
+    ) -> SynthesisResult:
+        """One prime block, in a child context of the run.
+
+        A caller-supplied ``prime_synthesizer`` object is honoured
+        as-is; otherwise the block dispatches through the engine
+        registry, sharing the run's caches and nesting its deadline.
+        """
+        if self._prime is not None:
+            return self._prime.synthesize(
+                prime_table, timeout=ctx.deadline.remaining()
+            )
+        # Imported lazily: repro.engine imports this module's package.
+        from ..engine import create_engine
+
+        prime_spec = SynthesisSpec(
+            function=prime_table,
+            operators=self._operators,
+            timeout=ctx.deadline.remaining(),
+            all_solutions=self._all_solutions,
+            max_solutions=max(64, self._max_solutions // 8),
+        )
+        engine = create_engine(self._prime_engine)
+        return engine.synthesize(prime_spec, ctx.child(fresh_stats=True))
 
     def _polarity_closure(
         self, base: BooleanChain, local: TruthTable, deadline: Deadline

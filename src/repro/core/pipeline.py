@@ -1,0 +1,437 @@
+"""The STP synthesis pipeline as composable stages.
+
+The paper's algorithm (Section III) is a fixed sequence of concerns;
+this module expresses each as a stage function over a shared
+:class:`PipelineState` and :class:`~repro.core.context.SynthesisContext`:
+
+1. :func:`normalize_stage` — trivial-chain check and projection onto
+   the functional support;
+2. :func:`canonicalize_stage` — optional NPN canonicalization so the
+   search runs on the class representative (memoized via the cache);
+3. :func:`search_stage` — the bottom-up gate-count loop: cached
+   fence/pDAG topology families (Section III-A), operator assignment
+   by STP matrix factorization (Section III-B), AllSAT verification
+   (Section III-C), and polarity expansion of the normal-form
+   solutions;
+4. :func:`finalize_stage` — inverse-NPN rewrite, lifting back to the
+   original input space, don't-care canonicalization, and dedup.
+
+Stages communicate only through the state object and record their
+wall-clock cost under per-stage names in ``ctx.stats.stage_seconds``,
+so entry points can report exactly where a run's budget went.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..chain.chain import BooleanChain
+from ..chain.transform import (
+    flip_signal,
+    lift_chain,
+    npn_transform_chain,
+    shrink_to_support,
+    trivial_chain,
+)
+from ..runtime.errors import SynthesisInfeasible
+from ..topology.dag import DagTopology
+from ..truthtable.npn import NPNTransform
+from ..truthtable.table import TruthTable, projection
+from .circuit_sat import verify_chain
+from .context import SynthesisContext
+from .factorization import FactorizationEngine
+from .sizebound import min_gates_lower_bound
+from .spec import Deadline, SynthesisResult, SynthesisSpec
+
+__all__ = [
+    "PipelineState",
+    "run_pipeline",
+    "normalize_stage",
+    "canonicalize_stage",
+    "search_stage",
+    "finalize_stage",
+]
+
+#: Cross-run cache of size lower bounds, keyed by (table bits, arity).
+_BOUND_CACHE: dict[tuple[int, int], int] = {}
+
+
+@dataclass
+class PipelineState:
+    """Mutable state threaded through the pipeline stages.
+
+    ``target`` is the function the search actually runs on — the
+    support-local projection, or its NPN class representative when the
+    spec asks for it; ``chains`` always computes ``target`` until
+    :func:`finalize_stage` rewrites them back over the original inputs.
+    """
+
+    spec: SynthesisSpec
+    trivial: BooleanChain | None = None
+    local: TruthTable | None = None
+    support: tuple[int, ...] = ()
+    target: TruthTable | None = None
+    npn_transform: NPNTransform | None = None
+    chains: list[BooleanChain] = field(default_factory=list)
+    num_gates: int = 0
+
+
+def run_pipeline(
+    spec: SynthesisSpec, ctx: SynthesisContext | None = None
+) -> SynthesisResult:
+    """Run the full stage sequence for one synthesis problem."""
+    if ctx is None:
+        ctx = SynthesisContext.create(timeout=spec.timeout)
+    start = time.perf_counter()
+    state = normalize_stage(spec, ctx)
+    if state.trivial is not None:
+        return SynthesisResult(
+            spec, [state.trivial], 0, time.perf_counter() - start, ctx.stats
+        )
+    canonicalize_stage(state, ctx)
+    search_stage(state, ctx)
+    chains = finalize_stage(state, ctx)
+    return SynthesisResult(
+        spec, chains, state.num_gates, time.perf_counter() - start, ctx.stats
+    )
+
+
+# ----------------------------------------------------------------------
+# stage 1: normalize / support-shrink
+# ----------------------------------------------------------------------
+def normalize_stage(
+    spec: SynthesisSpec, ctx: SynthesisContext
+) -> PipelineState:
+    """Trivial-chain check and projection onto the functional support."""
+    state = PipelineState(spec)
+    with ctx.stage("normalize"):
+        state.trivial = trivial_chain(spec.function)
+        if state.trivial is None:
+            state.local, state.support = shrink_to_support(spec.function)
+            state.target = state.local
+    return state
+
+
+# ----------------------------------------------------------------------
+# stage 2: NPN canonicalize
+# ----------------------------------------------------------------------
+def canonicalize_stage(
+    state: PipelineState, ctx: SynthesisContext
+) -> None:
+    """Swap the target for its NPN class representative (optional).
+
+    Gate counts and solution-set sizes are NPN-invariant, so searching
+    on the representative is exact; the payoff is that every orbit
+    member shares the representative's factorization memo and search
+    effort.  The transform is remembered for :func:`finalize_stage`.
+    """
+    if not state.spec.npn_canonicalize:
+        return
+    with ctx.stage("canonicalize"):
+        rep, transform = ctx.cache.npn_canonical(
+            state.local, stats=ctx.stats
+        )
+        state.target = rep
+        state.npn_transform = transform
+
+
+# ----------------------------------------------------------------------
+# stage 3: topology enumeration + factorization + verification
+# ----------------------------------------------------------------------
+def search_stage(state: PipelineState, ctx: SynthesisContext) -> None:
+    """Find all optimal chains for the target at the first feasible size.
+
+    Raises :class:`~repro.runtime.errors.SynthesisInfeasible` when the
+    gate cap is exhausted.
+    """
+    spec = state.spec
+    target = state.target
+    s = target.num_vars
+    engine = ctx.cache.factorization_engine(
+        s,
+        spec.operators,
+        spec.max_solutions,
+        deadline=ctx.deadline,
+        stats=ctx.stats,
+    )
+    for r in range(max(1, s - 1), spec.effective_max_gates() + 1):
+        normal = _search_at_size(target, r, engine, spec, ctx)
+        if normal:
+            if spec.all_solutions:
+                with ctx.stage("expand"):
+                    state.chains = _expand_polarities(
+                        normal, target, spec, ctx.deadline
+                    )
+            else:
+                state.chains = normal
+            state.num_gates = r
+            return
+    raise SynthesisInfeasible(
+        f"no chain with up to {spec.effective_max_gates()} gates "
+        f"found for 0x{spec.function.to_hex()}"
+    )
+
+
+def _search_at_size(
+    f: TruthTable,
+    r: int,
+    engine: FactorizationEngine,
+    spec: SynthesisSpec,
+    ctx: SynthesisContext,
+) -> list[BooleanChain]:
+    """All *normal-form* chains with exactly ``r`` gates (empty if none).
+
+    The search pins every internal non-output signal to a function that
+    is 0 on the all-zero input (the canonical polarity of the
+    factorization engine).  Each polarity orbit has exactly one normal
+    member, so the full solution set is the normal set expanded by all
+    ``2^(r-1)`` internal-signal complementations — the search can
+    therefore stop well before the solution cap.
+    """
+    stats = ctx.stats
+    deadline = ctx.deadline
+    s = f.num_vars
+    with ctx.stage("topology"):
+        families = ctx.cache.topology_families(
+            r, s, require_all_pis=True, deadline=deadline, stats=stats
+        )
+    normal_solutions: list[BooleanChain] = []
+    seen: set[tuple] = set()
+    normal_cap = max(1, -(-spec.max_solutions // (1 << max(0, r - 1))))
+    with ctx.stage("search"):
+        for fence, dags in families:
+            stats.fences_examined += 1
+            for dag in dags:
+                stats.dags_examined += 1
+                deadline.check()
+                for chain in assign_operators(dag, f, engine, deadline):
+                    stats.candidates_generated += 1
+                    if spec.verify:
+                        stats.candidates_verified += 1
+                        if not verify_chain(chain, f):
+                            stats.verification_failures += 1
+                            continue
+                    key = chain.signature()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    normal_solutions.append(chain)
+                    if not spec.all_solutions:
+                        return normal_solutions
+                    if len(normal_solutions) >= normal_cap:
+                        return normal_solutions
+    return normal_solutions
+
+
+def _expand_polarities(
+    normal_solutions: list[BooleanChain],
+    f: TruthTable,
+    spec: SynthesisSpec,
+    deadline: Deadline,
+) -> list[BooleanChain]:
+    """Blow the normal-form solutions up to the full optimal set by
+    complementing internal (non-output) signals."""
+    expanded: list[BooleanChain] = []
+    seen: set[tuple] = set()
+    for base in normal_solutions:
+        output_signal = base.outputs[0][0]
+        flippable = [
+            base.num_inputs + i
+            for i in range(base.num_gates)
+            if base.num_inputs + i != output_signal
+        ]
+        for combo in range(1 << len(flippable)):
+            deadline.check(every=32)
+            variant = base
+            for j, signal in enumerate(flippable):
+                if (combo >> j) & 1:
+                    variant = flip_signal(variant, signal)
+            if combo and variant.simulate_output() != f:
+                raise AssertionError(
+                    "polarity variant changed the function"
+                )
+            if spec.canonicalize_dont_cares:
+                variant = canonicalize_dont_cares(variant)
+            key = variant.signature()
+            if key in seen:
+                continue
+            seen.add(key)
+            expanded.append(variant)
+            if len(expanded) >= spec.max_solutions:
+                return expanded
+    return expanded
+
+
+def assign_operators(
+    dag: DagTopology,
+    f: TruthTable,
+    engine: FactorizationEngine,
+    deadline: Deadline,
+) -> Iterator[BooleanChain]:
+    """Section III-B: assign a 2-LUT to every pDAG vertex by repeated
+    STP factorization, top node first.
+
+    Two sound prunes keep the backtracking shallow:
+
+    * a demanded function whose support exceeds the fanin cones cannot
+      be factorized (checked inside the engine), and
+    * a demand of support ``s`` placed on a signal whose cone contains
+      ``m`` gates is infeasible when ``m < s - 1`` (every 2-input chain
+      needs at least ``support - 1`` gates).
+    """
+    n = dag.num_pis
+    num_nodes = dag.num_nodes
+
+    # Per-signal reachable PIs (sorted tuples) and cone gate counts.
+    cone_sets: list[frozenset[int]] = [frozenset((i,)) for i in range(n)]
+    gate_sets: list[frozenset[int]] = [frozenset() for _ in range(n)]
+    for i, (a, b) in enumerate(dag.fanins):
+        cone_sets.append(cone_sets[a] | cone_sets[b])
+        gate_sets.append(gate_sets[a] | gate_sets[b] | {n + i})
+    cones = [tuple(sorted(c)) for c in cone_sets]
+    cone_gates = [len(g) for g in gate_sets]
+
+    demands: dict[int, TruthTable] = {dag.top_signal: f}
+    ops: list[int | None] = [None] * num_nodes
+    pi_tables = [projection(i, n) for i in range(n)]
+
+    def fixed_of(signal: int) -> TruthTable | None:
+        if signal < n:
+            return pi_tables[signal]
+        return demands.get(signal)
+
+    def feasible(signal: int, demand: TruthTable) -> bool:
+        key = (demand.bits, n)
+        bound = _BOUND_CACHE.get(key)
+        if bound is None:
+            bound = min_gates_lower_bound(demand)
+            _BOUND_CACHE[key] = bound
+        return bound <= cone_gates[signal]
+
+    def pick_node(pending: set[int]) -> int:
+        """Most-constrained-first ordering: nodes whose fanins are both
+        fixed are pure consistency checks and fail fastest; prefer one
+        fixed fanin next; fall back to the highest (topmost) node."""
+        best = -1
+        best_score = -1
+        for node in pending:
+            a, b = dag.fanins[node]
+            score = 4 * (
+                (a < n or a in demanded_signals)
+                + (b < n or b in demanded_signals)
+            ) + (node / num_nodes)
+            if score > best_score:
+                best_score = score
+                best = node
+        return best
+
+    demanded_signals: set[int] = {dag.top_signal}
+
+    def rec(pending: set[int]) -> Iterator[BooleanChain]:
+        if not pending:
+            chain = BooleanChain(n)
+            for i, (a, b) in enumerate(dag.fanins):
+                chain.add_gate(ops[i], (a, b))
+            chain.set_output(dag.top_signal)
+            yield chain
+            return
+        deadline.check(every=64)
+        node = pick_node(pending)
+        pending.discard(node)
+        signal = n + node
+        g_v = demands[signal]
+        a, b = dag.fanins[node]
+        fixed_a = fixed_of(a)
+        fixed_b = fixed_of(b)
+        for fac in engine.decompositions(
+            g_v, cones[a], cones[b], fixed_a, fixed_b
+        ):
+            new_a = fixed_a is None
+            new_b = fixed_b is None
+            if new_a and not feasible(a, fac.g_a):
+                continue
+            if new_b and not feasible(b, fac.g_b):
+                continue
+            if new_a:
+                demands[a] = fac.g_a
+                demanded_signals.add(a)
+                pending.add(a - n)
+            if new_b:
+                demands[b] = fac.g_b
+                demanded_signals.add(b)
+                pending.add(b - n)
+            ops[node] = fac.op
+            yield from rec(pending)
+            ops[node] = None
+            if new_a:
+                del demands[a]
+                demanded_signals.discard(a)
+                pending.discard(a - n)
+            if new_b:
+                del demands[b]
+                demanded_signals.discard(b)
+                pending.discard(b - n)
+        pending.add(node)
+
+    if feasible(dag.top_signal, f):
+        yield from rec({num_nodes - 1})
+
+
+# ----------------------------------------------------------------------
+# stage 4: inverse-NPN / lift / dedup
+# ----------------------------------------------------------------------
+def finalize_stage(
+    state: PipelineState, ctx: SynthesisContext
+) -> list[BooleanChain]:
+    """Rewrite the search's chains back over the original inputs."""
+    spec = state.spec
+    with ctx.stage("finalize"):
+        chains = state.chains
+        if state.npn_transform is not None:
+            inverse = state.npn_transform.inverse()
+            chains = [npn_transform_chain(c, inverse) for c in chains]
+            if spec.canonicalize_dont_cares and spec.all_solutions:
+                chains = [canonicalize_dont_cares(c) for c in chains]
+        lifted = [
+            lift_chain(c, spec.function.num_vars, state.support)
+            for c in chains
+        ]
+        return dedup_chains(lifted)
+
+
+def canonicalize_dont_cares(chain: BooleanChain) -> BooleanChain:
+    """Zero every LUT row no input assignment can exercise.
+
+    Factorizations through shared variables (power-reduce don't-cares,
+    Property 3) leave some gate-code rows unconstrained, so chains that
+    behave identically can differ in unobservable LUT bits.  Forcing
+    those bits to 0 gives each behaviour a single representative.
+    """
+    tables = chain.simulate_signals()
+    fixed = BooleanChain(chain.num_inputs)
+    for gate in chain.gates:
+        reachable = 0
+        child = [tables[f] for f in gate.fanins]
+        for m in range(1 << chain.num_inputs):
+            row = 0
+            for i, t in enumerate(child):
+                row |= t.value(m) << i
+            reachable |= 1 << row
+        fixed.add_gate(gate.op & reachable, gate.fanins)
+    for signal, complemented in chain.outputs:
+        fixed.set_output(signal, complemented)
+    return fixed
+
+
+def dedup_chains(chains: list[BooleanChain]) -> list[BooleanChain]:
+    """Keep the first chain of each signature, preserving order."""
+    seen: set[tuple] = set()
+    unique = []
+    for chain in chains:
+        key = chain.signature()
+        if key not in seen:
+            seen.add(key)
+            unique.append(chain)
+    return unique

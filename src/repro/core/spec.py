@@ -3,15 +3,21 @@
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..chain.chain import BooleanChain
 from ..runtime.errors import BudgetExceeded
 from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
 from ..truthtable.table import TruthTable
 
-__all__ = ["SynthesisSpec", "SynthesisResult", "SynthesisStats", "Deadline"]
+__all__ = [
+    "SynthesisSpec",
+    "SynthesisResult",
+    "SynthesisStats",
+    "SynthStats",
+    "Deadline",
+]
 
 
 class Deadline:
@@ -114,6 +120,14 @@ class SynthesisSpec:
         candidate before accepting it.
     max_solutions:
         Safety cap on the size of the returned solution set.
+    canonicalize_dont_cares:
+        Zero unobservable LUT rows so behaviourally identical chains
+        have one representative (the pipeline's dedup contract).
+    npn_canonicalize:
+        Run the search on the NPN class representative and map the
+        solutions back through the inverse transform.  Off by default;
+        when several targets share an NPN class this makes the
+        cross-call factorization memo hit across all of them.
     """
 
     function: TruthTable
@@ -123,6 +137,8 @@ class SynthesisSpec:
     all_solutions: bool = True
     verify: bool = True
     max_solutions: int = 10_000
+    canonicalize_dont_cares: bool = True
+    npn_canonicalize: bool = False
 
     def __post_init__(self) -> None:
         for code in self.operators:
@@ -139,13 +155,44 @@ class SynthesisSpec:
 
 @dataclass
 class SynthesisStats:
-    """Search-effort counters filled in by the synthesizer."""
+    """Search-effort counters filled in by the synthesizer.
+
+    Beyond the paper's raw search counters, the pipeline refactor adds
+    per-stage wall-clock timers (``stage_seconds``, keyed by stage
+    name) and per-cache hit/miss counters (``cache_hits`` /
+    ``cache_misses``, keyed by cache name: ``npn``, ``topology``,
+    ``factorization``).  Everything is plain data, so stats survive
+    the pickle boundary of isolated workers.
+    """
 
     fences_examined: int = 0
     dags_examined: int = 0
     candidates_generated: int = 0
     candidates_verified: int = 0
     verification_failures: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    cache_misses: dict[str, int] = field(default_factory=dict)
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time under a pipeline stage name."""
+        self.stage_seconds[stage] = (
+            self.stage_seconds.get(stage, 0.0) + seconds
+        )
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one pipeline stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage_time(name, time.perf_counter() - start)
+
+    def record_cache(self, cache: str, hit: bool, count: int = 1) -> None:
+        """Count a cache hit or miss under a cache name."""
+        bucket = self.cache_hits if hit else self.cache_misses
+        bucket[cache] = bucket.get(cache, 0) + count
 
     def merge(self, other: "SynthesisStats") -> None:
         """Accumulate counters from a sub-run."""
@@ -154,6 +201,31 @@ class SynthesisStats:
         self.candidates_generated += other.candidates_generated
         self.candidates_verified += other.candidates_verified
         self.verification_failures += other.verification_failures
+        for stage, seconds in other.stage_seconds.items():
+            self.add_stage_time(stage, seconds)
+        for cache, count in other.cache_hits.items():
+            self.record_cache(cache, True, count)
+        for cache, count in other.cache_misses.items():
+            self.record_cache(cache, False, count)
+
+    def to_record(self) -> dict:
+        """JSON-safe summary for checkpoints and ``--stats`` output."""
+        return {
+            "fences_examined": self.fences_examined,
+            "dags_examined": self.dags_examined,
+            "candidates_generated": self.candidates_generated,
+            "candidates_verified": self.candidates_verified,
+            "verification_failures": self.verification_failures,
+            "stage_seconds": {
+                k: round(v, 6) for k, v in self.stage_seconds.items()
+            },
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+        }
+
+
+#: Short alias used throughout the pipeline layer.
+SynthStats = SynthesisStats
 
 
 @dataclass

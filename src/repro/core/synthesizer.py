@@ -14,32 +14,30 @@
 and returns *all* optimal Boolean chains found at the first feasible
 ``r`` — each expressed as 2-LUTs so downstream cost models can pick.
 
-Functions are synthesized over their functional support; vacuous
-variables are reattached afterwards, so NPN class representatives with
-shrunken support work out of the box.
+The algorithm itself lives in :mod:`repro.core.pipeline` as composable
+stages over a shared :class:`~repro.core.context.SynthesisContext`;
+this class is the stable object-style front door that maps its
+constructor knobs onto a :class:`~repro.core.spec.SynthesisSpec` and
+runs the stage sequence.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..chain.chain import BooleanChain
-from ..chain.transform import flip_signal
-from ..runtime.errors import SynthesisInfeasible
-from ..topology.dag import DagTopology, enumerate_dags
-from ..topology.fence import valid_fences
 from ..truthtable.operations import NONTRIVIAL_BINARY_OPS
-from ..truthtable.table import TruthTable, projection
-from .circuit_sat import verify_chain
-from .factorization import FactorizationEngine
-from .sizebound import min_gates_lower_bound
-from .spec import Deadline, SynthesisResult, SynthesisSpec, SynthesisStats
+from ..truthtable.table import TruthTable
+from .context import SynthesisContext
+from .pipeline import canonicalize_dont_cares, dedup_chains, run_pipeline
+from .spec import SynthesisResult, SynthesisSpec
 
 __all__ = ["STPSynthesizer", "synthesize", "synthesize_all"]
 
-#: Cross-run cache of size lower bounds, keyed by (table bits, arity).
-_BOUND_CACHE: dict[tuple[int, int], int] = {}
+# Compatibility aliases: these helpers predate the pipeline module and
+# are imported under their old private names elsewhere in the codebase.
+_canonicalize_dont_cares = canonicalize_dont_cares
+_dedup = dedup_chains
 
 
 class STPSynthesizer:
@@ -57,6 +55,7 @@ class STPSynthesizer:
         max_solutions: int = 10_000,
         max_gates: int | None = None,
         canonicalize_dont_cares: bool = True,
+        npn_canonicalize: bool = False,
     ) -> None:
         self._operators = tuple(operators)
         self._verify = verify
@@ -64,12 +63,16 @@ class STPSynthesizer:
         self._max_solutions = max_solutions
         self._max_gates = max_gates
         self._canonicalize = canonicalize_dont_cares
+        self._npn_canonicalize = npn_canonicalize
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def synthesize(
-        self, function: TruthTable, timeout: float | None = None
+        self,
+        function: TruthTable,
+        timeout: float | None = None,
+        ctx: SynthesisContext | None = None,
     ) -> SynthesisResult:
         """Synthesize all optimal chains for ``function``.
 
@@ -86,348 +89,21 @@ class STPSynthesizer:
             all_solutions=self._all_solutions,
             verify=self._verify,
             max_solutions=self._max_solutions,
+            canonicalize_dont_cares=self._canonicalize,
+            npn_canonicalize=self._npn_canonicalize,
         )
-        return self.run(spec)
+        return self.run(spec, ctx=ctx)
 
-    def run(self, spec: SynthesisSpec) -> SynthesisResult:
-        """Synthesize according to an explicit spec."""
-        start = time.perf_counter()
-        deadline = Deadline(spec.timeout)
-        stats = SynthesisStats()
+    def run(
+        self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
+    ) -> SynthesisResult:
+        """Synthesize according to an explicit spec.
 
-        trivial = self._trivial_chain(spec.function)
-        if trivial is not None:
-            return SynthesisResult(
-                spec, [trivial], 0, time.perf_counter() - start, stats
-            )
-
-        support = spec.function.support()
-        local, _ = _shrink_to_support(spec.function, support)
-        s = len(support)
-
-        chains: list[BooleanChain] = []
-        num_gates = 0
-        engine = FactorizationEngine(
-            s, spec.operators,
-            max_solutions_per_query=spec.max_solutions,
-            deadline=deadline,
-        )
-        for r in range(max(1, s - 1), spec.effective_max_gates() + 1):
-            found = self._solve_at_size(
-                local, r, engine, spec, stats, deadline
-            )
-            if found:
-                chains = found
-                num_gates = r
-                break
-        else:
-            raise SynthesisInfeasible(
-                f"no chain with up to {spec.effective_max_gates()} gates "
-                f"found for 0x{spec.function.to_hex()}"
-            )
-
-        lifted = [
-            _lift_chain(c, spec.function.num_vars, support) for c in chains
-        ]
-        lifted = _dedup(lifted)
-        return SynthesisResult(
-            spec, lifted, num_gates, time.perf_counter() - start, stats
-        )
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _trivial_chain(self, f: TruthTable) -> BooleanChain | None:
-        """Zero-gate realisations: constants and (inverted) projections."""
-        n = f.num_vars
-        support = f.support()
-        if not support:
-            chain = BooleanChain(n)
-            chain.set_output(BooleanChain.CONST0, complemented=bool(f.bits & 1))
-            return chain
-        if len(support) == 1:
-            var = support[0]
-            chain = BooleanChain(n)
-            complemented = f.value(0) == 1  # f == ~x_var
-            chain.set_output(var, complemented)
-            return chain
-        return None
-
-    def _solve_at_size(
-        self,
-        f: TruthTable,
-        r: int,
-        engine: FactorizationEngine,
-        spec: SynthesisSpec,
-        stats: SynthesisStats,
-        deadline: Deadline,
-    ) -> list[BooleanChain]:
-        """All optimal chains with exactly ``r`` gates (empty if none).
-
-        The search runs in *normal form*: every internal non-output
-        signal is pinned to a function that is 0 on the all-zero input
-        (the canonical polarity of the factorization engine).  Each
-        polarity orbit of solutions has exactly one normal member, so
-        the full solution set is the normal set expanded by all
-        ``2^(r-1)`` internal-signal complementations.
+        A caller-supplied context shares its deadline, stats, and cache
+        with the run; otherwise a fresh context is created from the
+        spec's timeout and the process-global cache.
         """
-        s = f.num_vars
-        normal_solutions: list[BooleanChain] = []
-        seen: set[tuple] = set()
-        # Each normal solution expands into 2^(r-1) polarity variants,
-        # so the normal-form search can stop well before the cap.
-        normal_cap = max(1, -(-spec.max_solutions // (1 << max(0, r - 1))))
-        for fence in valid_fences(r):
-            stats.fences_examined += 1
-            for dag in enumerate_dags(fence, s, require_all_pis=True):
-                stats.dags_examined += 1
-                deadline.check()
-                for chain in _assign_operators(
-                    dag, f, engine, deadline
-                ):
-                    stats.candidates_generated += 1
-                    if spec.verify:
-                        stats.candidates_verified += 1
-                        if not verify_chain(chain, f):
-                            stats.verification_failures += 1
-                            continue
-                    key = chain.signature()
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    normal_solutions.append(chain)
-                    if not spec.all_solutions:
-                        return normal_solutions
-                    if len(normal_solutions) >= normal_cap:
-                        return self._expand_polarities(
-                            normal_solutions, f, spec, deadline
-                        )
-        if not normal_solutions:
-            return []
-        return self._expand_polarities(
-            normal_solutions, f, spec, deadline
-        )
-
-    def _expand_polarities(
-        self,
-        normal_solutions: list[BooleanChain],
-        f: TruthTable,
-        spec: SynthesisSpec,
-        deadline: Deadline,
-    ) -> list[BooleanChain]:
-        """Blow the normal-form solutions up to the full optimal set by
-        complementing internal (non-output) signals."""
-        expanded: list[BooleanChain] = []
-        seen: set[tuple] = set()
-        for base in normal_solutions:
-            output_signal = base.outputs[0][0]
-            flippable = [
-                base.num_inputs + i
-                for i in range(base.num_gates)
-                if base.num_inputs + i != output_signal
-            ]
-            for combo in range(1 << len(flippable)):
-                deadline.check(every=32)
-                variant = base
-                for j, signal in enumerate(flippable):
-                    if (combo >> j) & 1:
-                        variant = flip_signal(variant, signal)
-                if combo and variant.simulate_output() != f:
-                    raise AssertionError(
-                        "polarity variant changed the function"
-                    )
-                if self._canonicalize:
-                    variant = _canonicalize_dont_cares(variant)
-                key = variant.signature()
-                if key in seen:
-                    continue
-                seen.add(key)
-                expanded.append(variant)
-                if len(expanded) >= spec.max_solutions:
-                    return expanded
-        return expanded
-
-
-def _assign_operators(
-    dag: DagTopology,
-    f: TruthTable,
-    engine: FactorizationEngine,
-    deadline: Deadline,
-) -> Iterator[BooleanChain]:
-    """Section III-B: assign a 2-LUT to every pDAG vertex by repeated
-    STP factorization, top node first.
-
-    Two sound prunes keep the backtracking shallow:
-
-    * a demanded function whose support exceeds the fanin cones cannot
-      be factorized (checked inside the engine), and
-    * a demand of support ``s`` placed on a signal whose cone contains
-      ``m`` gates is infeasible when ``m < s - 1`` (every 2-input chain
-      needs at least ``support - 1`` gates).
-    """
-    n = dag.num_pis
-    num_nodes = dag.num_nodes
-
-    # Per-signal reachable PIs (sorted tuples) and cone gate counts.
-    cone_sets: list[frozenset[int]] = [frozenset((i,)) for i in range(n)]
-    gate_sets: list[frozenset[int]] = [frozenset() for _ in range(n)]
-    for i, (a, b) in enumerate(dag.fanins):
-        cone_sets.append(cone_sets[a] | cone_sets[b])
-        gate_sets.append(gate_sets[a] | gate_sets[b] | {n + i})
-    cones = [tuple(sorted(c)) for c in cone_sets]
-    cone_gates = [len(g) for g in gate_sets]
-
-    demands: dict[int, TruthTable] = {dag.top_signal: f}
-    ops: list[int | None] = [None] * num_nodes
-    pi_tables = [projection(i, n) for i in range(n)]
-
-    def fixed_of(signal: int) -> TruthTable | None:
-        if signal < n:
-            return pi_tables[signal]
-        return demands.get(signal)
-
-    def feasible(signal: int, demand: TruthTable) -> bool:
-        key = (demand.bits, n)
-        bound = _BOUND_CACHE.get(key)
-        if bound is None:
-            bound = min_gates_lower_bound(demand)
-            _BOUND_CACHE[key] = bound
-        return bound <= cone_gates[signal]
-
-    def pick_node(pending: set[int]) -> int:
-        """Most-constrained-first ordering: nodes whose fanins are both
-        fixed are pure consistency checks and fail fastest; prefer one
-        fixed fanin next; fall back to the highest (topmost) node."""
-        best = -1
-        best_score = -1
-        for node in pending:
-            a, b = dag.fanins[node]
-            score = 4 * (
-                (a < n or a in demanded_signals)
-                + (b < n or b in demanded_signals)
-            ) + (node / num_nodes)
-            if score > best_score:
-                best_score = score
-                best = node
-        return best
-
-    demanded_signals: set[int] = {dag.top_signal}
-
-    def rec(pending: set[int]) -> Iterator[BooleanChain]:
-        if not pending:
-            chain = BooleanChain(n)
-            for i, (a, b) in enumerate(dag.fanins):
-                chain.add_gate(ops[i], (a, b))
-            chain.set_output(dag.top_signal)
-            yield chain
-            return
-        deadline.check(every=64)
-        node = pick_node(pending)
-        pending.discard(node)
-        signal = n + node
-        g_v = demands[signal]
-        a, b = dag.fanins[node]
-        fixed_a = fixed_of(a)
-        fixed_b = fixed_of(b)
-        for fac in engine.decompositions(
-            g_v, cones[a], cones[b], fixed_a, fixed_b
-        ):
-            new_a = fixed_a is None
-            new_b = fixed_b is None
-            if new_a and not feasible(a, fac.g_a):
-                continue
-            if new_b and not feasible(b, fac.g_b):
-                continue
-            if new_a:
-                demands[a] = fac.g_a
-                demanded_signals.add(a)
-                pending.add(a - n)
-            if new_b:
-                demands[b] = fac.g_b
-                demanded_signals.add(b)
-                pending.add(b - n)
-            ops[node] = fac.op
-            yield from rec(pending)
-            ops[node] = None
-            if new_a:
-                del demands[a]
-                demanded_signals.discard(a)
-                pending.discard(a - n)
-            if new_b:
-                del demands[b]
-                demanded_signals.discard(b)
-                pending.discard(b - n)
-        pending.add(node)
-
-    if feasible(dag.top_signal, f):
-        yield from rec({num_nodes - 1})
-
-
-def _shrink_to_support(
-    f: TruthTable, support: tuple[int, ...]
-) -> tuple[TruthTable, tuple[int, ...]]:
-    """Project onto the functional support (local var i = support[i])."""
-    local = f
-    for v in reversed(range(f.num_vars)):
-        if v not in support:
-            local = local.remove_vacuous_variable(v)
-    return local, support
-
-
-def _lift_chain(
-    chain: BooleanChain, num_vars: int, support: tuple[int, ...]
-) -> BooleanChain:
-    """Re-express a support-local chain over the original inputs."""
-    s = len(support)
-    lifted = BooleanChain(num_vars)
-
-    def remap(signal: int) -> int:
-        if signal == BooleanChain.CONST0:
-            return signal
-        if signal < s:
-            return support[signal]
-        return num_vars + (signal - s)
-
-    for gate in chain.gates:
-        lifted.add_gate(gate.op, tuple(remap(f) for f in gate.fanins))
-    for signal, complemented in chain.outputs:
-        lifted.set_output(remap(signal), complemented)
-    return lifted
-
-
-def _canonicalize_dont_cares(chain: BooleanChain) -> BooleanChain:
-    """Zero every LUT row no input assignment can exercise.
-
-    Factorizations through shared variables (power-reduce don't-cares,
-    Property 3) leave some gate-code rows unconstrained, so chains that
-    behave identically can differ in unobservable LUT bits.  Forcing
-    those bits to 0 gives each behaviour a single representative.
-    """
-    tables = chain.simulate_signals()
-    fixed = BooleanChain(chain.num_inputs)
-    for gate in chain.gates:
-        reachable = 0
-        child = [tables[f] for f in gate.fanins]
-        for m in range(1 << chain.num_inputs):
-            row = 0
-            for i, t in enumerate(child):
-                row |= t.value(m) << i
-            reachable |= 1 << row
-        fixed.add_gate(gate.op & reachable, gate.fanins)
-    for signal, complemented in chain.outputs:
-        fixed.set_output(signal, complemented)
-    return fixed
-
-
-def _dedup(chains: list[BooleanChain]) -> list[BooleanChain]:
-    seen: set[tuple] = set()
-    unique = []
-    for chain in chains:
-        key = chain.signature()
-        if key not in seen:
-            seen.add(key)
-            unique.append(chain)
-    return unique
+        return run_pipeline(spec, ctx)
 
 
 def synthesize(

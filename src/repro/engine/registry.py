@@ -1,0 +1,76 @@
+"""String-keyed engine registry.
+
+Engines are registered under short names (``"stp"``, ``"hier"``,
+``"fen"``, ``"bms"``, ``"lutexact"``) so dispatch sites — and the
+pickle boundary of isolated worker processes — can refer to them by
+key instead of by object.  Unknown names raise
+:class:`~repro.runtime.errors.EngineUnavailable`, which the
+fault-tolerant executor treats as "skip to the next engine in the
+chain" rather than a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..runtime.errors import EngineUnavailable
+from .protocol import Engine
+
+__all__ = [
+    "register_engine",
+    "create_engine",
+    "engine_names",
+    "engine_capabilities",
+]
+
+#: name -> factory returning a configured Engine instance.
+_FACTORIES: dict[str, Callable[..., Engine]] = {}
+
+
+def register_engine(name: str):
+    """Class decorator registering an engine factory under ``name``.
+
+    The decorated class must implement the
+    :class:`~repro.engine.protocol.Engine` protocol; its constructor
+    receives the keyword arguments handed to :func:`create_engine`.
+    """
+
+    def decorate(cls):
+        cls.name = name
+        _FACTORIES[name] = cls
+        return cls
+
+    return decorate
+
+
+def create_engine(name: str, **kwargs) -> Engine:
+    """Instantiate a registered engine by name.
+
+    Unknown tuning knobs are ignored by the adapters (each keeps only
+    what its backend supports), so one shared kwargs dict can configure
+    a heterogeneous fallback chain.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise EngineUnavailable(
+            f"unknown synthesis engine {name!r}; "
+            f"available: {', '.join(engine_names())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def engine_capabilities(name: str):
+    """The static capabilities of a registered engine."""
+    try:
+        return _FACTORIES[name].capabilities
+    except KeyError:
+        raise EngineUnavailable(
+            f"unknown synthesis engine {name!r}; "
+            f"available: {', '.join(engine_names())}"
+        ) from None

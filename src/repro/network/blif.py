@@ -8,9 +8,9 @@ this library produces and to exchange results with ABC-family tools.
 
 from __future__ import annotations
 
-from typing import Iterable, TextIO
+from typing import TextIO
 
-from ..truthtable.table import TruthTable, constant, from_function
+from ..truthtable.table import TruthTable, constant
 from .network import LogicNetwork
 
 __all__ = ["write_blif", "read_blif", "network_to_blif", "blif_to_network"]

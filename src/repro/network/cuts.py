@@ -11,7 +11,6 @@ rewriting can hand it straight to an exact synthesizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from ..truthtable.table import TruthTable
 from .network import LogicNetwork

@@ -18,8 +18,8 @@ Design notes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from ..chain.chain import BooleanChain
 from ..truthtable.table import TruthTable

@@ -15,7 +15,7 @@ paper's all-solutions output is for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..chain.chain import BooleanChain

@@ -1,21 +1,25 @@
-"""Named synthesis-engine registry for the fault-tolerant runtime.
+"""Named synthesis-engine dispatch for the fault-tolerant runtime.
 
 Worker processes cannot receive arbitrary callables (they must cross a
-pickle boundary), so every engine the runtime can dispatch is named
-here and resolved by key — in the parent for in-process execution and
-in the child for isolated execution.
+pickle boundary), so the runtime refers to engines by *name* and
+resolves them here — in the parent for in-process execution and in the
+child for isolated execution.  Since the engine-protocol refactor this
+module is a thin shim over :mod:`repro.engine`: the registry owns the
+engines; this layer only adapts them to the runtime's uniform
+``(function, timeout, **kwargs)`` calling convention.
 
-Each adapter has the uniform signature ``(function, timeout, **kwargs)``
-and silently ignores tuning knobs the underlying engine does not
-support, so one ``engine_kwargs`` dict can be shared across a fallback
-chain of heterogeneous engines.
+Each adapter silently ignores tuning knobs the underlying engine does
+not support, so one ``engine_kwargs`` dict can be shared across a
+fallback chain of heterogeneous engines.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from ..core.spec import SynthesisResult
+from ..engine import engine_names, run_engine
 from ..truthtable.table import TruthTable
 from .errors import EngineUnavailable
 
@@ -27,93 +31,16 @@ EngineFn = Callable[..., SynthesisResult]
 #: first, the CNF fence-solver baseline as the fallback of last resort.
 DEFAULT_FALLBACK_CHAIN: tuple[str, ...] = ("stp", "fen")
 
+ENGINE_NAMES: tuple[str, ...] = engine_names()
 
-def _stp(
+
+def _run_named(
+    name: str,
     function: TruthTable,
     timeout: float | None,
-    *,
-    max_solutions: int | None = None,
-    max_gates: int | None = None,
-    all_solutions: bool | None = None,
-    **_ignored,
+    **kwargs,
 ) -> SynthesisResult:
-    from ..core.synthesizer import STPSynthesizer
-
-    kwargs = {}
-    if max_solutions is not None:
-        kwargs["max_solutions"] = max_solutions
-    if max_gates is not None:
-        kwargs["max_gates"] = max_gates
-    if all_solutions is not None:
-        kwargs["all_solutions"] = all_solutions
-    return STPSynthesizer(**kwargs).synthesize(function, timeout=timeout)
-
-
-def _hier(
-    function: TruthTable,
-    timeout: float | None,
-    *,
-    max_solutions: int | None = None,
-    all_solutions: bool | None = None,
-    **_ignored,
-) -> SynthesisResult:
-    from ..core.hierarchical import HierarchicalSynthesizer
-
-    kwargs = {}
-    if max_solutions is not None:
-        kwargs["max_solutions"] = max_solutions
-    if all_solutions is not None:
-        kwargs["all_solutions"] = all_solutions
-    return HierarchicalSynthesizer(**kwargs).synthesize(
-        function, timeout=timeout
-    )
-
-
-def _fen(
-    function: TruthTable,
-    timeout: float | None,
-    *,
-    max_gates: int | None = None,
-    **_ignored,
-) -> SynthesisResult:
-    from ..baselines.fence_synth import FenceSynthesizer
-
-    return FenceSynthesizer(max_gates=max_gates).synthesize(
-        function, timeout=timeout
-    )
-
-
-def _bms(
-    function: TruthTable,
-    timeout: float | None,
-    *,
-    max_gates: int | None = None,
-    **_ignored,
-) -> SynthesisResult:
-    from ..baselines.bms import BMSSynthesizer
-
-    return BMSSynthesizer(max_gates=max_gates).synthesize(
-        function, timeout=timeout
-    )
-
-
-def _lutexact(
-    function: TruthTable, timeout: float | None, **_ignored
-) -> SynthesisResult:
-    from ..baselines.lutexact import LutExactSynthesizer
-
-    return LutExactSynthesizer().synthesize(function, timeout=timeout)
-
-
-_REGISTRY: dict[str, EngineFn] = {
-    "stp": _stp,
-    "hier": _hier,
-    "fen": _fen,
-    "bms": _bms,
-    "lutexact": _lutexact,
-}
-
-ENGINE_NAMES: tuple[str, ...] = tuple(sorted(_REGISTRY))
+    return run_engine(name, function, timeout, **kwargs)
 
 
 def get_engine(name: str) -> EngineFn:
@@ -121,11 +48,12 @@ def get_engine(name: str) -> EngineFn:
 
     Raises :class:`EngineUnavailable` for unknown names so a fallback
     chain containing a typo degrades gracefully instead of crashing.
+    The returned callable is a partial of a module-level function, so
+    it survives the pickle boundary of isolated workers.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    if name not in ENGINE_NAMES:
         raise EngineUnavailable(
             f"unknown synthesis engine {name!r}; "
             f"available: {', '.join(ENGINE_NAMES)}"
-        ) from None
+        )
+    return partial(_run_named, name)

@@ -33,10 +33,6 @@ from ..core.spec import Deadline, SynthesisResult
 from ..truthtable.table import TruthTable
 from .engines import DEFAULT_FALLBACK_CHAIN, get_engine
 from .errors import (
-    BudgetExceeded,
-    EngineUnavailable,
-    SynthesisError,
-    SynthesisInfeasible,
     VerificationFailed,
     WorkerCrash,
     classify_failure,
@@ -364,6 +360,6 @@ class FaultTolerantExecutor:
         for chain in result.chains:
             if chain.simulate_output() != function:
                 raise VerificationFailed(
-                    f"engine returned a chain that does not realise "
+                    "engine returned a chain that does not realise "
                     f"0x{function.to_hex()}"
                 )

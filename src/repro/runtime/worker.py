@@ -16,7 +16,6 @@ crash) rather than an OOM-killed test host.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 from dataclasses import dataclass, field
 

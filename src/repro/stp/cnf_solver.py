@@ -50,10 +50,6 @@ class STPCnfSolver:
         """
         position = {v: i for i, v in enumerate(variables)}
         rows = 1 << len(variables)
-        falsifying = 0
-        for lit in clause:
-            if lit < 0:
-                falsifying |= 1 << position[-lit]
         onset = 0
         for m in range(rows):
             ok = False

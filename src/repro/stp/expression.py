@@ -25,7 +25,6 @@ from ..truthtable.table import TruthTable, from_function
 from .matrix import (
     front_retrieval_matrix,
     khatri_rao,
-    truth_table_to_canonical,
     canonical_to_truth_table,
 )
 from .structural import NAMED_STRUCTURAL

@@ -142,12 +142,13 @@ def swap_matrix(m: int, n: int) -> np.ndarray:
 
     ``W_[2,2]`` is the paper's ``M_w`` of equation (4).
     """
+    # Column index of u=e_i ⊗ v=e_j is i*n + j; it must map to
+    # v ⊗ u = e_{j*m + i}.  One fancy-indexed assignment instead of an
+    # m×n Python loop.
     w = np.zeros((m * n, m * n), dtype=_DTYPE)
-    for i in range(m):
-        for j in range(n):
-            # column index of u=e_i ⊗ v=e_j is i*n + j; it must map to
-            # v ⊗ u = e_{j*m + i}.
-            w[j * m + i, i * n + j] = 1
+    cols = np.arange(m * n)
+    i, j = np.divmod(cols, n)
+    w[j * m + i, cols] = 1
     return w
 
 
@@ -158,8 +159,8 @@ def power_reduce_matrix(dim: int) -> np.ndarray:
     ``PR_2`` is the paper's ``M_r`` of equation (3).
     """
     pr = np.zeros((dim * dim, dim), dtype=_DTYPE)
-    for j in range(dim):
-        pr[j * dim + j, j] = 1
+    j = np.arange(dim)
+    pr[j * dim + j, j] = 1
     return pr
 
 
@@ -196,9 +197,9 @@ def front_retrieval_matrix(var: int, num_vars: int) -> np.ndarray:
     cols = 1 << num_vars
     m = np.zeros((2, cols), dtype=_DTYPE)
     bit = num_vars - var
-    for j in range(cols):
-        value = 1 - ((j >> bit) & 1)  # bit 0 of j-slot means x_var true
-        m[1 - value, j] = 1
+    j = np.arange(cols)
+    value = 1 - ((j >> bit) & 1)  # bit 0 of j-slot means x_var true
+    m[1 - value, j] = 1
     return m
 
 
@@ -235,9 +236,14 @@ def truth_table_to_canonical(table: TruthTable) -> np.ndarray:
     n = table.num_vars
     cols = 1 << n
     m = np.zeros((2, cols), dtype=_DTYPE)
-    for j in range(cols):
-        value = table.value((cols - 1) ^ j)
-        m[1 - value, j] = 1
+    # Row (cols-1) ^ j is the bit-complement of j, i.e. row cols-1-j:
+    # the canonical form is the truth table read right-to-left.
+    values = np.fromiter(
+        (table.value(row) for row in range(cols)),
+        dtype=_DTYPE,
+        count=cols,
+    )[::-1]
+    m[1 - values, np.arange(cols)] = 1
     return m
 
 

@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from .expression import Expression
-from .matrix import identity, is_logic_matrix, stp
+from .matrix import identity, stp
 
 __all__ = [
     "prove_identity",

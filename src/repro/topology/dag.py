@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from .fence import Fence
 
@@ -102,7 +102,6 @@ def enumerate_dags(
         level_of_signal.extend([level] * size)
 
     node_levels = level_of_signal[num_pis:]
-    total_signals = num_pis + num_nodes
 
     def candidate_pairs(node_index: int) -> list[tuple[int, int]]:
         level = node_levels[node_index]

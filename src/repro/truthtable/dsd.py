@@ -22,8 +22,8 @@ cannot paint itself into a corner).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional
 
 from .operations import binary_op_name
 from .table import TruthTable

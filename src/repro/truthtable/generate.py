@@ -20,7 +20,6 @@ cross-checks each emitted function against the DSD classifier.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Sequence
 
 from .dsd import dsd_kind, DSDKind
 from .operations import NONTRIVIAL_BINARY_OPS, binary_op_table

@@ -13,7 +13,6 @@ from repro.bench.runner import (
 )
 from repro.bench.suites import (
     NPN4_CLASSES_HEX,
-    SUITE_NAMES,
     SUITE_SIZES,
     get_suite,
     npn4_suite,

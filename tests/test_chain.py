@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chain import BooleanChain, Gate
-from repro.truthtable import from_function, from_hex, projection
+from repro.truthtable import from_hex
 
 
 from tests.helpers import random_chain

@@ -2,8 +2,7 @@
 
 import random
 
-import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.truthtable import (
     DSDKind,

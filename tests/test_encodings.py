@@ -4,7 +4,7 @@ import pytest
 
 from repro.sat import CDCLSolver
 from repro.sat.encodings import SSVEncoder, normalize_function
-from repro.truthtable import TruthTable, from_hex, majority, parity
+from repro.truthtable import from_hex, majority, parity
 
 
 def synthesize_with_encoder(function, num_steps, fence=None):

@@ -7,7 +7,6 @@ would.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -7,7 +7,6 @@ import pytest
 
 from repro.chain import BooleanChain, chain_to_expression, chain_to_verilog
 from repro.stp.expression import expression_to_truth_table
-from repro.truthtable import from_hex
 
 from tests.helpers import random_chain
 

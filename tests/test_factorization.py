@@ -1,9 +1,6 @@
 """STP matrix-factorization engine tests (Section III-B)."""
 
-import itertools
-import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.factorization import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     HierarchicalSynthesizer,
-    STPSynthesizer,
     hierarchical_synthesize,
     synthesize,
 )

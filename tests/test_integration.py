@@ -3,7 +3,6 @@ other on shared questions."""
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.chain import select_best

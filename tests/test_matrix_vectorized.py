@@ -1,0 +1,93 @@
+"""Equivalence of the vectorized STP matrix builders against their
+original loop implementations, and canonical-form round trips."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.stp import (
+    canonical_to_truth_table,
+    khatri_rao,
+    power_reduce_matrix,
+    swap_matrix,
+    truth_table_to_canonical,
+)
+from repro.truthtable import TruthTable
+
+
+# -- loop reference implementations (the pre-vectorization code) -------
+def swap_matrix_loop(m: int, n: int) -> np.ndarray:
+    w = np.zeros((m * n, m * n), dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            w[j * m + i, i * n + j] = 1
+    return w
+
+
+def power_reduce_loop(dim: int) -> np.ndarray:
+    pr = np.zeros((dim * dim, dim), dtype=np.int64)
+    for j in range(dim):
+        pr[j * dim + j, j] = 1
+    return pr
+
+
+def khatri_rao_loop(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.zeros((a.shape[0] * b.shape[0], a.shape[1]), dtype=np.int64)
+    for j in range(a.shape[1]):
+        out[:, j] = np.kron(a[:, j], b[:, j])
+    return out
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize(
+        "m,n", [(1, 1), (1, 5), (2, 2), (2, 3), (3, 2), (4, 4), (5, 7)]
+    )
+    def test_swap_matrix(self, m, n):
+        assert np.array_equal(swap_matrix(m, n), swap_matrix_loop(m, n))
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 8, 16])
+    def test_power_reduce_matrix(self, dim):
+        assert np.array_equal(
+            power_reduce_matrix(dim), power_reduce_loop(dim)
+        )
+
+    def test_khatri_rao(self):
+        rnd = np.random.default_rng(7)
+        for _ in range(10):
+            rows_a, rows_b, cols = rnd.integers(1, 6, size=3)
+            a = rnd.integers(0, 3, size=(rows_a, cols))
+            b = rnd.integers(0, 3, size=(rows_b, cols))
+            assert np.array_equal(
+                khatri_rao(a, b), khatri_rao_loop(a, b)
+            )
+
+    def test_dtypes_preserved(self):
+        assert swap_matrix(3, 4).dtype == np.int64
+        assert power_reduce_matrix(5).dtype == np.int64
+
+
+class TestCanonicalRoundTrip:
+    def test_all_three_input_functions(self):
+        for bits in range(1 << 8):
+            table = TruthTable(bits, 3)
+            matrix = truth_table_to_canonical(table)
+            assert matrix.shape == (2, 8)
+            assert canonical_to_truth_table(matrix) == table
+
+    def test_random_four_input_sample(self):
+        rnd = random.Random(2023)
+        for _ in range(200):
+            table = TruthTable(rnd.getrandbits(16), 4)
+            matrix = truth_table_to_canonical(table)
+            assert canonical_to_truth_table(matrix) == table
+
+    def test_column_semantics(self):
+        # Column j holds the value at the bit-complemented row — the
+        # table read right-to-left (Definition 3).
+        table = TruthTable(0b1100_1010, 3)
+        matrix = truth_table_to_canonical(table)
+        for j in range(8):
+            value = table.value(7 ^ j)
+            assert matrix[1 - value, j] == 1
+            assert matrix[value, j] == 0

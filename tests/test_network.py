@@ -15,7 +15,6 @@ from repro.truthtable import (
     TruthTable,
     binary_op_table,
     from_hex,
-    projection,
 )
 
 

@@ -5,7 +5,6 @@ straight back to the corresponding claim in the paper.
 """
 
 import numpy as np
-import pytest
 
 from repro.chain import BooleanChain
 from repro.core import chain_all_sat, cubes_to_onset, synthesize, verify_chain
@@ -104,7 +103,6 @@ class TestSectionIIIB:
 
         result = synthesize(target, timeout=120)
         assert result.num_gates == 3
-        found = {c.signature() for c in result.chains}
         # Gate order may differ (xor-first vs and-first); compare up to
         # the per-node functions.
         def semantic(chain):

@@ -24,7 +24,7 @@ from repro.runtime.errors import (
     WorkerCrash,
     classify_failure,
 )
-from repro.runtime.executor import ExecutionOutcome, FaultTolerantExecutor
+from repro.runtime.executor import FaultTolerantExecutor
 from repro.runtime.faults import FaultPlan, FaultSpec, execute_fault
 from repro.runtime.worker import WorkerTask, run_isolated
 from repro.truthtable import from_hex

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.spec import Deadline, SynthesisSpec, SynthesisStats
 from repro.runtime.errors import BudgetExceeded, SynthesisError
-from repro.truthtable import from_hex, parity
+from repro.truthtable import parity
 
 
 class TestDeadline:

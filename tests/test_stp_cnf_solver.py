@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sat import CNF, all_models

@@ -26,7 +26,7 @@ from repro.stp import (
     truth_table_to_canonical,
     unit_vector,
 )
-from repro.truthtable import TruthTable, from_hex
+from repro.truthtable import TruthTable
 
 small_matrix = st.integers(1, 4).flatmap(
     lambda r: st.integers(1, 4).flatmap(

@@ -21,9 +21,7 @@ from repro.stp import (
     table_of_structural_matrix,
 )
 from repro.truthtable import (
-    TruthTable,
     apply_binary_op,
-    binary_op_table,
     majority,
 )
 

@@ -1,11 +1,10 @@
 """End-to-end tests of the flat STP exact synthesizer."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import STPSynthesizer, synthesize, synthesize_all, verify_chain
+from repro.core import STPSynthesizer, synthesize, verify_chain
 from repro.truthtable import (
     TruthTable,
     constant,

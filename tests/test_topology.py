@@ -1,7 +1,7 @@
 """Fence and pDAG enumeration tests (Section III-A, Figs. 2–3)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.topology import (
     all_fences,
