@@ -1,0 +1,135 @@
+"""jobs=1 vs jobs=N wall-clock comparison on an NPN4 subset.
+
+Runs the same suite twice through :func:`repro.bench.run_suite` — once
+sequentially, once through the parallel batch scheduler — with
+per-instance process isolation in both runs so the only variable is
+the scheduling.  Asserts that the aggregate counters (solved/timeout
+counts, gate counts, solution counts) are identical across the two
+runs, and writes a JSON report with both wall clocks and the speedup::
+
+    python benchmarks/bench_parallel.py --jobs 2 --count 10 \
+        --json BENCH_parallel_npn4.json
+
+CI runs this with ``--jobs 2`` and uploads the JSON as an artifact;
+``--min-speedup`` turns an insufficient speedup into a nonzero exit
+(left off by default — single-core containers cannot speed up).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.runner import default_algorithms, run_suite
+from repro.bench.suites import get_suite
+
+
+def _fingerprint(reports):
+    """Order-stable aggregate counters for the determinism check."""
+    return [
+        {
+            "algorithm": r.algorithm,
+            "solved": r.num_ok,
+            "timeouts": r.num_timeouts,
+            "gates": [o.num_gates for o in r.outcomes],
+            "solutions": [o.num_solutions for o in r.outcomes],
+        }
+        for r in reports
+    ]
+
+
+def _timed_run(functions, algorithms, timeout, jobs):
+    started = time.perf_counter()
+    reports = run_suite(
+        "npn4",
+        functions,
+        algorithms,
+        timeout,
+        jobs=jobs,
+        isolate=True,
+    )
+    wall = time.perf_counter() - started
+    return wall, reports
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the parallel batch scheduler."
+    )
+    parser.add_argument("--count", type=int, default=10)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--algorithms", nargs="+", default=["FEN", "STP"]
+    )
+    parser.add_argument(
+        "--json", type=str, default="BENCH_parallel_npn4.json"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless jobs=N is at least this much faster",
+    )
+    args = parser.parse_args(argv)
+
+    functions = get_suite("npn4", args.count)
+    wanted = {name.upper() for name in args.algorithms}
+    algorithms = [
+        a for a in default_algorithms(max_solutions=16) if a.name in wanted
+    ]
+    if not algorithms:
+        parser.error(f"no known algorithms among {sorted(wanted)}")
+
+    print(
+        f"npn4[{args.count}] x {[a.name for a in algorithms]}, "
+        f"jobs=1 then jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    sequential_wall, sequential = _timed_run(
+        functions, algorithms, args.timeout, jobs=1
+    )
+    parallel_wall, parallel = _timed_run(
+        functions, algorithms, args.timeout, jobs=args.jobs
+    )
+
+    identical = _fingerprint(sequential) == _fingerprint(parallel)
+    speedup = sequential_wall / parallel_wall if parallel_wall else 0.0
+    report = {
+        "benchmark": "parallel_npn4",
+        "suite": "npn4",
+        "count": args.count,
+        "algorithms": [a.name for a in algorithms],
+        "timeout": args.timeout,
+        "jobs": args.jobs,
+        "wall_seconds": {
+            "jobs_1": round(sequential_wall, 4),
+            f"jobs_{args.jobs}": round(parallel_wall, 4),
+        },
+        "speedup": round(speedup, 4),
+        "identical_counters": identical,
+        "counters": _fingerprint(parallel),
+    }
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"jobs=1: {sequential_wall:.2f}s  jobs={args.jobs}: "
+        f"{parallel_wall:.2f}s  speedup: {speedup:.2f}x  "
+        f"counters identical: {identical}",
+        file=sys.stderr,
+    )
+    if not identical:
+        print("error: aggregate counters diverged", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"error: speedup {speedup:.2f}x below "
+            f"--min-speedup {args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,10 +15,20 @@ log as they complete; re-running with the same path replays the
 completed instances and executes only the unfinished ones — a
 ``KeyboardInterrupt`` therefore loses at most the instance that was
 mid-flight.
+
+``jobs > 1`` shards the remaining instances across the parallel batch
+scheduler (:mod:`repro.parallel`): each instance runs in its own
+isolated, rlimit-capped worker process with a hard wall-clock kill,
+at most ``jobs`` alive at once.  Aggregate counters are byte-identical
+to a sequential run; only timings (and the ``worker`` attribution)
+differ.  With ``store_path``, every executor consults the persistent
+chain store before synthesizing and writes optimal results back — a
+warm store serves a repeated suite with zero new synthesis calls.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Iterable, Sequence
@@ -26,6 +36,8 @@ from typing import Callable, Iterable, Sequence
 from ..cache import get_cache
 from ..core.spec import SynthesisResult
 from ..engine import run_engine
+from ..parallel.progress import ProgressReporter
+from ..parallel.scheduler import BatchScheduler, BatchTask
 from ..runtime.checkpoint import CheckpointLog, instance_key
 from ..runtime.executor import ExecutionOutcome, FaultTolerantExecutor
 from ..runtime.faults import FaultPlan
@@ -107,6 +119,8 @@ class InstanceOutcome:
     engine: str = ""
     fallback_from: str | None = None
     cached: bool = False
+    #: Dispatcher that ran the instance (-1: sequential / replayed).
+    worker: int = -1
     #: JSON-safe per-run search/cache stats (``SynthesisStats.to_record``).
     stats: dict = field(default_factory=dict)
 
@@ -123,6 +137,7 @@ class InstanceOutcome:
             "status": self.status,
             "engine": self.engine,
             "fallback_from": self.fallback_from,
+            "worker": self.worker,
             "stats": self.stats,
         }
 
@@ -140,6 +155,7 @@ class InstanceOutcome:
             engine=record.get("engine", ""),
             fallback_from=record.get("fallback_from"),
             cached=True,
+            worker=int(record.get("worker", -1)),
             stats=record.get("stats", {}) or {},
         )
 
@@ -193,6 +209,32 @@ class SuiteReport:
             return float("nan")
         return self.mean_time / self.mean_solutions
 
+    @property
+    def num_store_hits(self) -> int:
+        """Instances served by the persistent chain store."""
+        return sum(1 for o in self.outcomes if o.engine == "store")
+
+    def worker_summary(self) -> dict[int, dict]:
+        """Per-worker fault/timeout accounting (parallel runs only).
+
+        Keyed by dispatcher id; instances run sequentially or replayed
+        from a checkpoint land under worker ``-1``.
+        """
+        summary: dict[int, dict] = {}
+        for outcome in self.outcomes:
+            bucket = summary.setdefault(
+                outcome.worker,
+                {"tasks": 0, "solved": 0, "timeouts": 0, "crashes": 0},
+            )
+            bucket["tasks"] += 1
+            if outcome.solved:
+                bucket["solved"] += 1
+            elif outcome.status == "timeout" or not outcome.error:
+                bucket["timeouts"] += 1
+            else:
+                bucket["crashes"] += 1
+        return summary
+
 
 def run_suite(
     suite_name: str,
@@ -207,6 +249,8 @@ def run_suite(
     max_retries: int = 1,
     memory_limit_mb: int | None = None,
     cache_path: str | None = None,
+    jobs: int = 1,
+    store_path: str | None = None,
 ) -> list[SuiteReport]:
     """Run every algorithm over every function; returns one report per
     algorithm.  Every returned chain is validated by simulation.
@@ -221,13 +265,43 @@ def run_suite(
     families) is loaded before the suite and saved after it, so
     resumed checkpoint runs and later suites skip re-enumerating the
     shared fence/DAG families.
+
+    ``jobs > 1`` dispatches the unfinished instances of *all*
+    algorithms through the batch scheduler; this implies process
+    isolation (the parallelism lives in forked workers), so every
+    algorithm needs a named engine chain.  ``store_path`` opens a
+    persistent chain store consulted lookup-before-synthesize and
+    written back on miss.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     if cache_path:
         get_cache().load(cache_path)
+    store = None
+    if store_path:
+        from ..store import ChainStore
+
+        store = ChainStore(store_path)
     log = CheckpointLog(checkpoint_path) if checkpoint_path else None
     done = log.load() if log is not None else {}
-    reports = []
+    algorithms = list(algorithms)
     try:
+        if jobs > 1:
+            return _run_suite_parallel(
+                suite_name,
+                functions,
+                algorithms,
+                timeout,
+                jobs,
+                verbose=verbose,
+                log=log,
+                done=done,
+                fault_plan=fault_plan,
+                max_retries=max_retries,
+                memory_limit_mb=memory_limit_mb,
+                store=store,
+            )
+        reports = []
         for algorithm in algorithms:
             executor = _executor_for(
                 algorithm,
@@ -235,6 +309,7 @@ def run_suite(
                 fault_plan=fault_plan,
                 max_retries=max_retries,
                 memory_limit_mb=memory_limit_mb,
+                store=store,
             )
             report = SuiteReport(algorithm.name, suite_name)
             reports.append(report)
@@ -255,9 +330,98 @@ def run_suite(
                 report.outcomes.append(outcome)
                 if verbose:
                     _print_progress(algorithm.name, outcome)
+        return reports
     finally:
         if cache_path:
             get_cache().save(cache_path)
+        if store is not None:
+            store.close()
+
+
+def _run_suite_parallel(
+    suite_name: str,
+    functions: Sequence[TruthTable],
+    algorithms: Sequence[Algorithm],
+    timeout: float,
+    jobs: int,
+    *,
+    verbose: bool,
+    log: CheckpointLog | None,
+    done: dict,
+    fault_plan: FaultPlan | None,
+    max_retries: int,
+    memory_limit_mb: int | None,
+    store,
+) -> list[SuiteReport]:
+    """Scheduler-backed suite execution (see :func:`run_suite`)."""
+    executors = {
+        algorithm.name: _executor_for(
+            algorithm,
+            isolate=True,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
+            memory_limit_mb=memory_limit_mb,
+            store=store,
+        )
+        for algorithm in algorithms
+    }
+    # One deterministic slot per (algorithm, function); checkpointed
+    # slots are pre-filled, the rest become scheduler tasks.
+    prefilled: dict[int, InstanceOutcome] = {}
+    tasks: list[BatchTask] = []
+    slot = 0
+    for algorithm in algorithms:
+        for function in functions:
+            key = instance_key(
+                suite_name, algorithm.name, function.to_hex()
+            )
+            record = done.get(key)
+            if record is not None:
+                prefilled[slot] = InstanceOutcome.from_record(record)
+            else:
+                tasks.append(
+                    BatchTask(
+                        index=slot,
+                        algorithm=algorithm.name,
+                        function=function,
+                        timeout=timeout,
+                        key=key,
+                    )
+                )
+            slot += 1
+
+    completed: dict[int, InstanceOutcome] = {}
+
+    def on_complete(task: BatchTask, outcome, worker: int) -> None:
+        instance = _to_instance_outcome(outcome, worker=worker)
+        completed[task.index] = instance
+        if log is not None:
+            log.append(instance.to_record(task.key))
+
+    progress = ProgressReporter(
+        len(tasks), stream=sys.stderr if verbose else None
+    )
+    scheduler = BatchScheduler(
+        executors,
+        jobs,
+        progress=progress,
+        on_complete=on_complete,
+    )
+    # KeyboardInterrupt propagates from here; everything completed is
+    # checkpointed via on_complete already.
+    scheduler.run(tasks)
+
+    reports = []
+    slot = 0
+    for algorithm in algorithms:
+        report = SuiteReport(algorithm.name, suite_name)
+        reports.append(report)
+        for _function in functions:
+            outcome = prefilled.get(slot) or completed.get(slot)
+            if outcome is None:  # pragma: no cover - scheduler contract
+                raise RuntimeError(f"slot {slot} never completed")
+            report.outcomes.append(outcome)
+            slot += 1
     return reports
 
 
@@ -268,6 +432,7 @@ def _executor_for(
     fault_plan: FaultPlan | None,
     max_retries: int,
     memory_limit_mb: int | None,
+    store=None,
 ) -> FaultTolerantExecutor:
     if algorithm.engines is not None:
         engines: Sequence = algorithm.engines
@@ -285,6 +450,7 @@ def _executor_for(
         memory_limit_mb=memory_limit_mb,
         fault_plan=fault_plan,
         engine_kwargs=algorithm.engine_kwargs,
+        store=store,
     )
 
 
@@ -297,7 +463,9 @@ def _run_instance(
     return _to_instance_outcome(outcome)
 
 
-def _to_instance_outcome(outcome: ExecutionOutcome) -> InstanceOutcome:
+def _to_instance_outcome(
+    outcome: ExecutionOutcome, worker: int = -1
+) -> InstanceOutcome:
     if outcome.solved:
         result = outcome.result
         return InstanceOutcome(
@@ -309,6 +477,7 @@ def _to_instance_outcome(outcome: ExecutionOutcome) -> InstanceOutcome:
             status="ok",
             engine=outcome.engine,
             fallback_from=outcome.fallback_from,
+            worker=worker,
             stats=result.stats.to_record(),
         )
     return InstanceOutcome(
@@ -319,6 +488,7 @@ def _to_instance_outcome(outcome: ExecutionOutcome) -> InstanceOutcome:
         status=outcome.status,
         engine=outcome.engine,
         fallback_from=outcome.fallback_from,
+        worker=worker,
     )
 
 

@@ -14,6 +14,7 @@ Examples::
     python -m repro.bench.table1 --suite npn4 --count 20 --timeout 60
     python -m repro.bench.table1 --suite fdsd6 fdsd8 --count 25
     python -m repro.bench.table1 --summary results.json
+    python -m repro.bench.table1 --suite npn4 --jobs 4 --store chains.db
 """
 
 from __future__ import annotations
@@ -194,6 +195,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(hard timeouts)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run up to N instances concurrently through the batch "
+        "scheduler (implies per-instance process isolation)",
+    )
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="persistent chain-store path (SQLite); solved classes "
+        "are served from the store and written back on miss",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=1,
@@ -244,6 +259,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 max_retries=args.retries,
                 memory_limit_mb=args.memory_limit_mb,
                 cache_path=args.cache,
+                jobs=args.jobs,
+                store_path=args.store,
             )
         except KeyboardInterrupt:
             print(
@@ -253,6 +270,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 130
         all_reports[suite_name] = reports
+        if args.store:
+            served = sum(r.num_store_hits for r in reports)
+            print(
+                f"chain store served {served} of "
+                f"{sum(len(r.outcomes) for r in reports)} instances",
+                file=sys.stderr,
+            )
 
     print_table(all_reports)
     summary = summarize(all_reports)

@@ -107,24 +107,54 @@ class TopologyCache:
             for key, family in self._store.items()
         }
 
+    @staticmethod
+    def sanitize_state(state) -> dict:
+        """Validated plain-data subset of a raw exported/unpickled state.
+
+        Keys normalize to ``(num_gates, num_pis, require_all_pis)`` and
+        every family to nested plain tuples; malformed entries are
+        dropped rather than raising (a stale or torn cache file must
+        never break a run).  Both :meth:`load_state` and the read-merge
+        step of concurrent cache saves run untrusted disk data through
+        this before using it.
+        """
+        if not isinstance(state, dict):
+            return {}
+        clean: dict = {}
+        for key, family in state.items():
+            try:
+                num_gates, num_pis, require_all_pis = key
+                plain = tuple(
+                    (
+                        tuple(fence),
+                        tuple(
+                            tuple(tuple(pair) for pair in fanins)
+                            for fanins in dag_fanins
+                        ),
+                    )
+                    for fence, dag_fanins in family
+                )
+                clean_key = (int(num_gates), int(num_pis), bool(require_all_pis))
+            except (TypeError, ValueError):
+                continue
+            clean[clean_key] = plain
+        return clean
+
     def load_state(self, state: dict) -> int:
         """Restore families exported by :meth:`export_state`.
 
         Returns the number of families restored; malformed entries are
-        skipped rather than raising (a stale cache file must never
-        break a run).
+        skipped via :meth:`sanitize_state`.
         """
         restored = 0
-        for key, family in state.items():
+        for key, family in self.sanitize_state(state).items():
+            _, num_pis, _ = key
             try:
-                num_gates, num_pis, require_all_pis = key
                 rebuilt = tuple(
                     (
-                        tuple(fence),
+                        fence,
                         tuple(
-                            DagTopology(num_pis, tuple(
-                                tuple(pair) for pair in fanins
-                            ), tuple(fence))
+                            DagTopology(num_pis, fanins, fence)
                             for fanins in dag_fanins
                         ),
                     )
@@ -132,8 +162,6 @@ class TopologyCache:
                 )
             except (TypeError, ValueError):
                 continue
-            self._store[(num_gates, num_pis, bool(require_all_pis))] = (
-                rebuilt
-            )
+            self._store[key] = rebuilt
             restored += 1
         return restored

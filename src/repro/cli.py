@@ -7,6 +7,7 @@ Installed as ``repro-synth`` (also ``python -m repro.cli``)::
     repro-synth e8 --vars 3 --cost depth --best-only
     repro-synth 8ff8 --vars 4 --blif out.blif # export the best chain
     repro-synth 8ff8 --vars 4 --isolate       # hard-timeout worker
+    repro-synth 8ff8 --vars 4 --store db.sqlite  # lookup-before-synthesize
 
 Synthesis runs through the fault-tolerant runtime: by default the
 selected engine degrades to the CNF fence baseline on a crash, and the
@@ -110,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
         "hit/miss counts after the solutions",
     )
     parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="persistent chain-store path (SQLite): serve the "
+        "function's NPN class from the store when present, write "
+        "back after synthesizing on a miss",
+    )
+    parser.add_argument(
         "--isolate",
         action="store_true",
         help="run the engine in a killable worker process "
@@ -165,14 +174,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             }
         )
+    store = None
+    if args.store:
+        from .store import ChainStore
+
+        store = ChainStore(args.store)
     executor = FaultTolerantExecutor(
         engines,
         isolate=args.isolate,
         memory_limit_mb=args.memory_limit_mb,
         fault_plan=fault_plan,
         engine_kwargs=engine_kwargs,
+        store=store,
     )
-    outcome = executor.run(target, timeout=args.timeout)
+    try:
+        outcome = executor.run(target, timeout=args.timeout)
+    finally:
+        if store is not None:
+            store.close()
 
     # The engine-fallback trail goes to stderr so stdout stays parseable.
     for record in outcome.trail:

@@ -1,0 +1,52 @@
+"""Live progress reporting for batch-synthesis runs.
+
+Dispatcher threads complete instances out of order; the reporter is
+the one place that serializes their announcements, so progress lines
+never interleave mid-line and the ETA maths sees a consistent count.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Thread-safe ``[done/total]`` progress lines on stderr.
+
+    The scheduler calls :meth:`tick` from its dispatcher threads as
+    instances complete; the reporter prints one line per completion
+    with a naive mean-rate ETA.  ``stream=None`` silences output while
+    keeping the counters, which is what the tests use.
+    """
+
+    def __init__(self, total: int, stream=sys.stderr) -> None:
+        self.total = total
+        self.done = 0
+        self._start = time.perf_counter()
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def tick(self, label: str, status: str, worker: int) -> None:
+        """Record (and optionally print) one completed instance."""
+        with self._lock:
+            self.done += 1
+            done = self.done
+            elapsed = time.perf_counter() - self._start
+        if self._stream is None:
+            return
+        remaining = max(0, self.total - done)
+        eta = (elapsed / done) * remaining if done else 0.0
+        print(
+            f"[{done}/{self.total}] {label}: {status} "
+            f"(worker {worker}, eta {eta:.0f}s)",
+            file=self._stream,
+        )
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the reporter was created."""
+        return time.perf_counter() - self._start

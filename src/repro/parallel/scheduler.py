@@ -1,0 +1,306 @@
+"""Parallel batch-synthesis scheduler.
+
+Table-I style workloads are embarrassingly parallel across instances,
+and every instance already runs (optionally) inside an isolated,
+rlimit-capped worker process with a hard wall-clock kill
+(:mod:`repro.runtime.worker`).  The scheduler exploits exactly that:
+``jobs`` lightweight dispatcher threads pull tasks from a bounded work
+queue and drive one :class:`~repro.runtime.executor.FaultTolerantExecutor`
+call each — so at any moment at most ``jobs`` forked synthesis workers
+are alive, each with its own deadline, retry/fallback chain, and
+memory cap, while the parent threads merely block on worker pipes.
+This reuses the whole fault-tolerance stack instead of a bare
+``ProcessPoolExecutor`` (which has no per-task hard kill and dies with
+its workers).
+
+Scheduling order is *longest-expected-first*: sorting the queue by a
+cost heuristic shrinks the makespan tail (a hard instance dispatched
+last would leave ``jobs - 1`` threads idle while it runs).  Results
+are re-ordered to the caller's task order before being returned, so
+aggregate reports are byte-identical regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..runtime.executor import ExecutionOutcome
+from ..truthtable.table import TruthTable
+from .progress import ProgressReporter
+
+__all__ = [
+    "BatchTask",
+    "WorkerStats",
+    "BatchScheduler",
+    "expected_cost",
+]
+
+_SENTINEL = None
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One (algorithm, function) unit of work in a batch."""
+
+    index: int
+    algorithm: str
+    function: TruthTable
+    timeout: float
+    #: Checkpoint identity; empty when the batch is not checkpointed.
+    key: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.algorithm} 0x{self.function.to_hex()}"
+
+
+@dataclass
+class WorkerStats:
+    """Per-dispatcher fault/timeout accounting."""
+
+    worker: int
+    tasks: int = 0
+    solved: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    busy_seconds: float = 0.0
+
+    def record(self, outcome: ExecutionOutcome, seconds: float) -> None:
+        self.tasks += 1
+        self.busy_seconds += seconds
+        if outcome.solved:
+            self.solved += 1
+        elif outcome.status == "timeout":
+            self.timeouts += 1
+        else:
+            self.crashes += 1
+
+    def to_record(self) -> dict:
+        """JSON-safe summary for batch reports."""
+        return {
+            "worker": self.worker,
+            "tasks": self.tasks,
+            "solved": self.solved,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "busy_seconds": round(self.busy_seconds, 6),
+        }
+
+
+def expected_cost(function: TruthTable) -> tuple[int, int]:
+    """Heuristic ordering key: larger means expected-slower.
+
+    Support size dominates (topology families and CNF sizes grow with
+    it); within a support size, functions with balanced on/off sets
+    tend to need more gates than near-constant ones.  The heuristic
+    only shapes the schedule — correctness never depends on it.
+    """
+    ones = function.count_ones()
+    balance = min(ones, function.num_rows - ones)
+    return (function.support_size(), balance)
+
+
+class BatchScheduler:
+    """Shard batch tasks across ``jobs`` concurrent executors.
+
+    Parameters
+    ----------
+    executors:
+        One fault-tolerant executor per algorithm name.  Executors are
+        shared across dispatcher threads; `FaultTolerantExecutor` keeps
+        all per-run state on the stack, so this is safe.
+    jobs:
+        Number of dispatcher threads = maximum concurrently-alive
+        synthesis workers.
+    queue_depth:
+        Bound on the work queue (default ``2 × jobs``): the feeder
+        blocks instead of materialising the whole suite in the queue.
+    progress:
+        Optional :class:`ProgressReporter` ticked on every completion.
+    on_complete:
+        Optional callback ``(task, outcome, worker_id)`` invoked
+        (serialized under one lock) as each instance finishes — the
+        bench runner hooks checkpoint appends here.
+    """
+
+    def __init__(
+        self,
+        executors: Mapping[str, object],
+        jobs: int,
+        *,
+        queue_depth: int | None = None,
+        progress: ProgressReporter | None = None,
+        on_complete: Callable[[BatchTask, ExecutionOutcome, int], None]
+        | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._executors = dict(executors)
+        self._jobs = jobs
+        self._queue_depth = queue_depth or max(2, 2 * jobs)
+        self._progress = progress
+        self._on_complete = on_complete
+        self._complete_lock = threading.Lock()
+        self.worker_stats: list[WorkerStats] = []
+
+    def run(
+        self, tasks: Sequence[BatchTask]
+    ) -> list[ExecutionOutcome | None]:
+        """Execute every task; returns outcomes in *task-list order*.
+
+        Dispatch order is longest-expected-first, but the returned
+        list lines up index-for-index with ``tasks``, so callers see a
+        deterministic order regardless of ``jobs``.  A
+        ``KeyboardInterrupt`` stops feeding, lets in-flight instances
+        finish (their hard timeouts still apply), and re-raises;
+        completed outcomes up to that point are in the returned
+        positions only via ``on_complete`` side effects.
+        """
+        indexes = {task.index for task in tasks}
+        if len(indexes) != len(tasks):
+            raise ValueError("task indexes must be unique")
+        for task in tasks:
+            if task.algorithm not in self._executors:
+                raise ValueError(
+                    f"no executor for algorithm {task.algorithm!r}"
+                )
+        if not tasks:
+            return []
+        results: dict[int, ExecutionOutcome] = {}
+        order = sorted(
+            tasks,
+            key=lambda t: (expected_cost(t.function), -t.index),
+            reverse=True,
+        )
+        work: queue.Queue = queue.Queue(maxsize=self._queue_depth)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        self.worker_stats = [WorkerStats(i) for i in range(self._jobs)]
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(i, work, stop, results, errors),
+                name=f"batch-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self._jobs)
+        ]
+        for thread in threads:
+            thread.start()
+        interrupted: BaseException | None = None
+        try:
+            self._feed(order, work, stop)
+        except KeyboardInterrupt as exc:
+            stop.set()
+            interrupted = exc
+        if stop.is_set():
+            self._drain(work)
+        self._send_sentinels(work, len(threads), stop)
+        for thread in threads:
+            thread.join()
+        if interrupted is not None:
+            raise interrupted
+        if errors:
+            raise errors[0]
+        return [results.get(task.index) for task in tasks]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _feed(
+        order: Sequence[BatchTask],
+        work: queue.Queue,
+        stop: threading.Event,
+    ) -> None:
+        """Enqueue tasks, backing off while the bounded queue is full.
+
+        The timeout loop (instead of a blocking ``put``) keeps the
+        feeder responsive to ``stop`` — a dead worker pool must not
+        leave the feeder wedged on a full queue.
+        """
+        for task in order:
+            while not stop.is_set():
+                try:
+                    work.put(task, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+            if stop.is_set():
+                return
+
+    @staticmethod
+    def _send_sentinels(
+        work: queue.Queue, count: int, stop: threading.Event
+    ) -> None:
+        """Post one shutdown sentinel per worker.
+
+        Discarding queued entries to make room is only legal once
+        ``stop`` is set (the workers are draining or dead); in normal
+        operation the put simply waits for a consumer.
+        """
+        for _ in range(count):
+            while True:
+                try:
+                    work.put(_SENTINEL, timeout=0.1)
+                    break
+                except queue.Full:  # pragma: no cover - timing dependent
+                    if stop.is_set():
+                        BatchScheduler._drain(work)
+
+    def _worker(
+        self,
+        worker_id: int,
+        work: queue.Queue,
+        stop: threading.Event,
+        results: dict,
+        errors: list,
+    ) -> None:
+        stats = self.worker_stats[worker_id]
+        while True:
+            task = work.get()
+            if task is _SENTINEL:
+                return
+            if stop.is_set():
+                continue  # drain without executing
+            executor = self._executors[task.algorithm]
+            started = time.perf_counter()
+            try:
+                outcome = executor.run(task.function, task.timeout)
+            except BaseException as exc:
+                errors.append(exc)
+                stop.set()
+                return
+            stats.record(outcome, time.perf_counter() - started)
+            results[task.index] = outcome
+            with self._complete_lock:
+                if self._on_complete is not None:
+                    try:
+                        self._on_complete(task, outcome, worker_id)
+                    except BaseException as exc:
+                        errors.append(exc)
+                        stop.set()
+                        return
+                if self._progress is not None:
+                    self._progress.tick(
+                        task.label,
+                        outcome.status
+                        + (
+                            f" {outcome.runtime:.3f}s"
+                            if outcome.solved
+                            else ""
+                        ),
+                        worker_id,
+                    )
+
+    @staticmethod
+    def _drain(work: queue.Queue) -> None:
+        try:
+            while True:
+                work.get_nowait()
+        except queue.Empty:
+            pass

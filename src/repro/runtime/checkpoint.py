@@ -11,15 +11,29 @@ re-executes only the unfinished instances.
 The format is deliberately dumb — ``{"key": ..., **fields}`` per line —
 so it is greppable, diffable, and tolerant of a torn final line from a
 hard kill (truncated trailing records are skipped on load).
+
+The log is safe under *concurrent appenders*: the parallel scheduler's
+dispatcher threads (and even separate processes sharing one path)
+append through an exclusive file lock, each record is written with a
+single ``write`` call and flushed before the lock drops, and replay
+deduplicates records by key — a duplicated instance (two racing runs,
+or a resume overlapping a crash) is counted once, with the latest
+record winning.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Iterator
 
 __all__ = ["CheckpointLog", "instance_key"]
+
+try:  # pragma: no cover - fcntl exists on every POSIX target
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 
 def instance_key(suite: str, algorithm: str, function_hex: str) -> str:
@@ -32,6 +46,9 @@ class CheckpointLog:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        #: Duplicate-key records dropped by the most recent ``load()``.
+        self.duplicates_dropped = 0
 
     @property
     def path(self) -> str:
@@ -42,14 +59,21 @@ class CheckpointLog:
         """All completed records keyed by ``record["key"]``.
 
         Later records win (a re-run instance overwrites its stale
-        entry); lines that fail to parse — e.g. a torn final write —
-        are skipped rather than poisoning the resume.
+        entry, so duplicates from concurrent appenders are never
+        double-counted); lines that fail to parse — e.g. a torn final
+        write — are skipped rather than poisoning the resume.  The
+        number of dropped duplicates is kept in
+        :attr:`duplicates_dropped`.
         """
         records: dict[str, dict] = {}
+        duplicates = 0
         for record in self._iter_records():
             key = record.get("key")
             if key:
+                if key in records:
+                    duplicates += 1
                 records[key] = record
+        self.duplicates_dropped = duplicates
         return records
 
     def _iter_records(self) -> Iterator[dict]:
@@ -68,16 +92,31 @@ class CheckpointLog:
                     yield record
 
     def append(self, record: dict) -> None:
-        """Durably append one record (flushed before returning)."""
+        """Durably append one record (flushed before returning).
+
+        The record is serialized *before* any lock is taken, written
+        with one ``write`` call under both a thread lock and an
+        exclusive ``flock``, and fsynced before the locks drop — so
+        concurrent appenders (threads or processes) can never
+        interleave partial lines.
+        """
         if "key" not in record:
             raise ValueError("checkpoint records need a 'key' field")
+        line = json.dumps(record, sort_keys=True) + "\n"
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self._path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._lock:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    handle.write(line)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def __len__(self) -> int:
         return len(self.load())

@@ -143,6 +143,13 @@ class FaultTolerantExecutor:
         and a later engine would inherit an empty budget anyway.
     engine_kwargs:
         Per-engine tuning knobs, e.g. ``{"stp": {"max_solutions": 64}}``.
+    store:
+        Optional persistent chain store
+        (:class:`~repro.store.ChainStore`).  ``run()`` consults it
+        *before* the engine chain — a hit is served through the inverse
+        NPN transform with ``engine == "store"`` and no worker is ever
+        forked — and writes solved results back on a miss.  Store
+        failures never fail a run; they degrade to a plain synthesis.
     """
 
     def __init__(
@@ -159,6 +166,7 @@ class FaultTolerantExecutor:
         verify: bool = True,
         fallback_on_timeout: bool = False,
         engine_kwargs: dict[str, dict] | None = None,
+        store=None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if not engines:
@@ -185,6 +193,7 @@ class FaultTolerantExecutor:
         self._verify = verify
         self._fallback_on_timeout = fallback_on_timeout
         self._engine_kwargs = engine_kwargs or {}
+        self._store = store
         self._sleep = sleep
 
     @property
@@ -219,6 +228,14 @@ class FaultTolerantExecutor:
         last_error: str = ""
         last_status: str = "crash"
 
+        stored = self._store_lookup(function)
+        if stored is not None:
+            outcome.status = "ok"
+            outcome.engine = "store"
+            outcome.result = stored
+            outcome.runtime = deadline.elapsed
+            return outcome
+
         for name, fn in self._engines:
             if first_engine is None:
                 first_engine = name
@@ -233,6 +250,7 @@ class FaultTolerantExecutor:
                 )
                 outcome.result = engine_done
                 outcome.runtime = deadline.elapsed
+                self._store_put(function, engine_done, name)
                 return outcome
             last_status, last_error = status, error
             if status == "timeout" and not self._fallback_on_timeout:
@@ -257,6 +275,39 @@ class FaultTolerantExecutor:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _store_lookup(self, function: TruthTable):
+        """Lookup-before-synthesize; any store failure is a miss."""
+        if self._store is None:
+            return None
+        try:
+            return self._store.lookup(function)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            return None
+
+    def _store_put(
+        self, function: TruthTable, result: SynthesisResult, engine: str
+    ) -> None:
+        """Write a solved result back to the store (best-effort).
+
+        Only results from engines whose declared capabilities include
+        exactness are persisted — the store's contract is *optimal*
+        chains, so a future heuristic engine must not poison it.
+        """
+        if self._store is None:
+            return
+        try:
+            from ..engine import engine_capabilities
+
+            if not engine_capabilities(engine).exact:
+                return
+            self._store.put(function, result, engine=engine)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            pass
+
     def _run_engine(
         self,
         name: str,

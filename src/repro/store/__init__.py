@@ -1,0 +1,20 @@
+"""Persistent chain store: synthesize once, serve the orbit forever.
+
+:class:`ChainStore` keeps every optimal chain the engines produce in a
+single SQLite file, keyed by NPN class and gate count.  The
+fault-tolerant executor consults it lookup-before-synthesize (the
+inverse NPN transform maps stored canonical chains onto any orbit
+member) and writes back on miss, so ``repro-synth --store``, the batch
+scheduler, and ``run_suite(store_path=...)`` all share one growing
+database.
+"""
+
+from .chainstore import ChainStore, DEFAULT_MAX_CHAINS_PER_CLASS
+from .serialize import chain_from_record, chain_to_record
+
+__all__ = [
+    "ChainStore",
+    "DEFAULT_MAX_CHAINS_PER_CLASS",
+    "chain_to_record",
+    "chain_from_record",
+]

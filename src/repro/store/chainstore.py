@@ -1,0 +1,252 @@
+"""Persistent NPN-keyed store of optimal chains.
+
+Exact synthesis is expensive and its answers never change: once any
+engine has produced the optimal chains of a function, every future
+request for any member of the same NPN class can be served by a
+transform instead of a search (the database idea behind Soeken et
+al.'s BMS and Haaswijk et al.'s fence flows).  The store records each
+solution set once, in *canonical* space — chains are rewritten through
+the class transform before being stored — and a lookup maps them back
+through the inverse transform of the queried orbit member, so one row
+serves the whole orbit.
+
+Rows are keyed by ``(num_vars, canonical_hex, num_gates)`` in SQLite:
+a single file, safe under concurrent readers and writers (WAL journal
+plus a busy timeout), queryable with ordinary tooling, and append-
+cheap.  Every lookup re-simulates the first reconstructed chain
+against the queried function, so a corrupt row degrades to a miss
+instead of serving a wrong circuit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from ..core.spec import SynthesisResult, SynthesisSpec
+from ..chain.transform import npn_transform_chain
+from ..truthtable.table import TruthTable
+from .serialize import chain_from_record, chain_to_record
+
+__all__ = ["ChainStore", "DEFAULT_MAX_CHAINS_PER_CLASS"]
+
+#: Cap on the stored solution set per class — the paper's all-solutions
+#: sets are capped at 256 in the harness as well.
+DEFAULT_MAX_CHAINS_PER_CLASS = 256
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS chains (
+    num_vars  INTEGER NOT NULL,
+    canon_hex TEXT    NOT NULL,
+    num_gates INTEGER NOT NULL,
+    engine    TEXT    NOT NULL,
+    solutions TEXT    NOT NULL,
+    created   REAL    NOT NULL,
+    PRIMARY KEY (num_vars, canon_hex, num_gates)
+)
+"""
+
+
+class ChainStore:
+    """SQLite-backed store of optimal chains, keyed by NPN class.
+
+    All chains are stored in the NPN-canonical input space; ``lookup``
+    rewrites them back through the inverse transform of the queried
+    function.  One instance may be shared across threads (operations
+    serialize on an internal lock); separate processes sharing the same
+    path coordinate through SQLite's own locking.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        max_chains_per_class: int = DEFAULT_MAX_CHAINS_PER_CLASS,
+    ) -> None:
+        self._path = os.fspath(path)
+        self._max_chains = max_chains_per_class
+        self._lock = threading.Lock()
+        directory = os.path.dirname(self._path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(
+            self._path, timeout=30.0, check_same_thread=False
+        )
+        with self._conn:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(_SCHEMA)
+        #: Served lookups / fell-through lookups / completed write-backs.
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Filesystem location of the SQLite database."""
+        return self._path
+
+    def _canonical(self, function: TruthTable):
+        from ..cache import get_cache
+
+        return get_cache().npn_canonical(function)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def lookup(self, function: TruthTable) -> SynthesisResult | None:
+        """Serve ``function``'s optimal chains from the store, or miss.
+
+        Picks the smallest recorded gate count for the class, rebuilds
+        every chain in the queried function's own input space, and
+        re-simulates the first one as a corruption guard.  Any failure
+        along the way (bad row, wrong simulation) counts as a miss.
+        """
+        started = time.perf_counter()
+        canon, transform = self._canonical(function)
+        row = self._fetch_row(function.num_vars, canon.to_hex())
+        if row is None:
+            self._miss()
+            return None
+        num_gates, engine, payload = row
+        try:
+            records = json.loads(payload)
+            inverse = transform.inverse()
+            chains = [
+                npn_transform_chain(chain_from_record(r), inverse)
+                for r in records
+            ]
+        except (ValueError, TypeError, json.JSONDecodeError):
+            self._miss()
+            return None
+        if not chains or chains[0].simulate_output() != function:
+            self._miss()
+            return None
+        with self._lock:
+            self.hits += 1
+        spec = SynthesisSpec(function=function)
+        return SynthesisResult(
+            spec=spec,
+            chains=chains,
+            num_gates=num_gates,
+            runtime=time.perf_counter() - started,
+        )
+
+    def _fetch_row(
+        self, num_vars: int, canon_hex: str
+    ) -> tuple[int, str, str] | None:
+        with self._lock:
+            try:
+                cursor = self._conn.execute(
+                    "SELECT num_gates, engine, solutions FROM chains "
+                    "WHERE num_vars = ? AND canon_hex = ? "
+                    "ORDER BY num_gates ASC LIMIT 1",
+                    (num_vars, canon_hex),
+                )
+                return cursor.fetchone()
+            except sqlite3.Error:
+                return None
+
+    def _miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        function: TruthTable,
+        result: SynthesisResult,
+        engine: str = "",
+    ) -> bool:
+        """Record a solution set for ``function``'s NPN class.
+
+        Chains are rewritten into canonical space before storage.  An
+        existing row at the same gate count is merged (union of
+        solution sets, capped); chains that fail to re-simulate are
+        dropped rather than stored.  Returns True when a row was
+        written.
+        """
+        if not result.chains or result.num_gates < 0:
+            return False
+        canon, transform = self._canonical(function)
+        canonical_chains = []
+        for chain in result.chains[: self._max_chains]:
+            rewritten = npn_transform_chain(chain, transform)
+            if rewritten.simulate_output() != canon:
+                continue
+            canonical_chains.append(rewritten)
+        if not canonical_chains:
+            return False
+        key = (function.num_vars, canon.to_hex(), result.num_gates)
+        with self._lock:
+            try:
+                with self._conn:
+                    self._merge_row(key, canonical_chains, engine)
+            except sqlite3.Error:
+                return False
+            self.writes += 1
+        return True
+
+    def _merge_row(self, key, canonical_chains, engine: str) -> None:
+        num_vars, canon_hex, num_gates = key
+        cursor = self._conn.execute(
+            "SELECT solutions FROM chains WHERE num_vars = ? AND "
+            "canon_hex = ? AND num_gates = ?",
+            key,
+        )
+        row = cursor.fetchone()
+        merged = {chain.signature(): chain for chain in canonical_chains}
+        if row is not None:
+            try:
+                for record in json.loads(row[0]):
+                    chain = chain_from_record(record)
+                    merged.setdefault(chain.signature(), chain)
+            except (ValueError, TypeError, json.JSONDecodeError):
+                pass  # corrupt row: overwrite with the fresh set
+        chains = sorted(merged.values(), key=lambda c: c.signature())
+        chains = chains[: self._max_chains]
+        payload = json.dumps([chain_to_record(c) for c in chains])
+        self._conn.execute(
+            "INSERT OR REPLACE INTO chains "
+            "(num_vars, canon_hex, num_gates, engine, solutions, created) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (num_vars, canon_hex, num_gates, engine, payload, time.time()),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            cursor = self._conn.execute("SELECT COUNT(*) FROM chains")
+            return int(cursor.fetchone()[0])
+
+    def counters(self) -> dict:
+        """JSON-safe hit/miss/write counters plus the row count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "classes": len(self),
+        }
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "ChainStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,53 @@
+"""JSON-safe serialization of Boolean chains.
+
+The chain store persists whole optimal-solution sets; checkpoint logs
+and the store both need a representation that is greppable, diffable,
+and stable across interpreter versions — so chains are stored as plain
+JSON objects rather than pickles.  The format mirrors the chain's
+construction API directly: a gate is ``[op, [fanins...]]`` and an
+output is ``[signal, complemented]``.
+"""
+
+from __future__ import annotations
+
+from ..chain.chain import BooleanChain
+
+__all__ = ["chain_to_record", "chain_from_record"]
+
+#: Bumped when the record layout changes; readers skip unknown versions.
+RECORD_VERSION = 1
+
+
+def chain_to_record(chain: BooleanChain) -> dict:
+    """A plain-data (JSON-safe) representation of ``chain``."""
+    return {
+        "v": RECORD_VERSION,
+        "inputs": chain.num_inputs,
+        "gates": [[gate.op, list(gate.fanins)] for gate in chain.gates],
+        "outputs": [
+            [signal, bool(complemented)]
+            for signal, complemented in chain.outputs
+        ],
+    }
+
+
+def chain_from_record(record: dict) -> BooleanChain:
+    """Rebuild a chain from :func:`chain_to_record` output.
+
+    Raises ``ValueError`` on malformed or unknown-version records so
+    callers can treat a corrupt store row as a cache miss.
+    """
+    if not isinstance(record, dict):
+        raise ValueError("chain record must be a dict")
+    if record.get("v") != RECORD_VERSION:
+        raise ValueError(f"unknown chain record version {record.get('v')!r}")
+    try:
+        chain = BooleanChain(int(record["inputs"]))
+        for op, fanins in record["gates"]:
+            chain.add_gate(int(op), tuple(int(f) for f in fanins))
+        for signal, complemented in record["outputs"]:
+            chain.set_output(int(signal), bool(complemented))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed chain record: {exc}") from None
+    chain.validate()
+    return chain

@@ -1,0 +1,231 @@
+"""Persistent chain-store tests.
+
+The acceptance path: store → lookup → inverse-NPN re-simulation for
+every 3-input NPN class; a cold miss falls through to the engine and
+writes back so the next request is served without any synthesis; a
+warm store serves a repeated suite with zero new synthesis calls.
+"""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.bench.runner import default_algorithms, run_suite
+from repro.bench.suites import get_suite
+from repro.engine import run_engine
+from repro.runtime.executor import FaultTolerantExecutor
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.store import ChainStore, chain_from_record, chain_to_record
+from repro.truthtable import from_hex
+from repro.truthtable.npn import NPNTransform, npn_classes
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_behaviour(self):
+        result = run_engine("fen", from_hex("e8", 3), 30.0)
+        for chain in result.chains:
+            rebuilt = chain_from_record(chain_to_record(chain))
+            assert rebuilt.simulate_output() == chain.simulate_output()
+            assert rebuilt.signature() == chain.signature()
+
+    def test_record_is_json_safe(self):
+        result = run_engine("fen", from_hex("e8", 3), 30.0)
+        record = chain_to_record(result.chains[0])
+        assert chain_from_record(
+            json.loads(json.dumps(record))
+        ).simulate_output() == result.chains[0].simulate_output()
+
+    def test_malformed_records_raise(self):
+        with pytest.raises(ValueError):
+            chain_from_record("not a dict")
+        with pytest.raises(ValueError):
+            chain_from_record({"v": 999})
+        with pytest.raises(ValueError):
+            chain_from_record({"v": 1, "inputs": 2, "gates": "x"})
+
+
+class TestRoundTripAllThreeInputClasses:
+    def test_every_class_serves_its_orbit(self, tmp_path):
+        """store → lookup → inverse-NPN re-simulation for all 3-input
+        NPN classes, probing a non-trivial orbit member of each."""
+        probe = NPNTransform(
+            perm=(2, 0, 1), input_flips=0b101, output_flip=True
+        )
+        with ChainStore(tmp_path / "chains.db") as store:
+            for rep in npn_classes(3):
+                result = run_engine("fen", rep, 30.0)
+                assert result.chains, f"0x{rep.to_hex()} unsolved"
+                assert store.put(rep, result, engine="fen")
+
+                member = probe.apply(rep)
+                served = store.lookup(member)
+                assert served is not None, f"0x{member.to_hex()} missed"
+                assert served.num_gates == result.num_gates
+                for chain in served.chains:
+                    assert chain.simulate_output() == member
+            assert store.hits == len(npn_classes(3))
+            assert len(store) >= 1
+
+    def test_lookup_times_are_recorded(self, tmp_path):
+        with ChainStore(tmp_path / "chains.db") as store:
+            function = from_hex("e8", 3)
+            store.put(function, run_engine("fen", function, 30.0), "fen")
+            served = store.lookup(function)
+            assert served is not None and served.runtime >= 0.0
+
+
+class TestExecutorIntegration:
+    def test_cold_miss_falls_through_and_writes_back(self, tmp_path):
+        path = str(tmp_path / "chains.db")
+        function = from_hex("8ff8", 4)
+
+        with ChainStore(path) as store:
+            executor = FaultTolerantExecutor(("fen",), store=store)
+            cold = executor.run(function, 60.0)
+            assert cold.solved and cold.engine == "fen"
+            assert store.writes >= 1
+
+        # Second run: the primary engine is scripted to crash on every
+        # attempt, so a solved outcome proves zero synthesis happened.
+        plan = FaultPlan(
+            {
+                function.to_hex(): FaultSpec(
+                    "crash", engine="fen", times=None
+                )
+            }
+        )
+        with ChainStore(path) as store:
+            executor = FaultTolerantExecutor(
+                ("fen",), store=store, fault_plan=plan
+            )
+            warm = executor.run(function, 60.0)
+            assert warm.solved
+            assert warm.engine == "store"
+            assert store.hits == 1
+            for chain in warm.result.chains:
+                assert chain.simulate_output() == function
+
+    def test_store_failure_degrades_to_synthesis(self, tmp_path):
+        path = str(tmp_path / "chains.db")
+        function = from_hex("e8", 3)
+        store = ChainStore(path)
+        store.close()  # every store call now fails internally
+        executor = FaultTolerantExecutor(("fen",), store=store)
+        outcome = executor.run(function, 30.0)
+        assert outcome.solved and outcome.engine == "fen"
+
+    def test_inexact_engines_never_populate_the_store(self, tmp_path):
+        from repro.engine import engine_capabilities
+
+        assert not engine_capabilities("hier").exact
+        with ChainStore(tmp_path / "chains.db") as store:
+            executor = FaultTolerantExecutor(("hier",), store=store)
+            outcome = executor.run(from_hex("e8", 3), 30.0)
+            assert outcome.solved
+            assert store.writes == 0 and len(store) == 0
+
+
+class TestCorruptionAndConcurrency:
+    def test_corrupt_row_degrades_to_miss(self, tmp_path):
+        path = str(tmp_path / "chains.db")
+        function = from_hex("e8", 3)
+        with ChainStore(path) as store:
+            store.put(function, run_engine("fen", function, 30.0), "fen")
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE chains SET solutions = '[{\"v\": 9}]'")
+        conn.close()
+        with ChainStore(path) as store:
+            assert store.lookup(function) is None
+            assert store.misses == 1
+
+    def test_merge_dedupes_and_unions_solutions(self, tmp_path):
+        function = from_hex("e8", 3)
+        result = run_engine("fen", function, 30.0, max_solutions=8)
+        with ChainStore(tmp_path / "chains.db") as store:
+            assert store.put(function, result, "fen")
+            assert store.put(function, result, "fen")  # same set again
+            served = store.lookup(function)
+            signatures = [c.signature() for c in served.chains]
+            assert len(signatures) == len(set(signatures))
+            assert len(signatures) == len(result.chains)
+
+    def test_concurrent_writers_share_one_file(self, tmp_path):
+        path = str(tmp_path / "chains.db")
+        reps = npn_classes(3)[:6]
+        results = {r: run_engine("fen", r, 30.0) for r in reps}
+        errors = []
+
+        def writer(rep):
+            try:
+                with ChainStore(path) as store:
+                    store.put(rep, results[rep], "fen")
+                    assert store.lookup(rep) is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(rep,)) for rep in reps
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with ChainStore(path) as store:
+            for rep in reps:
+                assert store.lookup(rep) is not None
+
+
+class TestSuiteWarmStore:
+    def test_warm_store_serves_suite_with_zero_synthesis(self, tmp_path):
+        """Acceptance: a repeated suite against a warm store performs
+        no new synthesis calls — proven by crashing every engine."""
+        path = str(tmp_path / "chains.db")
+        functions = get_suite("npn4", 4)
+        fen = [
+            a
+            for a in default_algorithms(max_solutions=16)
+            if a.name == "FEN"
+        ]
+        cold = run_suite(
+            "npn4", functions, fen, 60.0, store_path=path
+        )
+        assert cold[0].num_ok == 4
+        assert cold[0].num_store_hits == 0
+
+        plan = FaultPlan(
+            {
+                f.to_hex(): FaultSpec("crash", engine="fen", times=None)
+                for f in functions
+            }
+        )
+        warm = run_suite(
+            "npn4",
+            functions,
+            fen,
+            60.0,
+            store_path=path,
+            fault_plan=plan,
+        )
+        assert warm[0].num_ok == 4
+        assert warm[0].num_store_hits == 4
+        assert all(o.engine == "store" for o in warm[0].outcomes)
+        assert [o.num_gates for o in warm[0].outcomes] == [
+            o.num_gates for o in cold[0].outcomes
+        ]
+
+
+class TestSynthCli:
+    def test_repro_synth_store_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "chains.db")
+        argv = ["e8", "--vars", "3", "--engine", "fen", "--store", path]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[store]" in out
