@@ -218,13 +218,23 @@ class SuiteReport:
         """Per-worker fault/timeout accounting (parallel runs only).
 
         Keyed by dispatcher id; instances run sequentially or replayed
-        from a checkpoint land under worker ``-1``.
+        from a checkpoint land under worker ``-1``.  ``store_hits`` /
+        ``store_hit_seconds`` break out the instances each worker served
+        straight from the persistent chain store and the wall-clock
+        those served lookups cost.
         """
         summary: dict[int, dict] = {}
         for outcome in self.outcomes:
             bucket = summary.setdefault(
                 outcome.worker,
-                {"tasks": 0, "solved": 0, "timeouts": 0, "crashes": 0},
+                {
+                    "tasks": 0,
+                    "solved": 0,
+                    "timeouts": 0,
+                    "crashes": 0,
+                    "store_hits": 0,
+                    "store_hit_seconds": 0.0,
+                },
             )
             bucket["tasks"] += 1
             if outcome.solved:
@@ -233,6 +243,9 @@ class SuiteReport:
                 bucket["timeouts"] += 1
             else:
                 bucket["crashes"] += 1
+            if outcome.engine == "store":
+                bucket["store_hits"] += 1
+                bucket["store_hit_seconds"] += outcome.runtime
         return summary
 
 

@@ -262,6 +262,13 @@ def _print_stats(record: dict) -> None:
             f"cache {cache}: hits={hits.get(cache, 0)} "
             f"misses={misses.get(cache, 0)}"
         )
+    calls = record.get("kernel_calls", {})
+    seconds = record.get("kernel_seconds", {})
+    for kernel in sorted(set(calls) | set(seconds)):
+        line = f"kernel {kernel}: calls={calls.get(kernel, 0)}"
+        if kernel in seconds:
+            line += f" time={seconds[kernel]:.4f}s"
+        print(line)
 
 
 if __name__ == "__main__":

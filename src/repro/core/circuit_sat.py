@@ -18,6 +18,11 @@ The paper uses this solver to validate candidate chains coming out of
 matrix factorization (whose power-reduce steps introduce don't-care
 entries): enumerate all solutions for output target 1, simulate the
 solution set into a function ``f_s`` and accept iff ``f_s == f``.
+
+This module is the *tuple API* over the bit-parallel kernel layer: the
+traversal, MERGE, and onset expansion all run on packed two-plane
+integer cubes (:mod:`repro.kernels`); the functions here keep their
+historical tuple-cube signatures and convert at the boundary.
 """
 
 from __future__ import annotations
@@ -25,6 +30,16 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..chain.chain import BooleanChain
+from ..kernels import (
+    chain_onset,
+    merge_packed_sets,
+    pack_cube,
+    pack_cubes,
+    packed_all_sat,
+    packed_onset,
+    unpack_cube,
+    unpack_cubes,
+)
 from ..truthtable.table import TruthTable
 
 __all__ = [
@@ -45,68 +60,25 @@ _FREE = None
 
 def merge_cubes(c1: Cube, c2: Cube) -> Cube | None:
     """Combine two cubes; None when they assign some PI differently."""
-    merged = []
-    for v1, v2 in zip(c1, c2):
-        if v1 is _FREE:
-            merged.append(v2)
-        elif v2 is _FREE or v1 == v2:
-            merged.append(v1)
-        else:
-            return None
-    return tuple(merged)
+    n = len(c1)
+    p1, p2 = pack_cube(c1), pack_cube(c2)
+    merged = p1 | p2
+    if merged & (merged >> n) & ((1 << n) - 1):
+        return None
+    return unpack_cube(merged, n)
 
 
 def merge_cube_sets(
     set1: Iterable[Cube], set2: Iterable[Cube]
 ) -> set[Cube]:
     """The paper's MERGE: pairwise combination, conflicts dropped."""
-    result: set[Cube] = set()
+    list1 = list(set1)
     list2 = list(set2)
-    for c1 in set1:
-        for c2 in list2:
-            merged = merge_cubes(c1, c2)
-            if merged is not None:
-                result.add(merged)
-    return result
-
-
-def _traverse(
-    chain: BooleanChain,
-    signal: int,
-    target: int,
-    memo: dict[tuple[int, int], frozenset[Cube]],
-) -> frozenset[Cube]:
-    """Algorithm 2: all PI cubes driving ``signal`` to ``target``."""
-    key = (signal, target)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    n = chain.num_inputs
-    if chain.is_input(signal):
-        cube = tuple(
-            target if i == signal else _FREE for i in range(n)
-        )
-        result = frozenset((cube,))
-        memo[key] = result
-        return result
-    gate = chain.gate(signal)
-    solutions: set[Cube] = set()
-    arity = gate.arity
-    for row in range(1 << arity):
-        if ((gate.op >> row) & 1) != target:
-            continue
-        # Row dictates one target per child; merge child cube sets.
-        partial: set[Cube] = {tuple([_FREE] * n)}
-        for i, fanin in enumerate(gate.fanins):
-            child_target = (row >> i) & 1
-            child_cubes = _traverse(chain, fanin, child_target, memo)
-            partial = merge_cube_sets(partial, child_cubes)
-            if not partial:
-                break
-        solutions.update(partial)
-    result = frozenset(solutions)
-    memo[key] = result
-    return result
+    if not list1 or not list2:
+        return set()
+    n = len(list1[0])
+    merged = merge_packed_sets(pack_cubes(list1), pack_cubes(list2), n)
+    return unpack_cubes(merged, n)
 
 
 def chain_all_sat(
@@ -117,42 +89,18 @@ def chain_all_sat(
     ``targets`` defaults to all-1 (every PO satisfied).  Output
     complement flags are folded into the propagated target.
     """
-    outputs = chain.outputs
-    if not outputs:
-        raise ValueError("chain has no outputs")
-    if targets is None:
-        targets = [1] * len(outputs)
-    if len(targets) != len(outputs):
-        raise ValueError("one target per output required")
-
-    memo: dict[tuple[int, int], frozenset[Cube]] = {}
-    n = chain.num_inputs
-    solutions: set[Cube] = {tuple([_FREE] * n)}
-    for (signal, complemented), target in zip(outputs, targets):
-        node_target = target ^ int(complemented)
-        po_cubes = _traverse(chain, signal, node_target, memo)
-        solutions = merge_cube_sets(solutions, po_cubes)
-        if not solutions:
-            break
-    return solutions
+    packed = packed_all_sat(chain, targets)
+    return unpack_cubes(packed, chain.num_inputs)
 
 
 def cubes_to_onset(cubes: Iterable[Cube], num_inputs: int) -> int:
-    """Expand a cube set into a bitmask of satisfied minterms."""
-    onset = 0
-    for cube in cubes:
-        free = [i for i, v in enumerate(cube) if v is _FREE]
-        base = 0
-        for i, v in enumerate(cube):
-            if v == 1:
-                base |= 1 << i
-        for combo in range(1 << len(free)):
-            row = base
-            for j, var in enumerate(free):
-                if (combo >> j) & 1:
-                    row |= 1 << var
-            onset |= 1 << row
-    return onset
+    """Expand a cube set into a bitmask of satisfied minterms.
+
+    Word-parallel: each free variable doubles the minterm set with one
+    big-int shift-or (the kernel's subset-sum over free-bit positions)
+    instead of enumerating ``2^free`` combinations in Python.
+    """
+    return packed_onset(pack_cubes(cubes), num_inputs)
 
 
 def simulate_solutions(
@@ -165,8 +113,8 @@ def simulate_solutions(
 def verify_chain(chain: BooleanChain, target: TruthTable) -> bool:
     """Step (iv) of the paper's algorithm: the chain is a valid
     realisation iff AllSAT(output=1) expands exactly to the onset of
-    the target function."""
+    the target function.  Runs entirely on packed cubes — no tuple
+    round-trip."""
     if target.num_vars != chain.num_inputs:
         raise ValueError("arity mismatch between chain and target")
-    cubes = chain_all_sat(chain)
-    return cubes_to_onset(cubes, chain.num_inputs) == target.bits
+    return chain_onset(chain) == target.bits

@@ -40,6 +40,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
+from ..kernels.bitops import array_to_bits, bits_to_array, var_mask
+from ..kernels.factorization import (
+    FLIP_INPUT0,
+    FLIP_INPUT1,
+    expand_array,
+    expand_positions,
+    index_maps,
+    localize_array,
+    quartering_blocks,
+)
 from ..truthtable.table import TruthTable
 from .spec import Deadline
 
@@ -48,24 +60,14 @@ __all__ = ["Factorization", "FactorizationEngine", "is_complement_closed"]
 
 def is_complement_closed(ops: Sequence[int]) -> bool:
     """True when the operator set is closed under complementing either
-    input or the output (required for the minimality prunes)."""
+    input or the output (required for the minimality prunes).  The
+    input complements are the kernel layer's precomputed 16-entry flip
+    tables."""
     op_set = set(ops)
     for code in ops:
-        flip_a = _permute_code(code, flip0=True)
-        flip_b = _permute_code(code, flip1=True)
-        flip_out = code ^ 0xF
-        if not {flip_a, flip_b, flip_out} <= op_set:
+        if not {FLIP_INPUT0[code], FLIP_INPUT1[code], code ^ 0xF} <= op_set:
             return False
     return True
-
-
-def _permute_code(code: int, flip0: bool = False, flip1: bool = False) -> int:
-    out = 0
-    for row in range(4):
-        src = row ^ (1 if flip0 else 0) ^ (2 if flip1 else 0)
-        if (code >> src) & 1:
-            out |= 1 << row
-    return out
 
 
 @dataclass(frozen=True)
@@ -232,40 +234,21 @@ class FactorizationEngine:
     # local/global conversions (cached)
     # ------------------------------------------------------------------
     def _localize(self, bits: int, vars_sorted: tuple[int, ...]) -> int | None:
-        """Project a global table onto a cone; None if support leaks."""
+        """Project a global table onto a cone; None if support leaks.
+
+        One kernel gather reads the cone rows off the global table and
+        the rebuild-compare leak check is a second gather.
+        """
         key = (bits, vars_sorted)
         if key in self._localize_cache:
             return self._localize_cache[key]
-        local_bits = 0
-        leak = False
-        # Verify the value only depends on the cone and read it off.
-        for alpha in range(1 << len(vars_sorted)):
-            row = 0
-            for i, v in enumerate(vars_sorted):
-                if (alpha >> i) & 1:
-                    row |= 1 << v
-            value = (bits >> row) & 1
-            if value:
-                local_bits |= 1 << alpha
-        # Leak check: rebuild and compare.
-        rebuilt = self._expand(local_bits, vars_sorted)
-        if rebuilt != bits:
-            leak = True
-        result = None if leak else local_bits
+        local, leak = localize_array(bits, vars_sorted, self._num_vars)
+        result = None if leak else array_to_bits(local)
         self._localize_cache[key] = result
         return result
 
     def _expand(self, local_bits: int, vars_sorted: tuple[int, ...]) -> int:
-        n = self._num_vars
-        out = 0
-        for m in range(1 << n):
-            alpha = 0
-            for i, v in enumerate(vars_sorted):
-                if (m >> v) & 1:
-                    alpha |= 1 << i
-            if (local_bits >> alpha) & 1:
-                out |= 1 << m
-        return out
+        return expand_array(local_bits, vars_sorted, self._num_vars)
 
     def _globalize(
         self, local_bits: int, vars_sorted: tuple[int, ...]
@@ -286,37 +269,12 @@ class FactorizationEngine:
     def _maps(
         self, nu: int, a_pos: tuple[int, ...], b_pos: tuple[int, ...]
     ) -> tuple:
-        """Per-shape index maps γ → (α, β), cached."""
+        """Per-shape index maps γ → (α, β), cached (kernel arrays)."""
         key = (nu, a_pos, b_pos)
         cached = self._shape_cache.get(key)
         if cached is not None:
             return cached
-        size = 1 << nu
-        amap = [0] * size
-        bmap = [0] * size
-        for gamma in range(size):
-            alpha = 0
-            for i, p in enumerate(a_pos):
-                if (gamma >> p) & 1:
-                    alpha |= 1 << i
-            beta = 0
-            for i, p in enumerate(b_pos):
-                if (gamma >> p) & 1:
-                    beta |= 1 << i
-            amap[gamma] = alpha
-            bmap[gamma] = beta
-        # For the disjoint fast path: γ for each (α, β).
-        disjoint = not (set(a_pos) & set(b_pos)) and len(a_pos) + len(
-            b_pos
-        ) == nu
-        gamma_of = None
-        if disjoint:
-            gamma_of = [
-                [0] * (1 << len(b_pos)) for _ in range(1 << len(a_pos))
-            ]
-            for gamma in range(size):
-                gamma_of[amap[gamma]][bmap[gamma]] = gamma
-        result = (amap, bmap, disjoint, gamma_of)
+        result = index_maps(nu, a_pos, b_pos)
         self._shape_cache[key] = result
         return result
 
@@ -392,64 +350,63 @@ class FactorizationEngine:
         nu: int,
         a_pos: tuple[int, ...],
         b_pos: tuple[int, ...],
-        gamma_of: list,
+        gamma_of: np.ndarray,
         fixed_a: int | None,
         fixed_b: int | None,
         canonical: bool,
     ) -> Iterator[tuple[int, int, int]]:
-        """Quartering-part factorization for disjoint cones."""
+        """Quartering-part factorization for disjoint cones.
+
+        The column blocks and their grouping run as one kernel gather
+        plus ``np.unique(axis=0)``; the per-β allowed-value scan is a
+        pair of vectorized comparisons.  Only the (cap-bounded,
+        order-sensitive) free-cell enumeration stays a Python loop.
+        """
         na, nb = len(a_pos), len(b_pos)
         size_a, size_b = 1 << na, 1 << nb
 
-        # Column blocks: for each α the β-profile of g_v.
-        blocks = []
-        for alpha in range(size_a):
-            row = gamma_of[alpha]
-            bits = 0
-            for beta in range(size_b):
-                if (gv_bits >> row[beta]) & 1:
-                    bits |= 1 << beta
-            blocks.append(bits)
+        # Column blocks: for each α the β-profile of g_v, as a matrix.
+        blocks = quartering_blocks(gv_bits, nu, gamma_of)
 
         if fixed_a is None:
-            distinct = sorted(set(blocks))
-            if len(distinct) != 2:
+            uniq, inverse = np.unique(
+                blocks, axis=0, return_inverse=True
+            )
+            if uniq.shape[0] != 2:
                 return  # not factorable (Example 5.2) or degenerate
             # The block indicator is g_a up to polarity; both polarities
             # are genuine, distinct solutions (their sub-chains differ),
             # so enumerate both — AllSAT semantics.
-            block0 = blocks[0]
-            a_bits = 0
-            for alpha in range(size_a):
-                if blocks[alpha] != block0:
-                    a_bits |= 1 << alpha
-            other = next(b for b in distinct if b != block0)
+            idx0 = int(inverse[0])
+            a_bits = array_to_bits(inverse != idx0)
+            c_row = uniq[1 - idx0]  # β-profile of the g_a = 1 group
+            d_row = uniq[idx0]
             full_a = (1 << size_a) - 1
             # a_bits has bit 0 clear (α = 0 falls in the block0 group),
             # i.e. it is the *normal* polarity; the complemented
             # indicator is the other member of the polarity orbit.
-            a_candidates = [(a_bits, other, block0)]
+            a_candidates = [(a_bits, c_row, d_row)]
             if not canonical:
-                a_candidates.append((a_bits ^ full_a, block0, other))
+                a_candidates.append((a_bits ^ full_a, d_row, c_row))
         else:
             # A is pinned; both groups must be internally uniform.
-            ones = [
-                blocks[alpha]
-                for alpha in range(size_a)
-                if (fixed_a >> alpha) & 1
-            ]
-            zeros = [
-                blocks[alpha]
-                for alpha in range(size_a)
-                if not (fixed_a >> alpha) & 1
-            ]
-            if len(set(ones)) > 1 or len(set(zeros)) > 1:
+            fa = bits_to_array(fixed_a, size_a).astype(bool)
+            ones = blocks[fa]
+            zeros = blocks[~fa]
+            if ones.size and (ones != ones[0]).any():
                 return
-            c_block = ones[0] if ones else None
-            d_block = zeros[0] if zeros else None
-            a_candidates = [(fixed_a, c_block, d_block)]
+            if zeros.size and (zeros != zeros[0]).any():
+                return
+            c_row = ones[0] if ones.size else None
+            d_row = zeros[0] if zeros.size else None
+            a_candidates = [(fixed_a, c_row, d_row)]
 
-        for a_bits, c_block, d_block in a_candidates:
+        fb_arr = (
+            None
+            if fixed_b is None
+            else bits_to_array(fixed_b, size_b).astype(bool)
+        )
+        for a_bits, c_row, d_row in a_candidates:
             if not self._admissible_local(
                 a_bits, a_pos, gv_bits, nu, fixed_a is not None
             ):
@@ -469,47 +426,30 @@ class FactorizationEngine:
                     and ((code >> (2 | a0)) & 1) != g0
                 ):
                     continue
-                # Allowed B value per β given the two block constraints.
-                forced = 0
-                free: list[int] = []
-                feasible = True
-                for beta in range(size_b):
-                    allowed = 0
-                    for v in (0, 1):
-                        ok = True
-                        if c_block is not None:
-                            want = (c_block >> beta) & 1
-                            if ((code >> ((v << 1) | 1)) & 1) != want:
-                                ok = False
-                        if ok and d_block is not None:
-                            want = (d_block >> beta) & 1
-                            if ((code >> (v << 1)) & 1) != want:
-                                ok = False
-                        if ok:
-                            allowed |= 1 << v
-                    if allowed == 0:
-                        feasible = False
-                        break
-                    if allowed == 2:
-                        forced |= 1 << beta
-                    elif allowed == 3:
-                        free.append(beta)
-                if not feasible:
+                # Allowed B value per β given the two block constraints:
+                # value v works iff φ(1, v) matches the c profile and
+                # φ(0, v) matches the d profile, elementwise over β.
+                avs = []
+                for v in (0, 1):
+                    ok = np.ones(size_b, dtype=bool)
+                    if c_row is not None:
+                        ok &= c_row == ((code >> ((v << 1) | 1)) & 1)
+                    if d_row is not None:
+                        ok &= d_row == ((code >> (v << 1)) & 1)
+                    avs.append(ok)
+                allowed0, allowed1 = avs
+                if not (allowed0 | allowed1).all():
                     continue
-                if fixed_b is not None:
-                    # Check the pinned B against the constraints.
-                    consistent = True
-                    for beta in range(size_b):
-                        v = (fixed_b >> beta) & 1
-                        want_bit = (forced >> beta) & 1
-                        if beta in free:
-                            continue
-                        if v != want_bit:
-                            consistent = False
-                            break
-                    if consistent:
+                forced_arr = allowed1 & ~allowed0
+                free_arr = allowed0 & allowed1
+                forced = array_to_bits(forced_arr)
+                if fb_arr is not None:
+                    # Check the pinned B against the constraints: every
+                    # non-free cell must carry its forced value.
+                    if (free_arr | (fb_arr == forced_arr)).all():
                         yield (code, a_bits, fixed_b)
                     continue
+                free = np.flatnonzero(free_arr).tolist()
                 if canonical and forced & 1 and 0 not in free:
                     continue  # B would not be normal
                 emitted = 0
@@ -534,8 +474,8 @@ class FactorizationEngine:
         nu: int,
         a_pos: tuple[int, ...],
         b_pos: tuple[int, ...],
-        amap: list[int],
-        bmap: list[int],
+        amap: np.ndarray,
+        bmap: np.ndarray,
         fixed_a: int | None,
         fixed_b: int | None,
         canonical: bool,
@@ -555,6 +495,11 @@ class FactorizationEngine:
                 fixed_a, fixed_b, canonical,
             )
             return
+
+        # The CSP itself branches on scalar cells; plain lists index
+        # faster than 0-d array reads in that inner loop.
+        amap = amap.tolist()
+        bmap = bmap.tolist()
 
         cons_a: list[list[tuple[int, int]]] = [[] for _ in range(size_a)]
         cons_b: list[list[tuple[int, int]]] = [[] for _ in range(size_b)]
@@ -707,8 +652,8 @@ class FactorizationEngine:
         nu: int,
         a_pos: tuple[int, ...],
         b_pos: tuple[int, ...],
-        amap: list[int],
-        bmap: list[int],
+        amap: np.ndarray,
+        bmap: np.ndarray,
         fixed_a: int | None,
         fixed_b: int | None,
         canonical: bool,
@@ -718,67 +663,63 @@ class FactorizationEngine:
         With (say) ``g_a`` known, each constraint involves exactly one
         unknown ``B_β`` cell, so the solution set is a per-cell domain
         intersection followed by a cartesian expansion of the cells
-        left unconstrained — no search required.
+        left unconstrained — no search required.  Both the both-pinned
+        check and the one-sided domain intersection are vectorized over
+        the γ rows.
         """
         na, nb = len(a_pos), len(b_pos)
         size_a, size_b = 1 << na, 1 << nb
         size_g = 1 << nu
+        gv_arr = bits_to_array(gv_bits, size_g)
 
         if fixed_a is not None and fixed_b is not None:
+            ua = bits_to_array(fixed_a, size_a)[amap]
+            vb = bits_to_array(fixed_b, size_b)[bmap]
+            rows = (vb.astype(np.int64) << 1) | ua
             for code in self._ops:
-                ok = True
-                for gamma in range(size_g):
-                    u = (fixed_a >> amap[gamma]) & 1
-                    v = (fixed_b >> bmap[gamma]) & 1
-                    if ((code >> ((v << 1) | u)) & 1) != (
-                        (gv_bits >> gamma) & 1
-                    ):
-                        ok = False
-                        break
-                if ok:
+                if np.array_equal(
+                    (np.int64(code) >> rows) & 1, gv_arr
+                ):
                     yield (code, fixed_a, fixed_b)
             return
 
         # Exactly one side pinned; orient so A is the pinned side.
         swap = fixed_a is None
         if swap:
-            pin, pin_map = fixed_b, bmap
+            pin, pin_size, pin_map = fixed_b, size_b, bmap
             free_size, free_map, free_pos = size_a, amap, a_pos
         else:
-            pin, pin_map = fixed_a, amap
+            pin, pin_size, pin_map = fixed_a, size_a, amap
             free_size, free_map, free_pos = size_b, bmap, b_pos
 
+        pin_vals = bits_to_array(pin, pin_size)[pin_map].astype(np.int64)
+        free_map_arr = np.asarray(free_map)
+
         for code in self._ops:
-            # rel_pin[u] = (allowed free values when pinned value is u
-            # and the target is t) — precompute the 2×2 relation.
-            allowed = [3] * free_size
-            feasible = True
-            for gamma in range(size_g):
-                u = (pin >> pin_map[gamma]) & 1
-                t = (gv_bits >> gamma) & 1
-                mask = 0
-                for v in (0, 1):
-                    row = ((u << 1) | v) if swap else ((v << 1) | u)
-                    if ((code >> row) & 1) == t:
-                        mask |= 1 << v
-                cell = free_map[gamma]
-                allowed[cell] &= mask
-                if not allowed[cell]:
-                    feasible = False
-                    break
-            if not feasible:
+            # For each candidate free value v, which γ rows does the
+            # operator satisfy?  Fold those row verdicts into per-cell
+            # domains with an AND-scatter over the γ → cell map.
+            avs = []
+            for v in (0, 1):
+                rows = (
+                    ((pin_vals << 1) | v)
+                    if swap
+                    else ((np.int64(v) << 1) | pin_vals)
+                )
+                sat = ((np.int64(code) >> rows) & 1) == gv_arr
+                allowed_v = np.ones(free_size, dtype=bool)
+                np.logical_and.at(allowed_v, free_map_arr, sat)
+                avs.append(allowed_v)
+            allowed0, allowed1 = avs
+            if not (allowed0 | allowed1).all():
                 continue
             if canonical:
-                allowed[0] &= 1  # free child must be normal
-                if not allowed[0]:
+                # Free child must be normal: value 0 on the all-zero row.
+                if not allowed0[0]:
                     continue
-            forced = 0
-            free_cells = []
-            for cell in range(free_size):
-                if allowed[cell] == 2:
-                    forced |= 1 << cell
-                elif allowed[cell] == 3:
-                    free_cells.append(cell)
+                allowed1[0] = False
+            forced = array_to_bits(allowed1 & ~allowed0)
+            free_cells = np.flatnonzero(allowed0 & allowed1).tolist()
             emitted = 0
             for combo in range(1 << len(free_cells)):
                 bits = forced
@@ -800,42 +741,11 @@ class FactorizationEngine:
 
 def _local_depends(bits: int, num_vars: int, var: int) -> bool:
     """Does a local table depend on local variable ``var``?"""
-    mask = _var_mask_local(var, num_vars)
+    mask = var_mask(var, num_vars)
     shift = 1 << var
     hi = (bits & mask) >> shift
     lo = bits & (mask >> shift)
     return hi != lo
-
-
-_VAR_MASK_CACHE: dict[tuple[int, int], int] = {}
-
-
-def _var_mask_local(var: int, num_vars: int) -> int:
-    key = (var, num_vars)
-    mask = _VAR_MASK_CACHE.get(key)
-    if mask is None:
-        block = ((1 << (1 << var)) - 1) << (1 << var)
-        mask = 0
-        period = 1 << (var + 1)
-        for start in range(0, 1 << num_vars, period):
-            mask |= block << start
-        _VAR_MASK_CACHE[key] = mask
-    return mask
-
-
-def _expand_positions(
-    child_bits: int, positions: tuple[int, ...], nu: int
-) -> int:
-    """Expand a child-local table onto the union-local row space."""
-    out = 0
-    for gamma in range(1 << nu):
-        alpha = 0
-        for i, p in enumerate(positions):
-            if (gamma >> p) & 1:
-                alpha |= 1 << i
-        if (child_bits >> alpha) & 1:
-            out |= 1 << gamma
-    return out
 
 
 _EXPAND_CACHE: dict[tuple[int, tuple[int, ...], int], int] = {}
@@ -844,9 +754,10 @@ _EXPAND_CACHE: dict[tuple[int, tuple[int, ...], int], int] = {}
 def _expand_positions_cached(
     child_bits: int, positions: tuple[int, ...], nu: int
 ) -> int:
+    """Expand a child-local table onto the union-local row space."""
     key = (child_bits, positions, nu)
     out = _EXPAND_CACHE.get(key)
     if out is None:
-        out = _expand_positions(child_bits, positions, nu)
+        out = expand_positions(child_bits, positions, nu)
         _EXPAND_CACHE[key] = out
     return out

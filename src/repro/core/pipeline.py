@@ -35,6 +35,7 @@ from ..chain.transform import (
     shrink_to_support,
     trivial_chain,
 )
+from ..kernels import KERNEL_STATS
 from ..runtime.errors import SynthesisInfeasible
 from ..topology.dag import DagTopology
 from ..truthtable.npn import NPNTransform
@@ -56,6 +57,13 @@ __all__ = [
 
 #: Cross-run cache of size lower bounds, keyed by (table bits, arity).
 _BOUND_CACHE: dict[tuple[int, int], int] = {}
+
+#: Re-entrancy depth of :func:`run_pipeline` in this process.  Nested
+#: runs (an engine adapter delegating to the pipeline, say) must not
+#: fold the kernel-counter delta twice, so only the outermost call —
+#: the one returning to depth 0 — owns the window between its snapshot
+#: and the global counters.
+_PIPELINE_DEPTH = 0
 
 
 @dataclass
@@ -82,20 +90,36 @@ def run_pipeline(
     spec: SynthesisSpec, ctx: SynthesisContext | None = None
 ) -> SynthesisResult:
     """Run the full stage sequence for one synthesis problem."""
+    global _PIPELINE_DEPTH
     if ctx is None:
         ctx = SynthesisContext.create(timeout=spec.timeout)
     start = time.perf_counter()
-    state = normalize_stage(spec, ctx)
-    if state.trivial is not None:
+    kernel_snapshot = KERNEL_STATS.snapshot()
+    _PIPELINE_DEPTH += 1
+    try:
+        state = normalize_stage(spec, ctx)
+        if state.trivial is not None:
+            return SynthesisResult(
+                spec,
+                [state.trivial],
+                0,
+                time.perf_counter() - start,
+                ctx.stats,
+            )
+        canonicalize_stage(state, ctx)
+        search_stage(state, ctx)
+        chains = finalize_stage(state, ctx)
         return SynthesisResult(
-            spec, [state.trivial], 0, time.perf_counter() - start, ctx.stats
+            spec,
+            chains,
+            state.num_gates,
+            time.perf_counter() - start,
+            ctx.stats,
         )
-    canonicalize_stage(state, ctx)
-    search_stage(state, ctx)
-    chains = finalize_stage(state, ctx)
-    return SynthesisResult(
-        spec, chains, state.num_gates, time.perf_counter() - start, ctx.stats
-    )
+    finally:
+        _PIPELINE_DEPTH -= 1
+        if _PIPELINE_DEPTH == 0:
+            ctx.stats.record_kernels(*KERNEL_STATS.since(kernel_snapshot))
 
 
 # ----------------------------------------------------------------------

@@ -161,8 +161,11 @@ class SynthesisStats:
     per-stage wall-clock timers (``stage_seconds``, keyed by stage
     name) and per-cache hit/miss counters (``cache_hits`` /
     ``cache_misses``, keyed by cache name: ``npn``, ``topology``,
-    ``factorization``).  Everything is plain data, so stats survive
-    the pickle boundary of isolated workers.
+    ``factorization``).  The bit-parallel kernel layer contributes
+    ``kernel_calls`` / ``kernel_seconds`` (keyed by kernel name, folded
+    from :data:`repro.kernels.KERNEL_STATS` per pipeline run; only the
+    coarse kernels are timed).  Everything is plain data, so stats
+    survive the pickle boundary of isolated workers.
     """
 
     fences_examined: int = 0
@@ -173,6 +176,8 @@ class SynthesisStats:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     cache_hits: dict[str, int] = field(default_factory=dict)
     cache_misses: dict[str, int] = field(default_factory=dict)
+    kernel_calls: dict[str, int] = field(default_factory=dict)
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
 
     def add_stage_time(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time under a pipeline stage name."""
@@ -194,6 +199,19 @@ class SynthesisStats:
         bucket = self.cache_hits if hit else self.cache_misses
         bucket[cache] = bucket.get(cache, 0) + count
 
+    def record_kernels(
+        self, calls: dict[str, int], seconds: dict[str, float]
+    ) -> None:
+        """Fold a bit-kernel counter delta (see ``repro.kernels.stats``)."""
+        for name, count in calls.items():
+            self.kernel_calls[name] = (
+                self.kernel_calls.get(name, 0) + count
+            )
+        for name, secs in seconds.items():
+            self.kernel_seconds[name] = (
+                self.kernel_seconds.get(name, 0.0) + secs
+            )
+
     def merge(self, other: "SynthesisStats") -> None:
         """Accumulate counters from a sub-run."""
         self.fences_examined += other.fences_examined
@@ -207,6 +225,7 @@ class SynthesisStats:
             self.record_cache(cache, True, count)
         for cache, count in other.cache_misses.items():
             self.record_cache(cache, False, count)
+        self.record_kernels(other.kernel_calls, other.kernel_seconds)
 
     def to_record(self) -> dict:
         """JSON-safe summary for checkpoints and ``--stats`` output."""
@@ -221,6 +240,10 @@ class SynthesisStats:
             },
             "cache_hits": dict(self.cache_hits),
             "cache_misses": dict(self.cache_misses),
+            "kernel_calls": dict(self.kernel_calls),
+            "kernel_seconds": {
+                k: round(v, 6) for k, v in self.kernel_seconds.items()
+            },
         }
 
 

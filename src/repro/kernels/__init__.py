@@ -1,0 +1,93 @@
+"""Bit-parallel kernel layer.
+
+The synthesis core dispatches its hot paths through this package:
+
+* :mod:`~repro.kernels.cubes` / :mod:`~repro.kernels.allsat` — packed
+  two-plane cubes, the word-level MERGE, circuit AllSAT, and the
+  word-parallel onset expansion;
+* :mod:`~repro.kernels.factorization` — quartering-part column
+  grouping, shape index maps, cone localize/expand gathers, and the
+  2-input operator flip tables;
+* :mod:`~repro.kernels.tables` — truth-table cofactor/support/permute
+  kernels and batch exact NPN canonicalization;
+* :mod:`~repro.kernels.stats` — the per-kernel invocation/time
+  registry (:data:`KERNEL_STATS`) that
+  :func:`repro.core.pipeline.run_pipeline` folds into
+  :class:`~repro.core.spec.SynthesisStats`;
+* :mod:`~repro.kernels.reference` — the original pure-Python
+  implementations, kept for equivalence tests and the old-vs-new
+  benchmark only.
+
+Layering: kernels import nothing from the rest of :mod:`repro`, so any
+layer (truth tables, STP algebra, core, store) may call down into them
+without cycles.
+"""
+
+from .allsat import chain_onset, packed_all_sat, stp_assignments
+from .bitops import (
+    array_to_bits,
+    bits_to_array,
+    collapse_indices,
+    spread_indices,
+    var_mask,
+)
+from .cubes import (
+    merge_packed_sets,
+    pack_cube,
+    pack_cubes,
+    packed_onset,
+    unpack_cube,
+    unpack_cubes,
+)
+from .factorization import (
+    FLIP_INPUT0,
+    FLIP_INPUT1,
+    expand_array,
+    expand_positions,
+    index_maps,
+    localize_array,
+    quartering_blocks,
+)
+from .stats import KERNEL_STATS, KernelCounters
+from .tables import (
+    cofactor_bits,
+    depends_bits,
+    npn_apply_bits,
+    npn_minimum,
+    npn_orbit,
+    permute_bits,
+    support_bits,
+)
+
+__all__ = [
+    "KERNEL_STATS",
+    "KernelCounters",
+    "array_to_bits",
+    "bits_to_array",
+    "chain_onset",
+    "cofactor_bits",
+    "collapse_indices",
+    "depends_bits",
+    "expand_array",
+    "expand_positions",
+    "FLIP_INPUT0",
+    "FLIP_INPUT1",
+    "index_maps",
+    "localize_array",
+    "merge_packed_sets",
+    "npn_apply_bits",
+    "npn_minimum",
+    "npn_orbit",
+    "pack_cube",
+    "pack_cubes",
+    "packed_all_sat",
+    "packed_onset",
+    "permute_bits",
+    "quartering_blocks",
+    "spread_indices",
+    "stp_assignments",
+    "support_bits",
+    "unpack_cube",
+    "unpack_cubes",
+    "var_mask",
+]

@@ -1,0 +1,83 @@
+"""Shared bit-array plumbing for the kernel layer.
+
+Truth tables and cube planes live as arbitrary-width Python integers
+throughout the repo; the vectorized kernels need the same data as NumPy
+arrays.  The converters here go through ``int.to_bytes`` /
+``np.unpackbits`` so the cost is one memcpy, not a per-bit Python loop.
+
+The cached index maps are the workhorse of every gather-based kernel:
+
+* :func:`collapse_indices` — for each row ``m`` of a wide space, the
+  row of a narrow space read off positions ``positions`` of ``m``
+  (``idx[m] = Σ_i ((m >> positions[i]) & 1) << i``).  Gathering a local
+  table through it *expands* the table onto the wide space; gathering a
+  permuted table through a permutation realises the permutation.
+* :func:`spread_indices` — the embedding direction: for each row ``α``
+  of the narrow space, the wide row with ``α``'s bits scattered to
+  ``positions`` (``idx[α] = Σ_i ((α >> i) & 1) << positions[i]``).
+
+Both are ``lru_cache``-d per ``(positions, width)``; callers must treat
+the returned arrays as immutable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "bits_to_array",
+    "array_to_bits",
+    "collapse_indices",
+    "spread_indices",
+    "var_mask",
+]
+
+
+def bits_to_array(bits: int, size: int) -> np.ndarray:
+    """The low ``size`` bits of an integer as a uint8 0/1 array."""
+    nbytes = max(1, (size + 7) >> 3)
+    buf = bits.to_bytes(nbytes, "little")
+    return np.unpackbits(
+        np.frombuffer(buf, dtype=np.uint8), bitorder="little"
+    )[:size]
+
+
+def array_to_bits(arr: np.ndarray) -> int:
+    """Pack a 0/1 (or boolean) array back into an integer, bit i = arr[i]."""
+    packed = np.packbits(
+        np.asarray(arr, dtype=np.uint8) & 1, bitorder="little"
+    )
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+@lru_cache(maxsize=None)
+def collapse_indices(positions: tuple[int, ...], width: int) -> np.ndarray:
+    """``idx[m] = Σ_i ((m >> positions[i]) & 1) << i`` over ``2**width`` rows."""
+    rows = np.arange(1 << width, dtype=np.int64)
+    out = np.zeros(1 << width, dtype=np.int64)
+    for i, p in enumerate(positions):
+        out |= ((rows >> p) & 1) << i
+    return out
+
+
+@lru_cache(maxsize=None)
+def spread_indices(positions: tuple[int, ...], width: int) -> np.ndarray:
+    """``idx[α] = Σ_i ((α >> i) & 1) << positions[i]`` over the narrow rows."""
+    alphas = np.arange(1 << len(positions), dtype=np.int64)
+    out = np.zeros_like(alphas)
+    for i, p in enumerate(positions):
+        out |= ((alphas >> i) & 1) << p
+    return out
+
+
+@lru_cache(maxsize=None)
+def var_mask(var: int, num_vars: int) -> int:
+    """Mask of the truth-table rows in which ``x_var = 1``."""
+    block = ((1 << (1 << var)) - 1) << (1 << var)
+    mask = 0
+    period = 1 << (var + 1)
+    for start in range(0, 1 << num_vars, period):
+        mask |= block << start
+    return mask

@@ -1,0 +1,228 @@
+"""Reference (pre-kernel) pure-Python implementations.
+
+Verbatim relocations of the tuple-cube AllSAT solver, the loop-based
+quartering/column grouping, and the per-row truth-table manipulations
+that the kernel layer replaced.  They exist for two reasons only:
+
+* the randomized old-vs-new equivalence tests in
+  ``tests/test_kernels.py`` compare every kernel against its original;
+* ``benchmarks/bench_kernels.py`` measures the speedup against them,
+  so ``BENCH_kernels_npn4.json`` records old *and* new timings.
+
+Nothing in the synthesis path imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "merge_cubes_ref",
+    "merge_cube_sets_ref",
+    "chain_all_sat_ref",
+    "cubes_to_onset_ref",
+    "verify_chain_ref",
+    "quartering_blocks_ref",
+    "permute_bits_ref",
+    "cofactor_bits_ref",
+    "support_bits_ref",
+    "npn_apply_ref",
+    "stp_assignments_ref",
+]
+
+_FREE = None
+
+
+def merge_cubes_ref(c1: tuple, c2: tuple) -> tuple | None:
+    """Original cube merge: per-PI loop, None on conflict."""
+    merged = []
+    for v1, v2 in zip(c1, c2):
+        if v1 is _FREE:
+            merged.append(v2)
+        elif v2 is _FREE or v1 == v2:
+            merged.append(v1)
+        else:
+            return None
+    return tuple(merged)
+
+
+def merge_cube_sets_ref(
+    set1: Iterable[tuple], set2: Iterable[tuple]
+) -> set[tuple]:
+    """Original MERGE: pairwise tuple combination."""
+    result: set[tuple] = set()
+    list2 = list(set2)
+    for c1 in set1:
+        for c2 in list2:
+            merged = merge_cubes_ref(c1, c2)
+            if merged is not None:
+                result.add(merged)
+    return result
+
+
+def _traverse_ref(chain, signal: int, target: int, memo: dict) -> frozenset:
+    key = (signal, target)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    n = chain.num_inputs
+    if chain.is_input(signal):
+        cube = tuple(target if i == signal else _FREE for i in range(n))
+        result = frozenset((cube,))
+        memo[key] = result
+        return result
+    gate = chain.gate(signal)
+    solutions: set[tuple] = set()
+    arity = gate.arity
+    for row in range(1 << arity):
+        if ((gate.op >> row) & 1) != target:
+            continue
+        partial: set[tuple] = {tuple([_FREE] * n)}
+        for i, fanin in enumerate(gate.fanins):
+            child_target = (row >> i) & 1
+            child_cubes = _traverse_ref(chain, fanin, child_target, memo)
+            partial = merge_cube_sets_ref(partial, child_cubes)
+            if not partial:
+                break
+        solutions.update(partial)
+    result = frozenset(solutions)
+    memo[key] = result
+    return result
+
+
+def chain_all_sat_ref(
+    chain, targets: Sequence[int] | None = None
+) -> set[tuple]:
+    """Original tuple-cube Algorithm 1."""
+    outputs = chain.outputs
+    if not outputs:
+        raise ValueError("chain has no outputs")
+    if targets is None:
+        targets = [1] * len(outputs)
+    if len(targets) != len(outputs):
+        raise ValueError("one target per output required")
+    memo: dict = {}
+    n = chain.num_inputs
+    solutions: set[tuple] = {tuple([_FREE] * n)}
+    for (signal, complemented), target in zip(outputs, targets):
+        node_target = target ^ int(complemented)
+        po_cubes = _traverse_ref(chain, signal, node_target, memo)
+        solutions = merge_cube_sets_ref(solutions, po_cubes)
+        if not solutions:
+            break
+    return solutions
+
+
+def cubes_to_onset_ref(cubes: Iterable[tuple], num_inputs: int) -> int:
+    """Original onset expansion: nested per-combination Python loop."""
+    onset = 0
+    for cube in cubes:
+        free = [i for i, v in enumerate(cube) if v is _FREE]
+        base = 0
+        for i, v in enumerate(cube):
+            if v == 1:
+                base |= 1 << i
+        for combo in range(1 << len(free)):
+            row = base
+            for j, var in enumerate(free):
+                if (combo >> j) & 1:
+                    row |= 1 << var
+            onset |= 1 << row
+    return onset
+
+
+def verify_chain_ref(chain, target) -> bool:
+    """Original verification: tuple AllSAT expanded to the onset."""
+    if target.num_vars != chain.num_inputs:
+        raise ValueError("arity mismatch between chain and target")
+    cubes = chain_all_sat_ref(chain)
+    return cubes_to_onset_ref(cubes, chain.num_inputs) == target.bits
+
+
+def quartering_blocks_ref(
+    gv_bits: int, gamma_of: Sequence[Sequence[int]], size_b: int
+) -> list[int]:
+    """Original column-block construction: per-(α, β) bit loop.
+
+    Returns one β-profile bitmask per α, as the old ``_solve_disjoint``
+    built before grouping.
+    """
+    blocks = []
+    for row in gamma_of:
+        bits = 0
+        for beta in range(size_b):
+            if (gv_bits >> row[beta]) & 1:
+                bits |= 1 << beta
+        blocks.append(bits)
+    return blocks
+
+
+def permute_bits_ref(bits: int, num_vars: int, perm: Sequence[int]) -> int:
+    """Original per-row permutation loop."""
+    out = 0
+    for m in range(1 << num_vars):
+        if (bits >> m) & 1:
+            m2 = 0
+            for i in range(num_vars):
+                if (m >> i) & 1:
+                    m2 |= 1 << perm[i]
+            out |= 1 << m2
+    return out
+
+
+def cofactor_bits_ref(bits: int, num_vars: int, var: int, value: int) -> int:
+    """Row-by-row cofactor oracle (deliberately naive)."""
+    out = 0
+    for m in range(1 << num_vars):
+        src = (m | (1 << var)) if value else (m & ~(1 << var))
+        if (bits >> src) & 1:
+            out |= 1 << m
+    return out
+
+
+def support_bits_ref(bits: int, num_vars: int) -> tuple[int, ...]:
+    """Support via naive cofactor comparison."""
+    return tuple(
+        v
+        for v in range(num_vars)
+        if cofactor_bits_ref(bits, num_vars, v, 0)
+        != cofactor_bits_ref(bits, num_vars, v, 1)
+    )
+
+
+def npn_apply_ref(
+    bits: int,
+    num_vars: int,
+    perm: Sequence[int],
+    input_flips: int,
+    output_flip: bool,
+) -> int:
+    """Original per-row NPN transform application."""
+    out = 0
+    for row in range(1 << num_vars):
+        src = 0
+        for i in range(num_vars):
+            x_i = ((row >> perm[i]) & 1) ^ ((input_flips >> i) & 1)
+            src |= x_i << i
+        v = ((bits >> src) & 1) ^ int(output_flip)
+        if v:
+            out |= 1 << row
+    return out
+
+
+def stp_assignments_ref(top_row, num_vars: int) -> list[tuple[int, ...]]:
+    """Original recursive halving descent over a canonical-form row."""
+    out: list[tuple[int, ...]] = []
+
+    def descend(lo: int, hi: int, prefix: tuple[int, ...]) -> None:
+        if not any(top_row[lo:hi]):
+            return
+        if hi - lo == 1:
+            out.append(prefix)
+            return
+        mid = (lo + hi) // 2
+        descend(lo, mid, prefix + (1,))
+        descend(mid, hi, prefix + (0,))
+
+    descend(0, len(top_row), ())
+    return out

@@ -1,0 +1,73 @@
+"""Per-kernel invocation and time counters.
+
+Every bit-parallel kernel reports into one process-global
+:class:`KernelCounters` registry.  Coarse kernels (an AllSAT traversal,
+a batch NPN canonicalization) record wall-clock time; sub-microsecond
+kernels (a single cofactor, a cube merge) only count invocations —
+timing them would cost more than the kernel itself and distort the
+measurement.
+
+The registry is snapshot-based so callers can attribute a *window* of
+kernel activity to one synthesis run: ``snap = KERNEL_STATS.snapshot()``
+before, ``KERNEL_STATS.since(snap)`` after, and the deltas are folded
+into that run's :class:`~repro.core.spec.SynthesisStats`.  Parallel
+suite runs execute each instance in its own worker process, so the
+global registry never mixes concurrent runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["KernelCounters", "KERNEL_STATS"]
+
+_perf = time.perf_counter
+
+
+class KernelCounters:
+    """Process-global calls/seconds tallies, keyed by kernel name."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls: dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Record ``n`` invocations of an untimed kernel."""
+        self.calls[name] = self.calls.get(name, 0) + n
+
+    def add(self, name: str, seconds: float, n: int = 1) -> None:
+        """Record ``n`` invocations plus their wall-clock cost."""
+        self.calls[name] = self.calls.get(name, 0) + n
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def snapshot(self) -> tuple[dict[str, int], dict[str, float]]:
+        """Copies of the current tallies, for :meth:`since`."""
+        return dict(self.calls), dict(self.seconds)
+
+    def since(
+        self, snapshot: tuple[dict[str, int], dict[str, float]]
+    ) -> tuple[dict[str, int], dict[str, float]]:
+        """Deltas accumulated after ``snapshot`` was taken."""
+        base_calls, base_seconds = snapshot
+        calls = {
+            k: v - base_calls.get(k, 0)
+            for k, v in self.calls.items()
+            if v != base_calls.get(k, 0)
+        }
+        seconds = {
+            k: v - base_seconds.get(k, 0.0)
+            for k, v in self.seconds.items()
+            if v != base_seconds.get(k, 0.0)
+        }
+        return calls, seconds
+
+    def reset(self) -> None:
+        """Drop all tallies (test isolation)."""
+        self.calls.clear()
+        self.seconds.clear()
+
+
+#: The process-global registry every kernel reports into.
+KERNEL_STATS = KernelCounters()

@@ -1,0 +1,158 @@
+"""Word-parallel truth-table kernels and batch NPN canonicalization.
+
+Cofactor, variable-dependence, and flip kernels operate on the whole
+bit-packed table with shift/mask words; permutation and NPN transform
+application gather through cached row-index tables
+(:func:`repro.kernels.bitops.collapse_indices` — the source row of
+``g(m) = f(π(m) ^ flips)`` is a pure index function of ``m``, computed
+once per ``(n, perm)``).
+
+Exact NPN canonicalization evaluates *all* ``2·2^n·n!`` transforms of
+a function in one shot: a cached ``(n!, 2^n)`` base-index matrix is
+XOR-broadcast against every input-flip mask, the function is gathered
+through the resulting index cube, rows are packed back to integers
+with one matrix-vector product, and the orbit minimum is an
+``argmin`` whose first-occurrence tie-breaking matches the sequential
+enumeration order (permutation-major, then input flips, then output
+polarity).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from .bitops import array_to_bits, bits_to_array, collapse_indices, var_mask
+from .stats import KERNEL_STATS
+
+__all__ = [
+    "cofactor_bits",
+    "depends_bits",
+    "support_bits",
+    "permute_bits",
+    "npn_apply_bits",
+    "npn_minimum",
+    "npn_orbit",
+]
+
+
+def cofactor_bits(bits: int, num_vars: int, var: int, value: int) -> int:
+    """Shannon cofactor on the packed table (fixed variable vacuous)."""
+    KERNEL_STATS.count("tt_cofactor")
+    masked = var_mask(var, num_vars)
+    if value:
+        hi = bits & masked
+        return hi | (hi >> (1 << var))
+    lo = bits & ~masked & ((1 << (1 << num_vars)) - 1)
+    return lo | (lo << (1 << var))
+
+
+def depends_bits(bits: int, num_vars: int, var: int) -> bool:
+    """Functional dependence on ``x_var`` without building cofactors:
+    some row with ``x_var = 0`` must differ from its ``x_var = 1``
+    partner, i.e. ``(f ^ (f >> 2^var))`` hits the ``x_var = 0`` rows."""
+    shift = 1 << var
+    lo_rows = ~var_mask(var, num_vars) & ((1 << (1 << num_vars)) - 1)
+    return bool((bits ^ (bits >> shift)) & lo_rows)
+
+
+def support_bits(bits: int, num_vars: int) -> tuple[int, ...]:
+    """Indices of the variables the function depends on."""
+    KERNEL_STATS.count("tt_support")
+    return tuple(
+        v for v in range(num_vars) if depends_bits(bits, num_vars, v)
+    )
+
+
+def permute_bits(bits: int, num_vars: int, perm: tuple[int, ...]) -> int:
+    """Input permutation via one cached index gather.
+
+    ``perm[i] = j`` routes old variable ``x_i`` to new position
+    ``x_j``; the new row ``m`` therefore reads the old row whose bit
+    ``i`` is bit ``perm[i]`` of ``m`` — exactly
+    ``collapse_indices(perm, n)``.
+    """
+    KERNEL_STATS.count("tt_permute")
+    rows = bits_to_array(bits, 1 << num_vars)
+    return array_to_bits(rows[collapse_indices(perm, num_vars)])
+
+
+def npn_apply_bits(
+    bits: int,
+    num_vars: int,
+    perm: tuple[int, ...],
+    input_flips: int,
+    output_flip: bool,
+) -> int:
+    """Apply one NPN transform: gather through the permutation index
+    table XOR the flip mask, complement the output if asked."""
+    KERNEL_STATS.count("npn_apply")
+    rows = bits_to_array(bits, 1 << num_vars)
+    src = collapse_indices(perm, num_vars) ^ input_flips
+    out = rows[src]
+    if output_flip:
+        out = out ^ 1
+    return array_to_bits(out)
+
+
+@lru_cache(maxsize=8)
+def _npn_transform_tables(
+    num_vars: int,
+) -> tuple[tuple[tuple[int, ...], ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Per-arity cache: the permutation list (itertools order), the
+    ``(n!, 2^n)`` base source-index matrix, the flip masks, and the
+    row-packing weights."""
+    size = 1 << num_vars
+    perms = tuple(itertools.permutations(range(num_vars)))
+    bases = np.stack(
+        [collapse_indices(perm, num_vars) for perm in perms]
+    )
+    flips = np.arange(1 << num_vars, dtype=np.int64)
+    weights = (np.int64(1) << np.arange(size, dtype=np.int64)).astype(
+        np.int64
+    )
+    return perms, bases, flips, weights
+
+
+def _npn_candidates(bits: int, num_vars: int) -> np.ndarray:
+    """Packed tables of every NPN transform of ``bits``, flattened in
+    the enumeration order (perm-major, flips, output False/True)."""
+    perms, bases, flips, weights = _npn_transform_tables(num_vars)
+    rows = bits_to_array(bits, 1 << num_vars).astype(np.int64)
+    # (n!, 2^n flips, 2^n rows) gather indices, then pack each row.
+    gathered = rows[bases[:, None, :] ^ flips[None, :, None]]
+    packed = gathered @ weights
+    full = np.int64((1 << (1 << num_vars)) - 1)
+    return np.stack([packed, packed ^ full], axis=-1).reshape(-1)
+
+
+def npn_minimum(
+    bits: int, num_vars: int
+) -> tuple[int, tuple[int, ...], int, bool]:
+    """Orbit minimum plus the first transform reaching it.
+
+    Returns ``(min_bits, perm, input_flips, output_flip)``; the
+    transform matches what the sequential first-strict-minimum scan
+    over :func:`_all_transforms` would pick.
+    """
+    t0 = time.perf_counter()
+    candidates = _npn_candidates(bits, num_vars)
+    best = int(np.argmin(candidates))
+    perms, _, _, _ = _npn_transform_tables(num_vars)
+    flip_count = 1 << num_vars
+    perm = perms[best // (flip_count * 2)]
+    input_flips = (best // 2) % flip_count
+    output_flip = bool(best & 1)
+    KERNEL_STATS.add("npn_canonical", time.perf_counter() - t0)
+    return int(candidates[best]), perm, input_flips, output_flip
+
+
+def npn_orbit(bits: int, num_vars: int) -> set[int]:
+    """The full NPN orbit of a function as a set of packed tables."""
+    t0 = time.perf_counter()
+    orbit = set(np.unique(_npn_candidates(bits, num_vars)).tolist())
+    KERNEL_STATS.add("npn_canonical", time.perf_counter() - t0)
+    return orbit

@@ -13,9 +13,9 @@ serves the whole orbit.
 Rows are keyed by ``(num_vars, canonical_hex, num_gates)`` in SQLite:
 a single file, safe under concurrent readers and writers (WAL journal
 plus a busy timeout), queryable with ordinary tooling, and append-
-cheap.  Every lookup re-simulates the first reconstructed chain
-against the queried function, so a corrupt row degrades to a miss
-instead of serving a wrong circuit.
+cheap.  Every lookup re-verifies the first reconstructed chain against
+the queried function (packed-cube AllSAT), so a corrupt row degrades
+to a miss instead of serving a wrong circuit.
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ import sqlite3
 import threading
 import time
 
+from ..core.circuit_sat import verify_chain
 from ..core.spec import SynthesisResult, SynthesisSpec
 from ..chain.transform import npn_transform_chain
 from ..truthtable.table import TruthTable
@@ -78,10 +79,12 @@ class ChainStore:
         with self._conn:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute(_SCHEMA)
-        #: Served lookups / fell-through lookups / completed write-backs.
+        #: Served lookups / fell-through lookups / completed write-backs,
+        #: plus total wall-clock spent inside *served* lookups.
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.hit_seconds = 0.0
 
     # ------------------------------------------------------------------
     # helpers
@@ -124,17 +127,25 @@ class ChainStore:
         except (ValueError, TypeError, json.JSONDecodeError):
             self._miss()
             return None
-        if not chains or chains[0].simulate_output() != function:
+        # Corruption guard on the packed-cube AllSAT path: the chain is
+        # genuine iff its onset expands exactly to the queried function.
+        try:
+            valid = bool(chains) and verify_chain(chains[0], function)
+        except ValueError:
+            valid = False
+        if not valid:
             self._miss()
             return None
+        runtime = time.perf_counter() - started
         with self._lock:
             self.hits += 1
+            self.hit_seconds += runtime
         spec = SynthesisSpec(function=function)
         return SynthesisResult(
             spec=spec,
             chains=chains,
             num_gates=num_gates,
-            runtime=time.perf_counter() - started,
+            runtime=runtime,
         )
 
     def _fetch_row(
@@ -179,7 +190,10 @@ class ChainStore:
         canonical_chains = []
         for chain in result.chains[: self._max_chains]:
             rewritten = npn_transform_chain(chain, transform)
-            if rewritten.simulate_output() != canon:
+            try:
+                if not verify_chain(rewritten, canon):
+                    continue
+            except ValueError:
                 continue
             canonical_chains.append(rewritten)
         if not canonical_chains:

@@ -15,6 +15,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..kernels import stp_assignments
 from ..truthtable.table import TruthTable
 from .expression import Expression
 from .matrix import truth_table_to_canonical
@@ -73,25 +74,14 @@ class STPSolver:
     def iter_solutions(self) -> Iterator[tuple[int, ...]]:
         """Yield every satisfying assignment, depth-first, ``x_1`` major.
 
-        Each assignment is a tuple of 0/1 in variable order.
+        Each assignment is a tuple of 0/1 in variable order.  The tree
+        walk of the paper's Fig. 1 is realised as one vectorized kernel:
+        the satisfying columns of the canonical form in ascending index
+        order *are* the depth-first leaves (``x = TRUE`` keeps the left
+        half of a slice), so ``np.flatnonzero`` plus a bit-gather
+        replaces the recursive halving descent.
         """
-        top = self._matrix[0]
-
-        def descend(
-            lo: int, hi: int, prefix: tuple[int, ...]
-        ) -> Iterator[tuple[int, ...]]:
-            # Prune: this slice must still contain a satisfying column.
-            if not np.any(top[lo:hi]):
-                return
-            if hi - lo == 1:
-                yield prefix
-                return
-            mid = (lo + hi) // 2
-            # x = TRUE keeps the left half of the slice.
-            yield from descend(lo, mid, prefix + (1,))
-            yield from descend(mid, hi, prefix + (0,))
-
-        yield from descend(0, self._matrix.shape[1], ())
+        yield from stp_assignments(self._matrix[0], self._num_vars)
 
     def all_solutions(self) -> list[tuple[int, ...]]:
         """All satisfying assignments as a list."""

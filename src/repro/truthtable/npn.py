@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..kernels.tables import npn_apply_bits, npn_minimum, npn_orbit
 from .table import TruthTable
 
 __all__ = [
@@ -50,20 +51,16 @@ class NPNTransform:
     output_flip: bool
 
     def apply(self, table: TruthTable) -> TruthTable:
-        """Apply the transform to ``table``."""
+        """Apply the transform to ``table`` (cached index-gather kernel)."""
         n = table.num_vars
         if len(self.perm) != n:
             raise ValueError("transform arity does not match table")
-        bits = 0
-        for row in range(table.num_rows):
-            src = 0
-            for i in range(n):
-                x_i = ((row >> self.perm[i]) & 1) ^ ((self.input_flips >> i) & 1)
-                src |= x_i << i
-            v = table.value(src) ^ int(self.output_flip)
-            if v:
-                bits |= 1 << row
-        return TruthTable(bits, n)
+        return TruthTable(
+            npn_apply_bits(
+                table.bits, n, self.perm, self.input_flips, self.output_flip
+            ),
+            n,
+        )
 
     def inverse(self) -> "NPNTransform":
         """The transform undoing this one."""
@@ -105,15 +102,10 @@ def exact_canonical(
             f"exact NPN canonicalization supports up to {_EXACT_LIMIT} "
             f"variables, got {n}"
         )
-    best: TruthTable | None = None
-    best_transform = NPNTransform.identity(n)
-    for transform in _all_transforms(n):
-        candidate = transform.apply(table)
-        if best is None or candidate.bits < best.bits:
-            best = candidate
-            best_transform = transform
-    assert best is not None
-    return best, best_transform
+    # Batch kernel: all 2·2^n·n! transforms in one gather, argmin with
+    # the same first-strict-minimum tie-breaking as a sequential scan.
+    best_bits, perm, flips, out = npn_minimum(table.bits, n)
+    return TruthTable(best_bits, n), NPNTransform(perm, flips, out)
 
 
 def semi_canonical(table: TruthTable) -> tuple[TruthTable, NPNTransform]:
@@ -180,14 +172,12 @@ def npn_classes(num_vars: int) -> list[TruthTable]:
     """
     if num_vars > _EXACT_LIMIT:
         raise ValueError("class enumeration is exhaustive; use n <= 4")
-    transforms = list(_all_transforms(num_vars))
     seen: set[int] = set()
     reps: list[TruthTable] = []
     for bits in range(1 << (1 << num_vars)):
         if bits in seen:
             continue
-        table = TruthTable(bits, num_vars)
-        orbit = {t.apply(table).bits for t in transforms}
+        orbit = npn_orbit(bits, num_vars)
         seen.update(orbit)
         reps.append(TruthTable(min(orbit), num_vars))
     return sorted(reps, key=lambda t: t.bits)

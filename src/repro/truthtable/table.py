@@ -17,6 +17,14 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Sequence
 
+from ..kernels.bitops import var_mask as _kernel_var_mask
+from ..kernels.tables import (
+    cofactor_bits,
+    depends_bits,
+    permute_bits,
+    support_bits,
+)
+
 __all__ = [
     "TruthTable",
     "constant",
@@ -173,17 +181,15 @@ class TruthTable:
 
     def depends_on(self, var: int) -> bool:
         """True if the function depends on variable ``var``."""
-        c0 = self.cofactor(var, 0)
-        c1 = self.cofactor(var, 1)
-        return c0.bits != c1.bits
+        if not 0 <= var < self._num_vars:
+            raise IndexError(f"variable {var} out of range")
+        return depends_bits(self._bits, self._num_vars, var)
 
     def support(self) -> tuple[int, ...]:
         """Indices of the variables the function actually depends on
-        (computed once and cached)."""
+        (computed once and cached; word-parallel kernel)."""
         if self._support is None:
-            self._support = tuple(
-                v for v in range(self._num_vars) if self.depends_on(v)
-            )
+            self._support = support_bits(self._bits, self._num_vars)
         return self._support
 
     def support_size(self) -> int:
@@ -203,12 +209,10 @@ class TruthTable:
             raise IndexError(f"variable {var} out of range")
         if value not in (0, 1):
             raise ValueError("value must be 0 or 1")
-        masked = _var_mask(var, self._num_vars)
-        if value:
-            hi = self._bits & masked
-            return TruthTable(hi | (hi >> (1 << var)), self._num_vars)
-        lo = self._bits & ~masked & self.num_rows_mask()
-        return TruthTable(lo | (lo << (1 << var)), self._num_vars)
+        return TruthTable(
+            cofactor_bits(self._bits, self._num_vars, var, value),
+            self._num_vars,
+        )
 
     def restrict(self, var: int, value: int) -> "TruthTable":
         """Cofactor that *removes* the variable, shrinking the table."""
@@ -260,15 +264,10 @@ class TruthTable:
         """
         if sorted(perm) != list(range(self._num_vars)):
             raise ValueError(f"{perm!r} is not a permutation of the inputs")
-        bits = 0
-        for m in range(self.num_rows):
-            if (self._bits >> m) & 1:
-                m2 = 0
-                for i in range(self._num_vars):
-                    if (m >> i) & 1:
-                        m2 |= 1 << perm[i]
-                bits |= 1 << m2
-        return TruthTable(bits, self._num_vars)
+        return TruthTable(
+            permute_bits(self._bits, self._num_vars, tuple(perm)),
+            self._num_vars,
+        )
 
     def swap_vars(self, a: int, b: int) -> "TruthTable":
         """Exchange two input variables."""
@@ -314,21 +313,8 @@ class TruthTable:
         return TruthTable(bits, n_inner)
 
 
-_VAR_MASKS: dict[tuple[int, int], int] = {}
-
-
-def _var_mask(var: int, num_vars: int) -> int:
-    """Mask of the rows in which ``x_var = 1`` (cached)."""
-    key = (var, num_vars)
-    mask = _VAR_MASKS.get(key)
-    if mask is None:
-        block = ((1 << (1 << var)) - 1) << (1 << var)
-        mask = 0
-        period = 1 << (var + 1)
-        for start in range(0, 1 << num_vars, period):
-            mask |= block << start
-        _VAR_MASKS[key] = mask
-    return mask
+#: Mask of the rows in which ``x_var = 1`` — the kernel layer's cache.
+_var_mask = _kernel_var_mask
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,287 @@
+"""Bit-parallel kernel layer: randomized old-vs-new equivalence.
+
+Every kernel is compared against the original pure-Python
+implementation it replaced (relocated verbatim into
+``repro.kernels.reference``): the tuple-cube AllSAT solver, the
+loop-based quartering construction, the per-row truth-table
+manipulations, and the recursive STP descent.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench.runner import InstanceOutcome, SuiteReport
+from repro.chain import BooleanChain
+from repro.core import (
+    SynthesisSpec,
+    chain_all_sat,
+    cubes_to_onset,
+    merge_cube_sets,
+    run_pipeline,
+    verify_chain,
+)
+from repro.kernels import (
+    KERNEL_STATS,
+    KernelCounters,
+    array_to_bits,
+    cofactor_bits,
+    index_maps,
+    npn_apply_bits,
+    npn_minimum,
+    pack_cube,
+    pack_cubes,
+    packed_onset,
+    permute_bits,
+    quartering_blocks,
+    stp_assignments,
+    support_bits,
+    unpack_cube,
+    unpack_cubes,
+)
+from repro.kernels.reference import (
+    chain_all_sat_ref,
+    cofactor_bits_ref,
+    cubes_to_onset_ref,
+    merge_cube_sets_ref,
+    npn_apply_ref,
+    permute_bits_ref,
+    quartering_blocks_ref,
+    stp_assignments_ref,
+    support_bits_ref,
+    verify_chain_ref,
+)
+from repro.truthtable import TruthTable, from_hex
+
+from tests.helpers import random_chain
+
+
+def random_cube(rnd, n):
+    return tuple(rnd.choice((None, 0, 1)) for _ in range(n))
+
+
+class TestPackedCubeRoundTrip:
+    def test_pack_unpack_all_3ary_cubes(self):
+        for cube in itertools.product((None, 0, 1), repeat=3):
+            assert unpack_cube(pack_cube(cube), 3) == cube
+
+    def test_pack_cubes_set_round_trip(self):
+        rnd = random.Random(7)
+        cubes = {random_cube(rnd, 5) for _ in range(40)}
+        assert unpack_cubes(pack_cubes(cubes), 5) == cubes
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_merge_sets_match_reference(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 6)
+        s1 = {random_cube(rnd, n) for _ in range(rnd.randint(1, 25))}
+        s2 = {random_cube(rnd, n) for _ in range(rnd.randint(1, 25))}
+        assert merge_cube_sets(s1, s2) == merge_cube_sets_ref(s1, s2)
+
+    def test_large_sets_cross_vector_threshold(self):
+        # 80 × 80 = 6400 pairs exceeds the NumPy dispatch threshold, so
+        # this exercises the vectorized branch against the reference.
+        rnd = random.Random(11)
+        n = 8
+        s1 = {random_cube(rnd, n) for _ in range(80)}
+        s2 = {random_cube(rnd, n) for _ in range(80)}
+        assert merge_cube_sets(s1, s2) == merge_cube_sets_ref(s1, s2)
+
+
+class TestAllSatEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_chains_match_reference(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(2, 5)
+        chain = random_chain(rnd, num_inputs=n, num_gates=rnd.randint(1, 7))
+        for targets in ([0], [1], None):
+            assert chain_all_sat(chain, targets) == chain_all_sat_ref(
+                chain, targets
+            ), f"seed={seed} targets={targets}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_verify_chain_matches_reference(self, seed):
+        rnd = random.Random(100 + seed)
+        chain = random_chain(rnd, num_inputs=4, num_gates=5)
+        truth = chain.simulate_output()
+        wrong = TruthTable(truth.bits ^ 1, truth.num_vars)
+        assert verify_chain(chain, truth) is verify_chain_ref(chain, truth)
+        assert verify_chain(chain, wrong) is verify_chain_ref(chain, wrong)
+        assert verify_chain(chain, truth)
+
+    def test_multi_output_targets(self):
+        chain = BooleanChain(2)
+        g_and = chain.add_gate(0b1000, (0, 1))
+        g_xor = chain.add_gate(0b0110, (0, 1))
+        chain.set_output(g_and, False)
+        chain.set_output(g_xor, True)
+        for targets in itertools.product((0, 1), repeat=2):
+            assert chain_all_sat(chain, targets) == chain_all_sat_ref(
+                chain, targets
+            )
+
+
+class TestOnsetEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cube_sets(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 7)
+        cubes = [random_cube(rnd, n) for _ in range(rnd.randint(1, 20))]
+        assert cubes_to_onset(cubes, n) == cubes_to_onset_ref(cubes, n)
+
+    def test_all_free_cube_covers_everything(self):
+        # The free-variable expansion (the old exponential loop) is one
+        # shift-or cascade; the all-free cube is its worst case.
+        n = 10
+        cube = (None,) * n
+        onset = cubes_to_onset([cube], n)
+        assert onset == (1 << (1 << n)) - 1
+
+    def test_packed_onset_matches_tuple_path(self):
+        rnd = random.Random(3)
+        n = 6
+        cubes = [random_cube(rnd, n) for _ in range(12)]
+        assert packed_onset(pack_cubes(cubes), n) == cubes_to_onset_ref(
+            cubes, n
+        )
+
+
+class TestQuarteringEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_blocks_match_loop_reference(self, seed):
+        rnd = random.Random(seed)
+        nu = rnd.randint(2, 5)
+        positions = list(range(nu))
+        rnd.shuffle(positions)
+        split = rnd.randint(1, nu - 1)
+        a_pos = tuple(sorted(positions[:split]))
+        b_pos = tuple(sorted(positions[split:]))
+        amap, bmap, disjoint, gamma_of = index_maps(nu, a_pos, b_pos)
+        assert disjoint
+        gv_bits = rnd.getrandbits(1 << nu)
+        blocks = quartering_blocks(gv_bits, nu, gamma_of)
+        ref = quartering_blocks_ref(
+            gv_bits, gamma_of.tolist(), 1 << len(b_pos)
+        )
+        assert [array_to_bits(row) for row in blocks] == ref
+
+
+class TestTruthTableKernels:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cofactor_support_permute(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 6)
+        bits = rnd.getrandbits(1 << n)
+        for var in range(n):
+            for value in (0, 1):
+                assert cofactor_bits(bits, n, var, value) == (
+                    cofactor_bits_ref(bits, n, var, value)
+                )
+        assert support_bits(bits, n) == support_bits_ref(bits, n)
+        perm = list(range(n))
+        rnd.shuffle(perm)
+        assert permute_bits(bits, n, tuple(perm)) == permute_bits_ref(
+            bits, n, perm
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_npn_apply(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 5)
+        bits = rnd.getrandbits(1 << n)
+        perm = list(range(n))
+        rnd.shuffle(perm)
+        flips = rnd.getrandbits(n)
+        out = bool(rnd.getrandbits(1))
+        assert npn_apply_bits(bits, n, tuple(perm), flips, out) == (
+            npn_apply_ref(bits, n, perm, flips, out)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_npn_minimum_matches_sequential_scan(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 3)
+        bits = rnd.getrandbits(1 << n)
+        best = None
+        for perm in itertools.permutations(range(n)):
+            for flips in range(1 << n):
+                for out in (False, True):
+                    cand = npn_apply_ref(bits, n, perm, flips, out)
+                    if best is None or cand < best[0]:
+                        best = (cand, perm, flips, out)
+        got = npn_minimum(bits, n)
+        assert got == best
+        # The returned transform really maps bits onto the minimum.
+        min_bits, perm, flips, out = got
+        assert npn_apply_bits(bits, n, perm, flips, out) == min_bits
+
+    def test_npn_minimum_example_8ff8(self):
+        table = from_hex("8ff8", 4)
+        min_bits, perm, flips, out = npn_minimum(table.bits, 4)
+        assert npn_apply_bits(table.bits, 4, perm, flips, out) == min_bits
+        assert min_bits <= table.bits
+
+
+class TestStpAssignments:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_recursive_descent(self, seed):
+        rnd = random.Random(seed)
+        n = rnd.randint(1, 8)
+        top = [rnd.randint(0, 1) for _ in range(1 << n)]
+        assert stp_assignments(top, n) == stp_assignments_ref(top, n)
+
+    def test_empty_and_full_rows(self):
+        assert stp_assignments([0, 0, 0, 0], 2) == []
+        assert len(stp_assignments([1] * 8, 3)) == 8
+
+
+class TestKernelStats:
+    def test_snapshot_since_delta(self):
+        counters = KernelCounters()
+        counters.count("cube_merge", 3)
+        snap = counters.snapshot()
+        counters.count("cube_merge", 2)
+        counters.add("chain_allsat", 0.5)
+        calls, seconds = counters.since(snap)
+        assert calls == {"cube_merge": 2, "chain_allsat": 1}
+        assert seconds == {"chain_allsat": 0.5}
+
+    def test_pipeline_folds_kernel_counters(self):
+        result = run_pipeline(
+            SynthesisSpec(function=from_hex("8ff8", 4), timeout=120)
+        )
+        record = result.stats.to_record()
+        assert record["kernel_calls"].get("chain_allsat", 0) > 0
+        assert "chain_allsat" in record["kernel_seconds"]
+
+    def test_global_registry_counts_allsat(self):
+        snap = KERNEL_STATS.snapshot()
+        chain = random_chain(random.Random(0))
+        chain_all_sat(chain)
+        calls, _ = KERNEL_STATS.since(snap)
+        assert calls.get("chain_allsat", 0) >= 1
+
+
+class TestWorkerSummaryStoreHits:
+    def test_store_hit_latency_keys(self):
+        report = SuiteReport(algorithm="STP", suite="unit")
+        report.outcomes = [
+            InstanceOutcome(
+                "8ff8", True, 0.25, engine="store", worker=0
+            ),
+            InstanceOutcome(
+                "1ee1", True, 1.5, engine="hier", worker=0
+            ),
+            InstanceOutcome(
+                "0001", True, 0.75, engine="store", worker=1
+            ),
+        ]
+        summary = report.worker_summary()
+        assert summary[0]["store_hits"] == 1
+        assert summary[0]["store_hit_seconds"] == pytest.approx(0.25)
+        assert summary[1]["store_hits"] == 1
+        assert summary[1]["store_hit_seconds"] == pytest.approx(0.75)
+        assert report.num_store_hits == 2
