@@ -89,7 +89,16 @@ class FaultPlan:
     The plan is consulted in the *parent* process, so burn-out counting
     (``times``) is exact even when the faulty attempt runs in a worker
     process that is subsequently killed.
+
+    Faults registered under :data:`WILDCARD` (``"*"``) apply to any
+    instance whose exact key has no eligible fault of its own — the
+    fuzzing harness uses this to inject faults into functions it has
+    not generated yet.  Burn-out counting for wildcard faults is
+    global, not per instance.
     """
+
+    #: Key matching every instance (exact keys take precedence).
+    WILDCARD = "*"
 
     def __init__(
         self, faults: dict[str, FaultSpec | list[FaultSpec]] | None = None
@@ -108,14 +117,18 @@ class FaultPlan:
 
     def draw(self, key: str, engine: str | None = None) -> FaultSpec | None:
         """The fault to inject for this attempt, if any (and burn it)."""
-        for index, spec in enumerate(self._faults.get(key, ())):
-            if spec.engine is not None and spec.engine != engine:
-                continue
-            fired = self._fired.get((key, index), 0)
-            if spec.times is not None and fired >= spec.times:
-                continue
-            self._fired[(key, index)] = fired + 1
-            return spec
+        lookup_keys = (
+            (key,) if key == self.WILDCARD else (key, self.WILDCARD)
+        )
+        for lookup in lookup_keys:
+            for index, spec in enumerate(self._faults.get(lookup, ())):
+                if spec.engine is not None and spec.engine != engine:
+                    continue
+                fired = self._fired.get((lookup, index), 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                self._fired[(lookup, index)] = fired + 1
+                return spec
         return None
 
     def fired(self, key: str) -> int:

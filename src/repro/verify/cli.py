@@ -1,0 +1,260 @@
+"""The ``repro-fuzz`` command line (also ``python -m repro.verify.cli``).
+
+Examples::
+
+    repro-fuzz --budget 60s --seed 0                  # all engines
+    repro-fuzz --count 20 --engines stp,fen --vars 3,4
+    repro-fuzz --budget 2m --report fuzz.jsonl --corpus tests/corpus
+    repro-fuzz --count 5 --inject-fault crash         # fuzz the runtime
+
+Exit codes: 0 = campaign completed with zero discrepancies, 1 = at
+least one discrepancy was found (reproducers are in the report and,
+with ``--corpus``, checked into the corpus directory), 65 = bad
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..engine import engine_names
+from ..runtime.faults import FaultPlan, FaultSpec
+from .corpus import load_corpus
+from .fuzz import FuzzConfig, run_fuzz
+from .generators import strategy_names
+
+EXIT_OK = 0
+EXIT_DISCREPANCY = 1
+EXIT_BAD_INPUT = 65
+
+_BUDGET_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0}
+
+
+def parse_budget(text: str) -> float:
+    """Parse ``"120"``, ``"120s"``, ``"2m"``, or ``"1h"`` into seconds."""
+    cleaned = text.strip().lower()
+    unit = 1.0
+    if cleaned and cleaned[-1] in _BUDGET_UNITS:
+        unit = _BUDGET_UNITS[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        seconds = float(cleaned) * unit
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad budget {text!r}; expected e.g. 120, 120s, 2m, 1h"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return seconds
+
+
+def _csv(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _int_csv(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in _csv(text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad integer list {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential fuzzing of the synthesis engines, "
+        "kernels, and chain store against independent oracles.",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed; the whole campaign is a pure function of it",
+    )
+    parser.add_argument(
+        "--budget",
+        type=parse_budget,
+        default=None,
+        metavar="TIME",
+        help="wall-clock budget, e.g. 60s, 2m (default: one sweep)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, help="instance cap"
+    )
+    parser.add_argument(
+        "--vars",
+        type=_int_csv,
+        default=(2, 3, 4),
+        metavar="N,N,...",
+        help="arities to fuzz (default: 2,3,4)",
+    )
+    parser.add_argument(
+        "--strategies",
+        type=_csv,
+        default=(),
+        metavar="A,B,...",
+        help=f"generator subset (default: all of {','.join(strategy_names())})",
+    )
+    parser.add_argument(
+        "--engines",
+        type=_csv,
+        default=(),
+        metavar="A,B,...",
+        help="engine subset (default: every registered engine)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-engine budget per instance in seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--max-solutions", type=int, default=16, help="solution cap"
+    )
+    parser.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="stream a JSONL report (one line per instance + summary)",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="corpus directory: mutation seeds are loaded from it and "
+        "shrunk reproducers are written back to it",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing functions without minimizing them",
+    )
+    parser.add_argument(
+        "--no-store-check",
+        action="store_true",
+        help="skip the chain-store round-trip oracle",
+    )
+    parser.add_argument(
+        "--no-kernel-check",
+        action="store_true",
+        help="skip the packed-vs-reference kernel oracle",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        choices=("hang", "crash", "hard-crash", "corrupt", "timeout"),
+        default=None,
+        help="inject this fault into every attempt (wildcard fault "
+        "plan) — fuzzes the fault-tolerance machinery itself",
+    )
+    parser.add_argument(
+        "--inject-engine",
+        type=str,
+        default=None,
+        help="restrict --inject-fault to one engine",
+    )
+    parser.add_argument(
+        "--inject-times",
+        type=int,
+        default=None,
+        help="burn the injected fault out after N attempts "
+        "(default: every attempt)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-instance progress lines",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    known = engine_names()
+    for name in args.engines:
+        if name not in known:
+            print(
+                f"error: unknown engine {name!r}; "
+                f"available: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+    for name in args.strategies:
+        if name not in strategy_names():
+            print(
+                f"error: unknown strategy {name!r}; "
+                f"available: {', '.join(strategy_names())}",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+
+    fault_plan = None
+    if args.inject_fault:
+        fault_plan = FaultPlan(
+            {
+                FaultPlan.WILDCARD: FaultSpec(
+                    kind=args.inject_fault,
+                    engine=args.inject_engine,
+                    times=args.inject_times,
+                )
+            }
+        )
+
+    seed_functions = ()
+    if args.corpus:
+        try:
+            seed_functions = tuple(
+                entry.function() for entry in load_corpus(args.corpus)
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        count=args.count,
+        num_vars=args.vars,
+        strategies=args.strategies,
+        engines=args.engines,
+        timeout_per_engine=args.timeout,
+        max_solutions=args.max_solutions,
+        shrink=not args.no_shrink,
+        check_store=not args.no_store_check,
+        check_kernels=not args.no_kernel_check,
+        fault_plan=fault_plan,
+    )
+    report = run_fuzz(
+        config,
+        report_path=args.report,
+        corpus_dir=args.corpus,
+        seed_functions=seed_functions,
+        log=None if args.quiet else lambda line: print(line, file=sys.stderr),
+    )
+
+    statuses = " ".join(
+        f"{status}={count}"
+        for status, count in sorted(report.status_counts.items())
+    )
+    print(
+        f"fuzz seed={report.seed}: {report.instances} instance(s) in "
+        f"{report.elapsed:.1f}s, {len(report.discrepancies)} "
+        f"discrepancy(ies) [{statuses}]"
+    )
+    for shrunk in report.shrunk:
+        print(
+            f"reproducer: 0x{shrunk.minimized.to_hex()} "
+            f"({shrunk.minimized.num_vars} vars, shrunk from "
+            f"0x{shrunk.original.to_hex()}/{shrunk.original.num_vars})"
+        )
+    return EXIT_OK if report.ok else EXIT_DISCREPANCY
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""On-disk corpus of fuzz failures and regression seeds.
+
+Every function that ever broke a code path — plus a handful of
+hand-picked seeds — lives as one small JSON file under
+``tests/corpus/``.  The corpus is consumed three ways:
+
+* ``tests/test_corpus_replay.py`` replays every entry through the
+  differential harness as an ordinary tier-1 test, so a past failure
+  can never silently return;
+* the fuzzer's ``mutation`` strategy draws from corpus functions, so
+  new fuzzing radiates outward from historically fragile inputs;
+* ``repro-fuzz`` writes a new entry (shrunk reproducer plus
+  provenance) for each fresh discrepancy it finds.
+
+Entries are deliberately tiny and diff-friendly — one function, its
+arity, and provenance — so checking one in is a one-file PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..truthtable.table import TruthTable, from_hex
+
+__all__ = [
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "load_corpus",
+    "save_entry",
+    "default_corpus_dir",
+]
+
+CORPUS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus function with its provenance.
+
+    ``kind`` is ``"seed"`` for hand-picked regression anchors and
+    ``"discrepancy"`` for minimized fuzz failures.
+    """
+
+    name: str
+    hex: str
+    num_vars: int
+    kind: str = "seed"
+    description: str = ""
+    engines: tuple[str, ...] = ()
+    origin: str = ""
+    trail: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("corpus entries need a name")
+        if self.kind not in ("seed", "discrepancy"):
+            raise ValueError(f"unknown corpus entry kind {self.kind!r}")
+        self.function()  # validates hex against num_vars
+
+    def function(self) -> TruthTable:
+        """The entry's function as a truth table."""
+        return from_hex(self.hex, self.num_vars)
+
+    def to_record(self) -> dict:
+        record = {
+            "version": CORPUS_VERSION,
+            "name": self.name,
+            "hex": self.hex,
+            "num_vars": self.num_vars,
+            "kind": self.kind,
+            "description": self.description,
+            "origin": self.origin,
+        }
+        if self.engines:
+            record["engines"] = list(self.engines)
+        if self.trail:
+            record["trail"] = list(self.trail)
+        return record
+
+    @staticmethod
+    def from_record(record: dict) -> "CorpusEntry":
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"corpus record must be a dict, got {type(record).__name__}"
+            )
+        version = record.get("version")
+        if version != CORPUS_VERSION:
+            raise ValueError(f"unsupported corpus version {version!r}")
+        try:
+            return CorpusEntry(
+                name=str(record["name"]),
+                hex=str(record["hex"]),
+                num_vars=int(record["num_vars"]),
+                kind=str(record.get("kind", "seed")),
+                description=str(record.get("description", "")),
+                engines=tuple(record.get("engines", ())),
+                origin=str(record.get("origin", "")),
+                trail=tuple(record.get("trail", ())),
+            )
+        except KeyError as exc:
+            raise ValueError(f"corpus record missing field {exc}") from None
+
+
+def default_corpus_dir() -> Path:
+    """The repository's ``tests/corpus`` directory.
+
+    Resolved relative to this source tree (editable installs, CI);
+    falls back to ``./tests/corpus`` under the working directory for
+    site-packages installs run from a checkout.
+    """
+    in_tree = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+    if in_tree.is_dir():
+        return in_tree
+    return Path.cwd() / "tests" / "corpus"
+
+
+def load_corpus(directory: str | os.PathLike) -> list[CorpusEntry]:
+    """Load every ``*.json`` entry, sorted by file name.
+
+    A malformed file raises — a broken corpus should fail loudly in
+    CI, not silently shrink the replay suite.
+    """
+    path = Path(directory)
+    entries: list[CorpusEntry] = []
+    if not path.is_dir():
+        return entries
+    for file in sorted(path.glob("*.json")):
+        try:
+            record = json.loads(file.read_text())
+            entries.append(CorpusEntry.from_record(record))
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"corrupt corpus entry {file}: {exc}") from exc
+    return entries
+
+
+def save_entry(directory: str | os.PathLike, entry: CorpusEntry) -> Path:
+    """Write one entry as ``<name>.json``; returns the path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    file = path / f"{entry.name}.json"
+    file.write_text(json.dumps(entry.to_record(), indent=2) + "\n")
+    return file

@@ -1,0 +1,124 @@
+"""Automatic minimization of failing functions.
+
+A fuzzer's raw counterexample is usually a dense 4-input table that
+tells a human nothing.  :func:`shrink_function` greedily reduces it
+while a caller-supplied predicate keeps reporting failure, using three
+move families in decreasing order of payoff:
+
+* dropping variables the function does not depend on;
+* cofactoring a variable to a constant and removing it
+  (``TruthTable.restrict``), which halves the table;
+* clearing single onset bits, driving the table toward constant 0.
+
+A candidate is accepted only when it is strictly simpler — fewer
+variables, then fewer onset minterms, then a smaller bit pattern — so
+the loop terminates at a local minimum: every single remaining move
+repairs the failure.  The result is the minimal reproducer checked
+into the corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..truthtable.table import TruthTable
+
+__all__ = ["ShrinkResult", "shrink_function"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    original: TruthTable
+    minimized: TruthTable
+    evaluations: int
+    trail: tuple[str, ...]
+
+    @property
+    def reduced(self) -> bool:
+        """True when any move was accepted."""
+        return bool(self.trail)
+
+    def to_record(self) -> dict:
+        return {
+            "original": self.original.to_hex(),
+            "original_vars": self.original.num_vars,
+            "minimized": self.minimized.to_hex(),
+            "minimized_vars": self.minimized.num_vars,
+            "evaluations": self.evaluations,
+            "trail": list(self.trail),
+        }
+
+
+def _simplicity(table: TruthTable) -> tuple[int, int, int]:
+    """Strictly decreasing along accepted moves — the termination
+    argument."""
+    return (table.num_vars, table.count_ones(), table.bits)
+
+
+def _moves(table: TruthTable) -> Iterator[tuple[str, TruthTable]]:
+    n = table.num_vars
+    if n > 1:
+        for var in range(n):
+            if not table.depends_on(var):
+                yield f"drop vacuous x{var}", table.remove_vacuous_variable(
+                    var
+                )
+        for var in range(n):
+            for value in (0, 1):
+                yield (
+                    f"restrict x{var}={value}",
+                    table.restrict(var, value),
+                )
+    for row in table.onset():
+        yield f"clear row {row}", TruthTable(
+            table.bits & ~(1 << row), n
+        )
+
+
+def shrink_function(
+    function: TruthTable,
+    still_fails: Callable[[TruthTable], bool],
+    *,
+    max_evaluations: int = 500,
+) -> ShrinkResult:
+    """Minimize ``function`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` is typically "the differential harness still
+    reports a discrepancy on this table".  It is called once up front
+    (a non-failing input is a usage error) and then once per candidate,
+    up to ``max_evaluations`` times in total.
+    """
+    evaluations = 1
+    if not still_fails(function):
+        raise ValueError(
+            "shrink_function needs a failing input: still_fails() "
+            f"returned False for 0x{function.to_hex()}"
+        )
+    current = function
+    trail: list[str] = []
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for description, candidate in _moves(current):
+            if _simplicity(candidate) >= _simplicity(current):
+                continue
+            if evaluations >= max_evaluations:
+                break
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                trail.append(
+                    f"{description} -> 0x{candidate.to_hex()}"
+                    f"/{candidate.num_vars}"
+                )
+                improved = True
+                break
+    return ShrinkResult(
+        original=function,
+        minimized=current,
+        evaluations=evaluations,
+        trail=tuple(trail),
+    )

@@ -1,0 +1,20 @@
+"""Suite-wide test configuration: deterministic randomness.
+
+Every non-property test already draws its randomness from an explicit
+``random.Random(seed)``.  This profile extends the same hygiene to
+Hypothesis: examples are derived from the test body instead of fresh
+entropy, so two runs of the suite execute bit-for-bit identical
+examples and a failure seen in CI reproduces locally without juggling
+``--hypothesis-seed``.  Export ``HYPOTHESIS_PROFILE=explore`` to fuzz
+with fresh entropy instead (the nightly job's territory).
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("deterministic", derandomize=True)
+settings.register_profile("explore", derandomize=False)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "deterministic")
+)

@@ -14,9 +14,10 @@ from repro.core import (
     simulate_solutions,
     verify_chain,
 )
-from repro.truthtable import TruthTable, from_hex, majority
+from repro.kernels.reference import chain_all_sat_ref, verify_chain_ref
+from repro.truthtable import TruthTable, constant, from_hex, majority, projection
 
-from tests.helpers import random_chain
+from tests.helpers import assert_chain_realizes, random_chain
 
 
 class TestCubeMerge:
@@ -134,7 +135,7 @@ class TestVerifyChain:
         s_and = chain.add_gate(0x8, (0, 1))
         s_xor = chain.add_gate(0x6, (2, 3))
         chain.set_output(chain.add_gate(0xE, (s_and, s_xor)))
-        assert verify_chain(chain, from_hex("8ff8", 4))
+        assert_chain_realizes(from_hex("8ff8", 4), chain)
 
     def test_verify_rejects_wrong_function(self):
         chain = BooleanChain(3)
@@ -146,3 +147,80 @@ class TestVerifyChain:
         chain.set_output(chain.add_gate(0x8, (0, 1)))
         with pytest.raises(ValueError):
             verify_chain(chain, majority(3))
+
+
+class TestConstantOutputSemantics:
+    """Regression lock on the CONST0-output semantics fixed by the
+    kernel rewrite.
+
+    The packed solver treats an output wired to
+    ``BooleanChain.CONST0`` as constant 0 (constant 1 when
+    complemented).  The pre-kernel tuple solver — kept verbatim in
+    ``repro.kernels.reference`` — treated the pseudo-signal as an
+    *unconstrained* input, so its AllSAT set for such chains is the
+    all-free cube regardless of target.  These tests pin down both
+    behaviours: the packed semantics must never regress, and a change
+    in the reference's historical behaviour would silently invalidate
+    the old-vs-new equivalence suite's CONST0 carve-out.
+    """
+
+    @staticmethod
+    def _const_chain(num_vars, complemented):
+        chain = BooleanChain(num_vars)
+        chain.set_output(BooleanChain.CONST0, complemented=complemented)
+        return chain
+
+    @pytest.mark.parametrize("num_vars", [1, 2, 3])
+    def test_const0_output_packed(self, num_vars):
+        chain = self._const_chain(num_vars, complemented=False)
+        assert verify_chain(chain, constant(0, num_vars))
+        assert not verify_chain(chain, constant(1, num_vars))
+        assert not verify_chain(chain, projection(0, num_vars))
+        assert chain_all_sat(chain) == set()
+        assert_chain_realizes(constant(0, num_vars), chain)
+
+    @pytest.mark.parametrize("num_vars", [1, 2, 3])
+    def test_const1_output_packed(self, num_vars):
+        chain = self._const_chain(num_vars, complemented=True)
+        assert verify_chain(chain, constant(1, num_vars))
+        assert not verify_chain(chain, constant(0, num_vars))
+        free_cube = (None,) * num_vars
+        assert chain_all_sat(chain) == {free_cube}
+        assert_chain_realizes(constant(1, num_vars), chain)
+
+    def test_const0_reference_keeps_old_semantics(self):
+        """The relocated tuple solver deliberately preserves the old
+        unconstrained-CONST0 behaviour; document it so any change is a
+        conscious one."""
+        chain = self._const_chain(2, complemented=False)
+        assert chain_all_sat_ref(chain) == {(None, None)}
+        assert verify_chain_ref(chain, constant(1, 2))  # historically wrong
+        assert not verify_chain_ref(chain, constant(0, 2))
+        # The packed solver disagrees — by design.
+        assert verify_chain(chain, constant(0, 2))
+
+    @pytest.mark.parametrize("complemented", [False, True])
+    def test_single_literal_output_both_paths(self, complemented):
+        """An output wired straight to a primary input (zero gates)
+        must agree across packed and reference paths."""
+        num_vars = 3
+        chain = BooleanChain(num_vars)
+        chain.set_output(0, complemented=complemented)
+        target = projection(0, num_vars, complemented=complemented)
+        assert verify_chain(chain, target)
+        assert verify_chain_ref(chain, target)
+        assert not verify_chain(chain, ~target)
+        assert not verify_chain_ref(chain, ~target)
+        assert_chain_realizes(target, chain)
+
+    def test_gate_built_constant_both_paths(self):
+        """A constant built from a real gate (op 0x0) — as opposed to
+        the CONST0 pseudo-signal — has identical semantics in both
+        solvers."""
+        chain = BooleanChain(2)
+        chain.set_output(chain.add_gate(0x0, (0, 1)))
+        assert verify_chain(chain, constant(0, 2))
+        assert verify_chain_ref(chain, constant(0, 2))
+        assert not verify_chain(chain, constant(1, 2))
+        assert not verify_chain_ref(chain, constant(1, 2))
+        assert_chain_realizes(constant(0, 2), chain)

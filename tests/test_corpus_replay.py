@@ -1,0 +1,110 @@
+"""Corpus round-trip tests and the tier-1 replay gate.
+
+Every function in ``tests/corpus/`` — hand-picked seeds and minimized
+fuzz failures alike — is replayed through the differential harness on
+every ordinary test run, so a discrepancy that was ever found (and
+fixed) can never silently return.
+"""
+
+import json
+
+import pytest
+
+from repro.verify.corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    default_corpus_dir,
+    load_corpus,
+    save_entry,
+)
+from repro.verify.oracle import DifferentialHarness
+
+CORPUS = load_corpus(default_corpus_dir())
+
+
+class TestReplay:
+    def test_corpus_is_not_empty(self):
+        assert len(CORPUS) >= 4
+        assert {e.name for e in CORPUS} >= {
+            "seed-8ff8",
+            "seed-e8",
+            "seed-const0",
+            "seed-x0",
+        }
+
+    @pytest.mark.parametrize(
+        "entry", CORPUS, ids=[e.name for e in CORPUS]
+    )
+    def test_replay_through_differential_harness(self, entry):
+        with DifferentialHarness(
+            ("stp", "fen"), timeout=30.0
+        ) as harness:
+            report = harness.check(entry.function())
+        assert report.ok, [d.to_record() for d in report.discrepancies]
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entry(self, tmp_path):
+        entry = CorpusEntry(
+            name="fuzz-7-3",
+            hex="1e",
+            num_vars=3,
+            kind="discrepancy",
+            description="packed and reference verifiers disagree",
+            engines=("stp",),
+            origin="repro-fuzz seed=7 instance=3 original=0x16e8/4",
+            trail=("restrict x3=0 -> 0x1e/3",),
+        )
+        save_entry(tmp_path, entry)
+        assert load_corpus(tmp_path) == [entry]
+
+    def test_entries_sorted_by_file_name(self, tmp_path):
+        for name in ("b-entry", "a-entry"):
+            save_entry(
+                tmp_path, CorpusEntry(name=name, hex="e8", num_vars=3)
+            )
+        assert [e.name for e in load_corpus(tmp_path)] == [
+            "a-entry",
+            "b-entry",
+        ]
+
+    def test_missing_directory_is_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+
+class TestValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CorpusEntry(name="x", hex="e8", num_vars=3, kind="exploit")
+
+    def test_nameless_entry_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            CorpusEntry(name="", hex="e8", num_vars=3)
+
+    def test_hex_must_match_arity(self):
+        with pytest.raises(ValueError):
+            CorpusEntry(name="x", hex="8ff8", num_vars=2)
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            CorpusEntry.from_record(
+                {"version": CORPUS_VERSION + 1, "name": "x"}
+            )
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            CorpusEntry.from_record(
+                {"version": CORPUS_VERSION, "name": "x", "hex": "e8"}
+            )
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"version": CORPUS_VERSION, "name": "bad"})
+        )
+        with pytest.raises(ValueError, match="corrupt corpus entry"):
+            load_corpus(tmp_path)
+
+    def test_default_dir_is_the_repo_corpus(self):
+        directory = default_corpus_dir()
+        assert directory.name == "corpus"
+        assert (directory / "seed-8ff8.json").is_file()

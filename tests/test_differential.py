@@ -1,0 +1,178 @@
+"""Differential oracle tests: clean engines pass, planted bugs fail.
+
+The acceptance path: a deliberately wrong engine — the real FEN
+adapter with one gate operator mutated — must be caught as a
+``realization`` discrepancy and shrunk to a reproducer of at most
+three inputs.
+"""
+
+from repro.chain import BooleanChain
+from repro.core.spec import Deadline, SynthesisResult
+from repro.engine import run_engine
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.truthtable import from_hex
+from repro.verify import DifferentialHarness, shrink_function
+
+
+def mutant_fen(function, timeout, **kwargs):
+    """The real FEN engine with the first gate's operator flipped.
+
+    XOR-ing the op code with 0x6 turns AND into OR, XOR into XNOR,
+    and so on — a structurally valid chain computing the wrong
+    function, exactly the bug class the oracle exists to catch.
+    """
+    result = run_engine("fen", function, timeout, **kwargs)
+    mutated = []
+    for chain in result.chains:
+        if not chain.gates:
+            mutated.append(chain)
+            continue
+        rebuilt = BooleanChain(chain.num_inputs)
+        first = chain.gates[0]
+        rebuilt.add_gate(first.op ^ 0x6, first.fanins)
+        for gate in chain.gates[1:]:
+            rebuilt.add_gate(gate.op, gate.fanins)
+        for signal, complemented in chain.outputs:
+            rebuilt.set_output(signal, complemented)
+        mutated.append(rebuilt)
+    return SynthesisResult(
+        spec=result.spec,
+        chains=mutated,
+        num_gates=result.num_gates,
+        runtime=result.runtime,
+    )
+
+
+class TestCleanEngines:
+    def test_exact_engines_agree_on_example7(self):
+        with DifferentialHarness(("stp", "fen"), timeout=30.0) as harness:
+            report = harness.check(from_hex("8ff8", 4))
+        assert report.ok
+        gates = {o.num_gates for o in report.observations}
+        assert gates == {3}
+        assert all(o.status == "ok" for o in report.observations)
+
+    def test_inexact_engine_is_excluded_from_optimality(self):
+        # hier is not exact: its (possibly larger) chains must still
+        # realize the target, but its gate count is not cross-checked.
+        with DifferentialHarness(("fen", "hier"), timeout=30.0) as harness:
+            report = harness.check(from_hex("e8", 3))
+        assert report.ok
+
+    def test_report_record_is_json_shaped(self):
+        with DifferentialHarness(
+            ("fen",), timeout=30.0, check_store=False
+        ) as harness:
+            record = harness.check(from_hex("e8", 3)).to_record()
+        assert record["function"] == "e8"
+        assert record["observations"][0]["engine"] == "fen"
+        assert record["discrepancies"] == []
+
+
+class TestPlantedBugs:
+    def test_mutant_engine_is_caught(self):
+        """Acceptance: a wrong-operator mutation is detected and the
+        failing function shrinks to at most three inputs."""
+        with DifferentialHarness(
+            (("mutant", mutant_fen),),
+            timeout=30.0,
+            check_store=False,
+        ) as harness:
+            report = harness.check(from_hex("8ff8", 4))
+            assert not report.ok
+            kinds = {d.kind for d in report.discrepancies}
+            assert "realization" in kinds
+
+            result = shrink_function(
+                from_hex("8ff8", 4),
+                lambda t: bool(harness.check(t).discrepancies),
+                max_evaluations=100,
+            )
+        assert result.minimized.num_vars <= 3
+        assert result.reduced
+
+    def test_optimality_disagreement_is_caught(self):
+        def padded_fen(function, timeout, **kwargs):
+            result = run_engine("fen", function, timeout, **kwargs)
+            return SynthesisResult(
+                spec=result.spec,
+                chains=result.chains,
+                num_gates=result.num_gates + 1,
+                runtime=result.runtime,
+            )
+
+        with DifferentialHarness(
+            ("fen", ("padded", padded_fen)),
+            timeout=30.0,
+            check_store=False,
+        ) as harness:
+            report = harness.check(from_hex("e8", 3))
+        assert [d.kind for d in report.discrepancies] == ["optimality"]
+
+    def test_exact_override_silences_inexact_fixture(self):
+        def padded_fen(function, timeout, **kwargs):
+            result = run_engine("fen", function, timeout, **kwargs)
+            return SynthesisResult(
+                spec=result.spec,
+                chains=result.chains,
+                num_gates=result.num_gates + 1,
+                runtime=result.runtime,
+            )
+
+        with DifferentialHarness(
+            ("fen", ("padded", padded_fen)),
+            timeout=30.0,
+            check_store=False,
+            exact_overrides={"padded": False},
+        ) as harness:
+            assert harness.check(from_hex("e8", 3)).ok
+
+
+class TestInjectedFaults:
+    def test_corrupt_fault_is_a_realization_discrepancy(self):
+        plan = FaultPlan(
+            {FaultPlan.WILDCARD: FaultSpec("corrupt", times=None)}
+        )
+        with DifferentialHarness(
+            ("fen",), timeout=30.0, fault_plan=plan
+        ) as harness:
+            report = harness.check(from_hex("e8", 3))
+        kinds = {d.kind for d in report.discrepancies}
+        assert "realization" in kinds
+        # The corrupt chain uses a CONST0 output, whose reference-path
+        # semantics deliberately differ: no false kernel alarm.
+        assert "kernel" not in kinds
+
+    def test_crash_fault_is_tolerated_not_reported(self):
+        plan = FaultPlan(
+            {FaultPlan.WILDCARD: FaultSpec("crash", times=None)}
+        )
+        with DifferentialHarness(
+            ("fen",), timeout=30.0, fault_plan=plan
+        ) as harness:
+            report = harness.check(from_hex("e8", 3))
+        assert report.ok
+        assert report.observations[0].status == "crash"
+
+
+class TestDeadline:
+    def test_expired_deadline_skips_engines(self):
+        with DifferentialHarness(
+            ("stp", "fen"), timeout=30.0, check_store=False
+        ) as harness:
+            report = harness.check(
+                from_hex("8ff8", 4), deadline=Deadline(0.0)
+            )
+        assert report.ok
+        assert [o.status for o in report.observations] == [
+            "skipped",
+            "skipped",
+        ]
+
+
+class TestConfiguration:
+    def test_empty_engines_falls_back_to_registry(self):
+        from repro.engine import engine_names
+
+        with DifferentialHarness((), check_store=False) as harness:
+            assert harness._engines == list(engine_names())

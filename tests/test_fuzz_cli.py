@@ -1,0 +1,179 @@
+"""Fuzz campaign driver and the ``repro-fuzz`` command line."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.verify.cli import (
+    EXIT_BAD_INPUT,
+    EXIT_DISCREPANCY,
+    EXIT_OK,
+    main,
+    parse_budget,
+)
+from repro.verify.corpus import load_corpus
+from repro.verify.fuzz import FuzzConfig, run_fuzz
+from repro.verify.generators import strategy_names
+
+
+class TestParseBudget:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("120", 120.0),
+            ("120s", 120.0),
+            ("2m", 120.0),
+            ("1h", 3600.0),
+            (" 0.5M ", 30.0),
+        ],
+    )
+    def test_accepted_forms(self, text, seconds):
+        assert parse_budget(text) == seconds
+
+    @pytest.mark.parametrize("text", ["", "fast", "10d", "0", "-5s"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_budget(text)
+
+
+class TestFuzzConfig:
+    def test_default_is_one_sweep(self):
+        assert FuzzConfig().effective_count() == len(strategy_names())
+
+    def test_count_wins_over_sweep(self):
+        assert FuzzConfig(count=3).effective_count() == 3
+
+    def test_budget_alone_is_unbounded_count(self):
+        assert FuzzConfig(budget_seconds=1.0).effective_count() is None
+
+
+class TestRunFuzz:
+    def test_clean_sweep_is_deterministic(self, tmp_path):
+        config = FuzzConfig(
+            seed=11, count=6, engines=("fen",), timeout_per_engine=30.0
+        )
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        reports = [
+            run_fuzz(config, report_path=path) for path in paths
+        ]
+        for report in reports:
+            assert report.ok
+            assert report.instances == 6
+            assert report.strategy_counts == {
+                name: 1 for name in strategy_names()
+            }
+        functions = []
+        for path in paths:
+            lines = [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+            ]
+            assert [rec["type"] for rec in lines] == ["instance"] * 6 + [
+                "summary"
+            ]
+            assert [rec["index"] for rec in lines[:-1]] == list(range(6))
+            functions.append([rec["function"] for rec in lines[:-1]])
+        assert functions[0] == functions[1]
+
+    def test_injected_corrupt_is_found_shrunk_and_checked_in(
+        self, tmp_path
+    ):
+        from repro.runtime.faults import FaultPlan, FaultSpec
+
+        corpus = tmp_path / "corpus"
+        config = FuzzConfig(
+            seed=0,
+            count=1,
+            engines=("fen",),
+            timeout_per_engine=30.0,
+            fault_plan=FaultPlan(
+                {FaultPlan.WILDCARD: FaultSpec("corrupt", times=None)}
+            ),
+            max_shrink_evaluations=50,
+        )
+        report = run_fuzz(config, corpus_dir=corpus)
+        assert not report.ok
+        assert report.shrunk
+        entries = load_corpus(corpus)
+        assert [e.name for e in entries] == ["fuzz-0-0"]
+        assert entries[0].kind == "discrepancy"
+        assert entries[0].function() == report.shrunk[0].minimized
+
+
+@pytest.mark.fuzz
+@pytest.mark.slow
+class TestBudgetedCampaign:
+    def test_ten_second_campaign_finds_nothing(self, tmp_path):
+        """A short real-time campaign over every engine stays clean.
+
+        The nightly job runs the same campaign for minutes with a
+        fresh seed; this marked copy keeps the wiring honest in the
+        slow tier without burning CI minutes on every push.
+        """
+        report_path = tmp_path / "report.jsonl"
+        config = FuzzConfig(
+            seed=1, budget_seconds=10.0, timeout_per_engine=5.0
+        )
+        report = run_fuzz(config, report_path=report_path)
+        assert report.ok, [d.to_record() for d in report.discrepancies]
+        assert report.instances >= 1
+        assert report_path.read_text().strip()
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(
+            ["--count", "2", "--engines", "fen", "--quiet",
+             "--timeout", "30"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "2 instance(s)" in out
+        assert "0 discrepancy(ies)" in out
+
+    def test_unknown_engine_is_a_usage_error(self, capsys):
+        assert main(["--engines", "zchaff"]) == EXIT_BAD_INPUT
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unknown_strategy_is_a_usage_error(self, capsys):
+        assert main(["--strategies", "chaos"]) == EXIT_BAD_INPUT
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_corrupt_corpus_is_a_usage_error(self, tmp_path, capsys):
+        (tmp_path / "bad.json").write_text("{\"version\": 99}")
+        code = main(
+            ["--count", "1", "--engines", "fen",
+             "--corpus", str(tmp_path)]
+        )
+        assert code == EXIT_BAD_INPUT
+        assert "corrupt corpus entry" in capsys.readouterr().err
+
+    def test_injected_fault_exits_one_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.jsonl"
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        code = main(
+            [
+                "--count", "1",
+                "--engines", "fen",
+                "--timeout", "30",
+                "--inject-fault", "corrupt",
+                "--report", str(report_path),
+                "--corpus", str(corpus),
+                "--quiet",
+            ]
+        )
+        assert code == EXIT_DISCREPANCY
+        assert "reproducer:" in capsys.readouterr().out
+        lines = [
+            json.loads(line)
+            for line in report_path.read_text().splitlines()
+        ]
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["num_discrepancies"] >= 1
+        assert lines[0]["discrepancies"]
+        assert "shrunk" in lines[0]
+        assert load_corpus(corpus)

@@ -54,7 +54,7 @@ from repro.kernels.reference import (
 )
 from repro.truthtable import TruthTable, from_hex
 
-from tests.helpers import random_chain
+from tests.helpers import assert_chain_realizes, random_chain
 
 
 def random_cube(rnd, n):
@@ -110,7 +110,7 @@ class TestAllSatEquivalence:
         wrong = TruthTable(truth.bits ^ 1, truth.num_vars)
         assert verify_chain(chain, truth) is verify_chain_ref(chain, truth)
         assert verify_chain(chain, wrong) is verify_chain_ref(chain, wrong)
-        assert verify_chain(chain, truth)
+        assert_chain_realizes(truth, chain)
 
     def test_multi_output_targets(self):
         chain = BooleanChain(2)

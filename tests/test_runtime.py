@@ -100,6 +100,32 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultSpec("segfault")
 
+    def test_wildcard_matches_any_key(self):
+        plan = FaultPlan({FaultPlan.WILDCARD: FaultSpec("crash", times=2)})
+        assert plan.draw("aaaa").kind == "crash"
+        assert plan.draw("bbbb").kind == "crash"
+        # Burn-out is global across keys, not per instance.
+        assert plan.draw("cccc") is None
+
+    def test_exact_key_takes_precedence_over_wildcard(self):
+        plan = FaultPlan(
+            {
+                "k": FaultSpec("timeout", times=1),
+                FaultPlan.WILDCARD: FaultSpec("crash", times=None),
+            }
+        )
+        assert plan.draw("k").kind == "timeout"
+        # Exact entry burnt out: the wildcard takes over.
+        assert plan.draw("k").kind == "crash"
+        assert plan.draw("other").kind == "crash"
+
+    def test_wildcard_respects_engine_scoping(self):
+        plan = FaultPlan(
+            {FaultPlan.WILDCARD: FaultSpec("crash", engine="stp")}
+        )
+        assert plan.draw("k", "fen") is None
+        assert plan.draw("k", "stp").kind == "crash"
+
     def test_corrupt_fault_is_wrong_but_well_formed(self):
         result = execute_fault(
             FaultSpec("corrupt"), EASY, None, isolated=False

@@ -1,0 +1,123 @@
+"""Greedy failure-shrinker tests."""
+
+import pytest
+
+from repro.truthtable import TruthTable, constant, from_hex, projection
+from repro.verify.shrink import shrink_function
+
+
+def _simplicity(table):
+    return (table.num_vars, table.count_ones(), table.bits)
+
+
+class TestShrinking:
+    def test_shrinks_to_single_minterm_single_variable(self):
+        """With "has any onset row" as the failure, the local minimum
+        is one minterm over one variable."""
+
+        def still_fails(table):
+            return table.count_ones() > 0
+
+        result = shrink_function(from_hex("8ff8", 4), still_fails)
+        assert result.reduced
+        assert result.minimized.num_vars == 1
+        assert result.minimized.count_ones() == 1
+        assert still_fails(result.minimized)
+
+    def test_drops_vacuous_variables(self):
+        """A function that ignores half its inputs loses them."""
+        small = from_hex("6", 2)
+        padded = small.extend(4)
+
+        def still_fails(table):
+            # Failure = "xor of the first two variables is reachable by
+            # restricting the rest", which survives vacuous-drop moves.
+            t = table
+            while t.num_vars > 2:
+                t = t.restrict(t.num_vars - 1, 0)
+            return t == small
+
+        result = shrink_function(padded, still_fails)
+        assert result.minimized.num_vars == 2
+        assert result.minimized == small
+
+    def test_minimized_is_never_more_complex(self):
+        def still_fails(table):
+            return table.count_ones() >= 2
+
+        result = shrink_function(from_hex("e8", 3), still_fails)
+        assert _simplicity(result.minimized) <= _simplicity(
+            result.original
+        )
+        assert still_fails(result.minimized)
+
+    def test_trail_records_each_accepted_move(self):
+        result = shrink_function(
+            projection(0, 2), lambda t: t.count_ones() > 0
+        )
+        assert len(result.trail) >= 1
+        for step in result.trail:
+            assert " -> 0x" in step
+
+    def test_deterministic(self):
+        def still_fails(table):
+            return table.count_ones() > 0
+
+        a = shrink_function(from_hex("8ff8", 4), still_fails)
+        b = shrink_function(from_hex("8ff8", 4), still_fails)
+        assert a == b
+
+
+class TestBudgetAndErrors:
+    def test_non_failing_input_raises(self):
+        with pytest.raises(ValueError, match="failing input"):
+            shrink_function(constant(0, 2), lambda t: False)
+
+    def test_max_evaluations_is_respected(self):
+        calls = []
+
+        def still_fails(table):
+            calls.append(table)
+            return True
+
+        result = shrink_function(
+            from_hex("8ff8", 4), still_fails, max_evaluations=5
+        )
+        assert result.evaluations <= 5
+        assert len(calls) <= 5
+
+    def test_local_minimum_has_no_accepted_move_left(self):
+        """Every strictly-simpler neighbour of the minimum repairs the
+        failure — the definition of a 1-minimal reproducer."""
+
+        def still_fails(table):
+            return table.count_ones() > 0
+
+        result = shrink_function(from_hex("e8", 3), still_fails)
+        minimum = result.minimized
+        # The only simpler tables are constants (count 0) — none fail.
+        assert minimum.count_ones() == 1
+        assert not still_fails(TruthTable(0, minimum.num_vars))
+
+    def test_already_minimal_input_is_returned_unchanged(self):
+        table = TruthTable(1, 1)
+
+        def still_fails(candidate):
+            return candidate == table
+
+        result = shrink_function(table, still_fails)
+        assert not result.reduced
+        assert result.minimized == table
+
+
+class TestRecord:
+    def test_to_record_round_trips_hex(self):
+        result = shrink_function(
+            from_hex("e8", 3), lambda t: t.count_ones() > 0
+        )
+        record = result.to_record()
+        assert from_hex(record["minimized"], record["minimized_vars"]) == (
+            result.minimized
+        )
+        assert record["original"] == "e8"
+        assert record["trail"] == list(result.trail)

@@ -1,0 +1,109 @@
+"""Stratified fuzz-function generators: determinism and coverage."""
+
+import pytest
+
+from repro.truthtable import TruthTable, constant, projection
+from repro.verify.generators import (
+    DEFAULT_SEED_FUNCTIONS,
+    FunctionGenerator,
+    STRATEGIES,
+    strategy_names,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = FunctionGenerator(seed=42)
+        b = FunctionGenerator(seed=42)
+        for _ in range(30):
+            sa, fa = a.generate()
+            sb, fb = b.generate()
+            assert sa == sb
+            assert fa == fb
+
+    def test_different_seeds_diverge(self):
+        a = FunctionGenerator(seed=1)
+        b = FunctionGenerator(seed=2)
+        draws_a = [f for _, f in (a.generate() for _ in range(30))]
+        draws_b = [f for _, f in (b.generate() for _ in range(30))]
+        assert draws_a != draws_b
+
+    def test_seed_functions_change_mutation_stream_only(self):
+        extra = (TruthTable(0x1234, 4),)
+        a = FunctionGenerator(seed=3, strategies=("mutation",))
+        b = FunctionGenerator(
+            seed=3, strategies=("mutation",), seed_functions=extra
+        )
+        draws_a = [f for _, f in (a.generate() for _ in range(20))]
+        draws_b = [f for _, f in (b.generate() for _ in range(20))]
+        assert draws_a != draws_b
+
+
+class TestCoverage:
+    def test_round_robin_covers_every_strategy(self):
+        generator = FunctionGenerator(seed=0)
+        names = strategy_names()
+        seen = [generator.generate()[0] for _ in range(len(names))]
+        assert seen == list(names)
+
+    def test_arity_stays_in_requested_range(self):
+        generator = FunctionGenerator(seed=7, num_vars=(2, 3))
+        for _ in range(60):
+            strategy, table = generator.generate()
+            if strategy == "mutation":
+                # Mutation arity follows the seed pool, not num_vars.
+                assert table.num_vars in {
+                    s.num_vars for s in DEFAULT_SEED_FUNCTIONS
+                }
+            else:
+                assert table.num_vars in (2, 3)
+
+    def test_strategy_subset_is_respected(self):
+        generator = FunctionGenerator(
+            seed=0, strategies=("degenerate", "uniform")
+        )
+        seen = {generator.generate()[0] for _ in range(10)}
+        assert seen == {"degenerate", "uniform"}
+
+    def test_degenerate_stays_near_constant(self):
+        generator = FunctionGenerator(
+            seed=5, num_vars=(3,), strategies=("degenerate",)
+        )
+        for _ in range(40):
+            _, table = generator.generate()
+            ones = table.count_ones()
+            near_pole = min(ones, table.num_rows - ones) <= 2
+            literal = any(
+                table in (projection(v, 3), projection(v, 3, True))
+                for v in range(3)
+            )
+            assert near_pole or literal
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            FunctionGenerator(strategies=("nope",))
+
+    def test_empty_arities_rejected(self):
+        with pytest.raises(ValueError, match="arity"):
+            FunctionGenerator(num_vars=())
+
+    def test_registry_and_names_agree(self):
+        assert set(strategy_names()) == set(STRATEGIES)
+        assert "mutation" in strategy_names()
+
+    def test_default_seed_functions_are_valid(self):
+        assert constant(0, 3) in DEFAULT_SEED_FUNCTIONS
+        for table in DEFAULT_SEED_FUNCTIONS:
+            assert isinstance(table, TruthTable)
+            assert 0 <= table.bits < (1 << table.num_rows)
+
+
+class TestIteration:
+    def test_iterator_protocol(self):
+        generator = FunctionGenerator(seed=0)
+        stream = iter(generator)
+        strategy, table = next(stream)
+        assert strategy == strategy_names()[0]
+        assert isinstance(table, TruthTable)
