@@ -121,6 +121,10 @@ class InstanceOutcome:
     cached: bool = False
     #: Dispatcher that ran the instance (-1: sequential / replayed).
     worker: int = -1
+    #: False when the chain is a degraded upper bound, not an optimum.
+    exact: bool = True
+    #: Corrupt store rows quarantined while serving this instance.
+    store_quarantined: int = 0
     #: JSON-safe per-run search/cache stats (``SynthesisStats.to_record``).
     stats: dict = field(default_factory=dict)
 
@@ -138,6 +142,8 @@ class InstanceOutcome:
             "engine": self.engine,
             "fallback_from": self.fallback_from,
             "worker": self.worker,
+            "exact": self.exact,
+            "store_quarantined": self.store_quarantined,
             "stats": self.stats,
         }
 
@@ -156,6 +162,8 @@ class InstanceOutcome:
             fallback_from=record.get("fallback_from"),
             cached=True,
             worker=int(record.get("worker", -1)),
+            exact=bool(record.get("exact", True)),
+            store_quarantined=int(record.get("store_quarantined", 0)),
             stats=record.get("stats", {}) or {},
         )
 
@@ -214,6 +222,11 @@ class SuiteReport:
         """Instances served by the persistent chain store."""
         return sum(1 for o in self.outcomes if o.engine == "store")
 
+    @property
+    def num_degraded(self) -> int:
+        """Instances served as a non-exact upper bound."""
+        return sum(1 for o in self.outcomes if o.status == "degraded")
+
     def worker_summary(self) -> dict[int, dict]:
         """Per-worker fault/timeout accounting (parallel runs only).
 
@@ -221,7 +234,9 @@ class SuiteReport:
         from a checkpoint land under worker ``-1``.  ``store_hits`` /
         ``store_hit_seconds`` break out the instances each worker served
         straight from the persistent chain store and the wall-clock
-        those served lookups cost.
+        those served lookups cost; ``degraded`` counts upper-bound
+        servings and ``store_quarantined`` the corrupt store rows the
+        worker's lookups marked and skipped.
         """
         summary: dict[int, dict] = {}
         for outcome in self.outcomes:
@@ -232,13 +247,17 @@ class SuiteReport:
                     "solved": 0,
                     "timeouts": 0,
                     "crashes": 0,
+                    "degraded": 0,
                     "store_hits": 0,
                     "store_hit_seconds": 0.0,
+                    "store_quarantined": 0,
                 },
             )
             bucket["tasks"] += 1
             if outcome.solved:
                 bucket["solved"] += 1
+            elif outcome.status == "degraded":
+                bucket["degraded"] += 1
             elif outcome.status == "timeout" or not outcome.error:
                 bucket["timeouts"] += 1
             else:
@@ -246,6 +265,7 @@ class SuiteReport:
             if outcome.engine == "store":
                 bucket["store_hits"] += 1
                 bucket["store_hit_seconds"] += outcome.runtime
+            bucket["store_quarantined"] += outcome.store_quarantined
         return summary
 
 
@@ -264,6 +284,7 @@ def run_suite(
     cache_path: str | None = None,
     jobs: int = 1,
     store_path: str | None = None,
+    race: bool = False,
 ) -> list[SuiteReport]:
     """Run every algorithm over every function; returns one report per
     algorithm.  Every returned chain is validated by simulation.
@@ -285,6 +306,15 @@ def run_suite(
     algorithm needs a named engine chain.  ``store_path`` opens a
     persistent chain store consulted lookup-before-synthesize and
     written back on miss.
+
+    ``race=True`` swaps every executor for a
+    :class:`~repro.runtime.racing.RacingExecutor`: the algorithm's
+    named engines run concurrently on each instance (first verified
+    exact answer wins, losers are cancelled), a single
+    health/breaker tracker is shared across the whole suite, and
+    exhausted instances degrade to stored upper bounds (``status ==
+    "degraded"``, ``exact=False``) instead of plain timeouts.
+    Algorithms with a single named engine race the default lane set.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -298,6 +328,11 @@ def run_suite(
     log = CheckpointLog(checkpoint_path) if checkpoint_path else None
     done = log.load() if log is not None else {}
     algorithms = list(algorithms)
+    health = None
+    if race:
+        from ..runtime.health import EngineHealth
+
+        health = EngineHealth()
     try:
         if jobs > 1:
             return _run_suite_parallel(
@@ -313,6 +348,8 @@ def run_suite(
                 max_retries=max_retries,
                 memory_limit_mb=memory_limit_mb,
                 store=store,
+                race=race,
+                health=health,
             )
         reports = []
         for algorithm in algorithms:
@@ -323,6 +360,8 @@ def run_suite(
                 max_retries=max_retries,
                 memory_limit_mb=memory_limit_mb,
                 store=store,
+                race=race,
+                health=health,
             )
             report = SuiteReport(algorithm.name, suite_name)
             reports.append(report)
@@ -365,6 +404,8 @@ def _run_suite_parallel(
     max_retries: int,
     memory_limit_mb: int | None,
     store,
+    race: bool = False,
+    health=None,
 ) -> list[SuiteReport]:
     """Scheduler-backed suite execution (see :func:`run_suite`)."""
     executors = {
@@ -375,6 +416,8 @@ def _run_suite_parallel(
             max_retries=max_retries,
             memory_limit_mb=memory_limit_mb,
             store=store,
+            race=race,
+            health=health,
         )
         for algorithm in algorithms
     }
@@ -446,7 +489,32 @@ def _executor_for(
     max_retries: int,
     memory_limit_mb: int | None,
     store=None,
-) -> FaultTolerantExecutor:
+    race: bool = False,
+    health=None,
+):
+    if race:
+        from ..runtime.racing import DEFAULT_RACE_ENGINES, RacingExecutor
+
+        if algorithm.engines is None:
+            raise ValueError(
+                f"algorithm {algorithm.name!r} has no named engine "
+                "chain and cannot be raced"
+            )
+        lanes = algorithm.engines
+        if len(lanes) < 2:
+            # A single lane is not a race; widen to the default set
+            # (keeping the algorithm's engine in front).
+            lanes = tuple(
+                dict.fromkeys(lanes + DEFAULT_RACE_ENGINES)
+            )
+        return RacingExecutor(
+            lanes,
+            health=health,
+            store=store,
+            fault_plan=fault_plan,
+            memory_limit_mb=memory_limit_mb,
+            engine_kwargs=algorithm.engine_kwargs,
+        )
     if algorithm.engines is not None:
         engines: Sequence = algorithm.engines
     else:
@@ -491,7 +559,28 @@ def _to_instance_outcome(
             engine=outcome.engine,
             fallback_from=outcome.fallback_from,
             worker=worker,
+            exact=outcome.exact,
+            store_quarantined=outcome.store_quarantined,
             stats=result.stats.to_record(),
+        )
+    if outcome.degraded:
+        # Racing's graceful degradation: a verified upper bound was
+        # served; solved stays False (exactness was not established)
+        # but the chain's size is still worth recording.
+        result = outcome.result
+        return InstanceOutcome(
+            outcome.function_hex,
+            False,
+            outcome.runtime,
+            num_gates=result.num_gates,
+            num_solutions=result.num_solutions,
+            error=outcome.error,
+            status="degraded",
+            engine=outcome.engine,
+            fallback_from=outcome.fallback_from,
+            worker=worker,
+            exact=False,
+            store_quarantined=outcome.store_quarantined,
         )
     return InstanceOutcome(
         outcome.function_hex,
@@ -502,6 +591,8 @@ def _to_instance_outcome(
         engine=outcome.engine,
         fallback_from=outcome.fallback_from,
         worker=worker,
+        exact=outcome.exact,
+        store_quarantined=outcome.store_quarantined,
     )
 
 
@@ -513,6 +604,11 @@ def _print_progress(name: str, outcome: InstanceOutcome) -> None:
                 f" [{outcome.engine}, fell back from "
                 f"{outcome.fallback_from}]"
             )
+    elif outcome.status == "degraded":
+        status = (
+            f"degraded: upper bound g<={outcome.num_gates} "
+            f"[{outcome.engine}]"
+        )
     elif outcome.error:
         status = f"{outcome.status or 't/o'} ({outcome.error})"
     else:

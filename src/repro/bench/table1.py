@@ -209,6 +209,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "are served from the store and written back on miss",
     )
     parser.add_argument(
+        "--race",
+        action="store_true",
+        help="race each algorithm's engine lanes concurrently per "
+        "instance (first verified exact answer wins); exhausted "
+        "instances degrade to stored upper bounds",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=1,
@@ -261,6 +268,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_path=args.cache,
                 jobs=args.jobs,
                 store_path=args.store,
+                race=args.race,
             )
         except KeyboardInterrupt:
             print(

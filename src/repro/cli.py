@@ -14,6 +14,12 @@ selected engine degrades to the CNF fence baseline on a crash, and the
 per-engine trail is printed on stderr.  Failures map to distinct exit
 codes so scripts can branch on them:
 
+With ``--race`` several engines run concurrently in isolated workers
+(first verified exact answer wins, losers are killed); when every
+exact lane exhausts its budget the run *degrades* to the best-known
+upper bound from the chain store, reported with its own exit code so
+scripts can tell "non-optimal answer served" from "no answer at all".
+
 ====  =============================================
 code  meaning
 ====  =============================================
@@ -21,6 +27,7 @@ code  meaning
 2     budget exceeded (timeout)
 3     worker crashed / engine unavailable
 4     infeasible within the gate cap
+5     degraded: non-exact upper bound served
 65    malformed input (bad hex / arity)
 ====  =============================================
 """
@@ -34,7 +41,7 @@ from typing import Sequence
 from .chain.costs import COST_MODELS, rank_solutions
 from .network import LogicNetwork, network_to_blif
 from .runtime.engines import ENGINE_NAMES
-from .runtime.executor import FaultTolerantExecutor
+from .runtime.executor import FaultTolerantExecutor, format_trail
 from .runtime.faults import FaultPlan, FaultSpec
 from .truthtable import from_hex
 
@@ -43,6 +50,7 @@ EXIT_OK = 0
 EXIT_TIMEOUT = 2
 EXIT_CRASH = 3
 EXIT_INFEASIBLE = 4
+EXIT_DEGRADED = 5
 EXIT_BAD_INPUT = 65
 
 _STATUS_EXIT_CODES = {
@@ -52,6 +60,7 @@ _STATUS_EXIT_CODES = {
     "unavailable": EXIT_CRASH,
     "corrupt": EXIT_CRASH,
     "infeasible": EXIT_INFEASIBLE,
+    "degraded": EXIT_DEGRADED,
 }
 
 
@@ -125,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(hard wall-clock timeout)",
     )
     parser.add_argument(
+        "--race",
+        action="store_true",
+        help="race the engine against the default lanes in concurrent "
+        "workers; first verified exact answer wins, and exhausted "
+        "budgets degrade to a stored upper bound (exit 5)",
+    )
+    parser.add_argument(
         "--no-fallback",
         action="store_true",
         help="disable the CNF fence-engine fallback on crashes",
@@ -179,36 +195,53 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .store import ChainStore
 
         store = ChainStore(args.store)
-    executor = FaultTolerantExecutor(
-        engines,
-        isolate=args.isolate,
-        memory_limit_mb=args.memory_limit_mb,
-        fault_plan=fault_plan,
-        engine_kwargs=engine_kwargs,
-        store=store,
-    )
+    if args.race:
+        from .runtime.racing import DEFAULT_RACE_ENGINES, RacingExecutor
+
+        lanes = tuple(dict.fromkeys(engines + DEFAULT_RACE_ENGINES))
+        executor = RacingExecutor(
+            lanes,
+            memory_limit_mb=args.memory_limit_mb,
+            fault_plan=fault_plan,
+            engine_kwargs={
+                name: dict(engine_kwargs.get(args.engine, {}))
+                for name in lanes
+            },
+            store=store,
+        )
+    else:
+        executor = FaultTolerantExecutor(
+            engines,
+            isolate=args.isolate,
+            memory_limit_mb=args.memory_limit_mb,
+            fault_plan=fault_plan,
+            engine_kwargs=engine_kwargs,
+            store=store,
+        )
     try:
         outcome = executor.run(target, timeout=args.timeout)
     finally:
         if store is not None:
             store.close()
 
-    # The engine-fallback trail goes to stderr so stdout stays parseable.
-    for record in outcome.trail:
+    # The engine trail goes to stderr so stdout stays parseable; each
+    # hop names the engine, the error class, and the seconds it cost.
+    for record, line in zip(outcome.trail, format_trail(outcome.trail)):
         if record.status != "ok":
-            print(
-                f"engine {record.engine} attempt {record.attempt}: "
-                f"{record.status} after {record.runtime:.3f}s"
-                + (f" ({record.error})" if record.error else ""),
-                file=sys.stderr,
-            )
+            print(line, file=sys.stderr)
     if outcome.fallback_from:
         print(
             f"fell back: {outcome.fallback_from} -> {outcome.engine}",
             file=sys.stderr,
         )
+    if args.race and getattr(executor, "last_cancellations", None):
+        cancelled = ", ".join(
+            f"{c.engine} ({c.seconds * 1000:.1f}ms)"
+            for c in executor.last_cancellations
+        )
+        print(f"cancelled losers: {cancelled}", file=sys.stderr)
 
-    if not outcome.solved:
+    if not outcome.solved and not outcome.degraded:
         print(
             f"{outcome.status}: {outcome.error or 'synthesis failed'} "
             f"[after {outcome.runtime:.3f}s, "
@@ -218,6 +251,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _STATUS_EXIT_CODES.get(outcome.status, EXIT_CRASH)
 
     result = outcome.result
+    if outcome.degraded:
+        print(
+            "degraded: every exact engine exhausted its budget; "
+            f"serving a verified upper bound g<={result.num_gates} "
+            f"[{outcome.engine}]",
+            file=sys.stderr,
+        )
+        print(
+            f"0x{target.to_hex()}: upper bound {result.num_gates} "
+            f"gates (NOT proven optimal), {result.num_solutions} "
+            f"solution(s) in {outcome.runtime:.3f}s [{outcome.engine}]"
+        )
+        for rank, (cost, chain) in enumerate(
+            rank_solutions(result.chains, args.cost)[:1], start=1
+        ):
+            print(f"-- solution {rank} ({args.cost}={cost:g})")
+            print(chain.format())
+        return EXIT_DEGRADED
     ranked = rank_solutions(result.chains, args.cost)
     shown = ranked[:1] if args.best_only else ranked
     print(

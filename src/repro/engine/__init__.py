@@ -3,8 +3,8 @@
 The protocol (:mod:`~repro.engine.protocol`), the string-keyed
 registry (:mod:`~repro.engine.registry`), and one adapter per
 synthesizer (:mod:`~repro.engine.adapters`).  Importing this package
-registers the five built-in engines: ``stp``, ``hier``, ``fen``,
-``bms``, and ``lutexact``.
+registers the six built-in engines: ``stp``, ``hier``, ``fen``,
+``bms``, ``lutexact``, and ``cegis``.
 
 :func:`run_engine` is the convenience dispatch used by the runtime's
 named-engine shim: it builds a :class:`SynthesisSpec` from a bare
@@ -19,6 +19,7 @@ from ..truthtable.table import TruthTable
 from . import adapters as _adapters  # noqa: F401  (registers engines)
 from .adapters import (
     BMSEngine,
+    CegisEngine,
     FENEngine,
     HierEngine,
     LutExactEngine,
@@ -45,6 +46,7 @@ __all__ = [
     "FENEngine",
     "BMSEngine",
     "LutExactEngine",
+    "CegisEngine",
 ]
 
 

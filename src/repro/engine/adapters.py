@@ -25,6 +25,7 @@ __all__ = [
     "FENEngine",
     "BMSEngine",
     "LutExactEngine",
+    "CegisEngine",
 ]
 
 
@@ -177,3 +178,20 @@ class LutExactEngine(_BaselineAdapter):
         from ..baselines.lutexact import LutExactSynthesizer
 
         return LutExactSynthesizer(max_gates=spec.max_gates)
+
+
+@register_engine("cegis")
+class CegisEngine(_BaselineAdapter):
+    """Counterexample-guided sample-based exact synthesis (CEGIS)."""
+
+    capabilities = EngineCapabilities(
+        all_solutions=False,
+        verification=True,
+        custom_operators=False,
+        exact=True,
+    )
+
+    def _backend(self, spec: SynthesisSpec):
+        from ..core.cegis import CegisSynthesizer
+
+        return CegisSynthesizer(max_gates=spec.max_gates)

@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="concurrent instances"
     )
     parser.add_argument(
+        "--race",
+        action="store_true",
+        help="race the engine lanes concurrently per instance (first "
+        "verified exact answer wins); exhausted instances degrade to "
+        "stored upper bounds instead of bare timeouts",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=60.0,
@@ -156,7 +163,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     from functools import partial
 
     engines: tuple[str, ...] = (args.engine,)
-    if not args.no_fallback and args.engine != "fen":
+    if args.race:
+        from ..runtime.racing import DEFAULT_RACE_ENGINES
+
+        engines = tuple(dict.fromkeys(engines + DEFAULT_RACE_ENGINES))
+    elif not args.no_fallback and args.engine != "fen":
         engines = (args.engine, "fen")
     kwargs = {"max_solutions": args.max_solutions}
     algorithm = Algorithm(
@@ -179,6 +190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             memory_limit_mb=args.memory_limit_mb,
             jobs=args.jobs,
             store_path=args.store,
+            race=args.race,
         )
     except KeyboardInterrupt:
         print(
@@ -199,6 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "instances": len(report.outcomes),
         "solved": report.num_ok,
         "timeouts": report.num_timeouts,
+        "degraded": report.num_degraded,
         "store_hits": report.num_store_hits,
         "wall_seconds": round(wall, 6),
         "workers": {
@@ -209,6 +222,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(
         f"{summary['solved']}/{summary['instances']} solved, "
         f"{summary['timeouts']} timeouts, "
+        f"{summary['degraded']} degraded, "
         f"{summary['store_hits']} store hits, "
         f"{wall:.2f}s wall with jobs={args.jobs}",
         file=sys.stderr,

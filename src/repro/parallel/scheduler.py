@@ -67,6 +67,9 @@ class WorkerStats:
     solved: int = 0
     timeouts: int = 0
     crashes: int = 0
+    #: Instances served as a non-exact upper bound after every exact
+    #: engine exhausted its budget (racing's graceful degradation).
+    degraded: int = 0
     busy_seconds: float = 0.0
 
     def record(self, outcome: ExecutionOutcome, seconds: float) -> None:
@@ -74,6 +77,8 @@ class WorkerStats:
         self.busy_seconds += seconds
         if outcome.solved:
             self.solved += 1
+        elif outcome.status == "degraded":
+            self.degraded += 1
         elif outcome.status == "timeout":
             self.timeouts += 1
         else:
@@ -87,6 +92,7 @@ class WorkerStats:
             "solved": self.solved,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
+            "degraded": self.degraded,
             "busy_seconds": round(self.busy_seconds, 6),
         }
 
@@ -110,9 +116,15 @@ class BatchScheduler:
     Parameters
     ----------
     executors:
-        One fault-tolerant executor per algorithm name.  Executors are
-        shared across dispatcher threads; `FaultTolerantExecutor` keeps
-        all per-run state on the stack, so this is safe.
+        One executor per algorithm name — anything with the
+        ``run(function, timeout) -> ExecutionOutcome`` contract, i.e.
+        :class:`~repro.runtime.executor.FaultTolerantExecutor` or the
+        racing :class:`~repro.runtime.racing.RacingExecutor`.
+        Executors are shared across dispatcher threads;
+        `FaultTolerantExecutor` keeps all per-run state on the stack,
+        so this is safe (a racing executor's ``last_cancellations``
+        scratch attribute is the only cross-thread race, and it is
+        advisory accounting only).
     jobs:
         Number of dispatcher threads = maximum concurrently-alive
         synthesis workers.

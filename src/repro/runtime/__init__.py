@@ -8,6 +8,11 @@ The execution layer every entry point routes synthesis through:
   timeouts and optional memory caps;
 * :mod:`.executor` — :class:`FaultTolerantExecutor`: engine fallback
   chains, retry with exponential backoff, result verification;
+* :mod:`.racing` — :class:`RacingExecutor`: concurrent engine lanes,
+  first exact answer wins, losers cancelled, graceful degradation to
+  stored upper bounds;
+* :mod:`.health` — :class:`EngineHealth`: rolling per-engine scores,
+  circuit breakers, adaptive deadlines from per-class history;
 * :mod:`.checkpoint` — streaming JSONL checkpoints for resumable
   benchmark runs;
 * :mod:`.faults` — deterministic fault injection for testing every
@@ -44,7 +49,16 @@ __all__ = [
     "FaultTolerantExecutor",
     "ExecutionOutcome",
     "AttemptRecord",
+    "format_trail",
+    "RacingExecutor",
+    "CancellationRecord",
+    "DEFAULT_RACE_ENGINES",
+    "EngineHealth",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
     "WorkerTask",
+    "WorkerHandle",
     "run_isolated",
     "CheckpointLog",
     "instance_key",
@@ -61,7 +75,16 @@ _LAZY = {
     "FaultTolerantExecutor": ("executor", "FaultTolerantExecutor"),
     "ExecutionOutcome": ("executor", "ExecutionOutcome"),
     "AttemptRecord": ("executor", "AttemptRecord"),
+    "format_trail": ("executor", "format_trail"),
+    "RacingExecutor": ("racing", "RacingExecutor"),
+    "CancellationRecord": ("racing", "CancellationRecord"),
+    "DEFAULT_RACE_ENGINES": ("racing", "DEFAULT_RACE_ENGINES"),
+    "EngineHealth": ("health", "EngineHealth"),
+    "BREAKER_CLOSED": ("health", "BREAKER_CLOSED"),
+    "BREAKER_OPEN": ("health", "BREAKER_OPEN"),
+    "BREAKER_HALF_OPEN": ("health", "BREAKER_HALF_OPEN"),
     "WorkerTask": ("worker", "WorkerTask"),
+    "WorkerHandle": ("worker", "WorkerHandle"),
     "run_isolated": ("worker", "run_isolated"),
     "CheckpointLog": ("checkpoint", "CheckpointLog"),
     "instance_key": ("checkpoint", "instance_key"),

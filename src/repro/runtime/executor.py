@@ -40,7 +40,12 @@ from .errors import (
 from .faults import FaultPlan, execute_fault
 from .worker import DEFAULT_GRACE, WorkerTask, run_isolated
 
-__all__ = ["AttemptRecord", "ExecutionOutcome", "FaultTolerantExecutor"]
+__all__ = [
+    "AttemptRecord",
+    "ExecutionOutcome",
+    "FaultTolerantExecutor",
+    "format_trail",
+]
 
 #: An engine is either a registry name (isolatable) or a
 #: ``(name, callable)`` pair for ad-hoc in-process engines.
@@ -56,6 +61,7 @@ class AttemptRecord:
     status: str
     runtime: float
     error: str = ""
+    error_class: str = ""
     fault: str = ""
 
     def to_record(self) -> dict:
@@ -65,8 +71,32 @@ class AttemptRecord:
             "status": self.status,
             "runtime": round(self.runtime, 6),
             "error": self.error,
+            "error_class": self.error_class,
             "fault": self.fault,
         }
+
+
+def format_trail(trail: Sequence[AttemptRecord]) -> list[str]:
+    """Human-readable fallback trail, one line per hop.
+
+    Every hop names the engine, the error *class* (exception type, or
+    the status for ok hops), and the seconds the attempt consumed —
+    the three facts needed to diagnose a degraded run from stderr
+    alone.
+    """
+    lines = []
+    for record in trail:
+        what = record.error_class or record.status
+        line = (
+            f"engine {record.engine} attempt {record.attempt}: "
+            f"{record.status} [{what}] after {record.runtime:.3f}s"
+        )
+        if record.error:
+            line += f" ({record.error})"
+        if record.fault:
+            line += f" <fault:{record.fault}>"
+        lines.append(line)
+    return lines
 
 
 @dataclass
@@ -83,11 +113,20 @@ class ExecutionOutcome:
     error: str = ""
     result: SynthesisResult | None = None
     trail: list[AttemptRecord] = field(default_factory=list)
+    #: False when the result is a degraded upper bound, not an optimum.
+    exact: bool = True
+    #: Corrupt store rows quarantined while serving this run.
+    store_quarantined: int = 0
 
     @property
     def solved(self) -> bool:
-        """True when a verified result was produced."""
+        """True when a verified *exact* result was produced."""
         return self.status == "ok" and self.result is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run served a non-exact upper bound."""
+        return self.status == "degraded" and self.result is not None
 
     def to_record(self) -> dict:
         """JSON-safe summary (sans the result object) for checkpoints."""
@@ -100,6 +139,8 @@ class ExecutionOutcome:
             "attempts": self.attempts,
             "runtime": round(self.runtime, 6),
             "error": self.error,
+            "exact": self.exact,
+            "store_quarantined": self.store_quarantined,
             "num_gates": (
                 self.result.num_gates if self.result is not None else -1
             ),
@@ -228,7 +269,7 @@ class FaultTolerantExecutor:
         last_error: str = ""
         last_status: str = "crash"
 
-        stored = self._store_lookup(function)
+        stored = self._store_lookup(function, outcome)
         if stored is not None:
             outcome.status = "ok"
             outcome.engine = "store"
@@ -275,34 +316,56 @@ class FaultTolerantExecutor:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _store_lookup(self, function: TruthTable):
-        """Lookup-before-synthesize; any store failure is a miss."""
+    def _store_lookup(
+        self, function: TruthTable, outcome: ExecutionOutcome
+    ):
+        """Lookup-before-synthesize; any store failure is a miss.
+
+        Corrupt rows the store quarantines while serving this call are
+        counted on the outcome (per-run accounting for suite
+        summaries); stores without the ``events`` hook still work.
+        """
         if self._store is None:
             return None
+        events: list = []
         try:
-            return self._store.lookup(function)
+            try:
+                result = self._store.lookup(function, events=events)
+            except TypeError:
+                result = self._store.lookup(function)
         except KeyboardInterrupt:
             raise
         except Exception:
-            return None
+            result = None
+        outcome.store_quarantined += sum(
+            1 for kind, _ in events if kind == "quarantined"
+        )
+        return result
 
     def _store_put(
         self, function: TruthTable, result: SynthesisResult, engine: str
     ) -> None:
         """Write a solved result back to the store (best-effort).
 
-        Only results from engines whose declared capabilities include
-        exactness are persisted — the store's contract is *optimal*
-        chains, so a future heuristic engine must not poison it.
+        Results from engines whose declared capabilities include
+        exactness are persisted as optimal rows; results from
+        heuristic engines are graded as verified **upper bounds** so
+        the degradation path can serve them without ever poisoning
+        the store's optimal-chain contract.
         """
         if self._store is None:
             return
         try:
             from ..engine import engine_capabilities
 
-            if not engine_capabilities(engine).exact:
-                return
-            self._store.put(function, result, engine=engine)
+            exact = bool(engine_capabilities(engine).exact)
+            try:
+                self._store.put(
+                    function, result, engine=engine, exact=exact
+                )
+            except TypeError:
+                if exact:  # legacy stores only take optimal rows
+                    self._store.put(function, result, engine=engine)
         except KeyboardInterrupt:
             raise
         except Exception:
@@ -347,6 +410,7 @@ class FaultTolerantExecutor:
                         status=status,
                         runtime=time.perf_counter() - started,
                         error=error,
+                        error_class=type(exc).__name__,
                         fault=fault.kind if fault else "",
                     )
                 )

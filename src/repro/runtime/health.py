@@ -1,0 +1,280 @@
+"""Health-aware engine scoring: circuit breakers + adaptive deadlines.
+
+Racing and fallback both need an answer to "which engines are worth a
+worker fork right now, and for how long?".  This module keeps the
+bookkeeping behind that answer:
+
+* :class:`EngineHealth` maintains a **rolling window** of recent
+  outcomes (ok / timeout / crash / …) per engine and a three-state
+  **circuit breaker** over it.  An engine whose recent failure rate
+  crosses the threshold trips to *open* and is skipped by dispatch;
+  after a cooldown it becomes *half-open* and a single probe attempt
+  is let through — success closes the breaker, failure re-opens it.
+  This is the classic distributed-systems breaker applied to synthesis
+  engines: a build-broken or persistently crashing engine stops
+  burning worker forks, yet is re-probed so a recovery is noticed.
+* The same object records per-NPN-class solve times and derives
+  **adaptive deadlines** from them: a race on a class whose history
+  says "solved in ~0.3 s" gets a small first-round budget (with
+  generous margin) instead of the full per-instance timeout, so losing
+  engines are reaped early.  The suggestion only ever *shrinks* a
+  caller's budget and is clamped to a floor, so a cold or misleading
+  history can cost at most one short extra round, never correctness.
+
+Everything is in-memory, thread-safe, and JSON-serializable via
+:meth:`EngineHealth.to_record`; suite runners can therefore persist a
+health snapshot next to their checkpoint and re-seed it on resume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "EngineHealth",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: Outcome statuses that count as engine failures for breaker purposes.
+#: ``infeasible`` is deliberately *not* a failure: it is a correct
+#: answer about the problem, not a malfunction of the engine.
+_FAILURE_STATUSES = frozenset(
+    {"timeout", "crash", "corrupt", "unavailable"}
+)
+
+
+class _EngineScore:
+    """Rolling outcome window + breaker state for one engine."""
+
+    __slots__ = ("window", "state", "opened_at", "probing")
+
+    def __init__(self, window_size: int) -> None:
+        self.window: deque[bool] = deque(maxlen=window_size)
+        self.state = BREAKER_CLOSED
+        self.opened_at = 0.0
+        self.probing = False
+
+    def failure_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(1 for ok in self.window if not ok) / len(self.window)
+
+
+class EngineHealth:
+    """Per-engine rolling health scores with circuit-breaker dispatch.
+
+    Parameters
+    ----------
+    window:
+        Number of recent outcomes kept per engine.
+    failure_threshold:
+        Failure rate over the window at which the breaker opens.
+    min_samples:
+        Outcomes required before the breaker may open (a single early
+        crash must not blacklist an engine).
+    cooldown:
+        Seconds an open breaker waits before allowing a half-open
+        probe.
+    deadline_margin / deadline_floor:
+        Adaptive-deadline tuning: a suggestion is
+        ``margin × worst recent solve time`` for the NPN class,
+        clamped to at least ``deadline_floor`` seconds and at most the
+        caller's own budget.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_samples: int = 4,
+        cooldown: float = 30.0,
+        deadline_margin: float = 4.0,
+        deadline_floor: float = 0.5,
+        history_per_class: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self._window = max(1, window)
+        self._threshold = failure_threshold
+        self._min_samples = max(1, min_samples)
+        self._cooldown = cooldown
+        self._margin = deadline_margin
+        self._floor = deadline_floor
+        self._history_per_class = max(1, history_per_class)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._scores: dict[str, _EngineScore] = {}
+        #: (num_vars, hex) → recent successful solve times (any engine).
+        self._class_times: dict[tuple[int, str], deque[float]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        engine: str,
+        status: str,
+        runtime: float = 0.0,
+        *,
+        function=None,
+    ) -> None:
+        """Fold one attempt outcome into the engine's health score.
+
+        ``function`` (a :class:`~repro.truthtable.table.TruthTable`)
+        additionally seeds the per-class solve-time history on
+        success, which feeds :meth:`suggest_timeout`.
+        """
+        ok = status not in _FAILURE_STATUSES
+        with self._lock:
+            score = self._score(engine)
+            score.window.append(ok)
+            if score.state == BREAKER_HALF_OPEN and score.probing:
+                score.probing = False
+                if ok:
+                    score.state = BREAKER_CLOSED
+                else:
+                    score.state = BREAKER_OPEN
+                    score.opened_at = self._clock()
+            elif score.state == BREAKER_CLOSED:
+                if (
+                    len(score.window) >= self._min_samples
+                    and score.failure_rate() >= self._threshold
+                ):
+                    score.state = BREAKER_OPEN
+                    score.opened_at = self._clock()
+            if status == "ok" and function is not None:
+                key = (function.num_vars, self._class_hex(function))
+                times = self._class_times.setdefault(
+                    key, deque(maxlen=self._history_per_class)
+                )
+                times.append(max(0.0, runtime))
+
+    @staticmethod
+    def _class_hex(function) -> str:
+        """NPN-canonical hex of the function (cache-backed)."""
+        try:
+            from ..cache import get_cache
+
+            canon, _ = get_cache().npn_canonical(function)
+            return canon.to_hex()
+        except Exception:  # pragma: no cover - cache failure tolerated
+            return function.to_hex()
+
+    # ------------------------------------------------------------------
+    # dispatch decisions
+    # ------------------------------------------------------------------
+    def state(self, engine: str) -> str:
+        """The breaker state, refreshing open → half-open on cooldown."""
+        with self._lock:
+            return self._refreshed_state(self._score(engine))
+
+    def _score(self, engine: str) -> _EngineScore:
+        score = self._scores.get(engine)
+        if score is None:
+            score = self._scores[engine] = _EngineScore(self._window)
+        return score
+
+    def _refreshed_state(self, score: _EngineScore) -> str:
+        if (
+            score.state == BREAKER_OPEN
+            and self._clock() - score.opened_at >= self._cooldown
+        ):
+            score.state = BREAKER_HALF_OPEN
+            score.probing = False
+        return score.state
+
+    def select(
+        self, engines: Sequence[str], limit: int | None = None
+    ) -> list[str]:
+        """The engines worth dispatching right now, preference order.
+
+        Closed-breaker engines pass through; a half-open engine is let
+        through as a single probe (the probe token is consumed here and
+        returned by the next :meth:`record` for that engine); open
+        engines are skipped.  If the filter would leave *nothing*, the
+        first requested engine is returned anyway — dispatch must never
+        end up with an empty lane set because of health bookkeeping.
+        """
+        picked: list[str] = []
+        with self._lock:
+            for name in engines:
+                if limit is not None and len(picked) >= limit:
+                    break
+                score = self._score(name)
+                state = self._refreshed_state(score)
+                if state == BREAKER_CLOSED:
+                    picked.append(name)
+                elif state == BREAKER_HALF_OPEN and not score.probing:
+                    score.probing = True
+                    picked.append(name)
+        if not picked and engines:
+            picked = [engines[0]]
+        return picked
+
+    # ------------------------------------------------------------------
+    # adaptive deadlines
+    # ------------------------------------------------------------------
+    def suggest_timeout(
+        self, function, budget: float | None
+    ) -> float | None:
+        """Adaptive per-instance deadline from the class's history.
+
+        Returns ``margin × worst recent solve time`` for the function's
+        NPN class, clamped to ``[deadline_floor, budget]``; ``None``
+        (use the full budget) when the class has no history.  The
+        suggestion only ever shrinks the caller's budget.
+        """
+        key = (function.num_vars, self._class_hex(function))
+        with self._lock:
+            times = self._class_times.get(key)
+            if not times:
+                return None
+            suggestion = max(times) * self._margin
+        suggestion = max(self._floor, suggestion)
+        if budget is not None:
+            suggestion = min(suggestion, budget)
+        return suggestion
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def to_record(self) -> dict:
+        """JSON-safe snapshot: per-engine breaker state and rates."""
+        with self._lock:
+            return {
+                engine: {
+                    "state": self._refreshed_state(score),
+                    "samples": len(score.window),
+                    "failure_rate": round(score.failure_rate(), 4),
+                }
+                for engine, score in sorted(self._scores.items())
+            }
+
+    def seed_class_times(
+        self, entries: Iterable[tuple[int, str, float]]
+    ) -> None:
+        """Seed per-class histories, e.g. from checkpointed
+        ``SynthesisStats`` of an earlier suite run.
+
+        Entries are ``(num_vars, canonical_hex, seconds)`` triples.
+        """
+        with self._lock:
+            for num_vars, canon_hex, seconds in entries:
+                times = self._class_times.setdefault(
+                    (num_vars, canon_hex),
+                    deque(maxlen=self._history_per_class),
+                )
+                times.append(max(0.0, float(seconds)))

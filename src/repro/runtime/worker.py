@@ -30,7 +30,7 @@ from .errors import (
 )
 from .faults import FaultSpec, execute_fault
 
-__all__ = ["WorkerTask", "run_isolated", "DEFAULT_GRACE"]
+__all__ = ["WorkerTask", "WorkerHandle", "run_isolated", "DEFAULT_GRACE"]
 
 #: Hard-kill multiplier: a worker is allowed ``grace × budget`` seconds
 #: of wall clock before the parent kills it.  1.4 keeps the guarantee
@@ -114,6 +114,158 @@ def _context():
         return multiprocessing.get_context("spawn")
 
 
+class WorkerHandle:
+    """One in-flight isolated synthesis attempt.
+
+    The constructor forks the worker immediately; the parent then
+    either blocks in :meth:`result` (the historical ``run_isolated``
+    behaviour) or drives several handles concurrently via the
+    non-blocking :meth:`ready` / :meth:`overdue` pair — the racing
+    executor's polling loop.  However the race ends, :meth:`cancel`
+    (or the ``finally`` path of :meth:`result`) guarantees the child
+    is killed and reaped: a handle never leaks a zombie.
+    """
+
+    def __init__(
+        self, task: WorkerTask, *, grace: float = DEFAULT_GRACE
+    ) -> None:
+        self.task = task
+        ctx = _context()
+        self._conn, child_conn = ctx.Pipe(duplex=False)
+        self._process = ctx.Process(
+            target=_child_main, args=(task, child_conn), daemon=True
+        )
+        # The hard deadline is measured from *before* the fork so
+        # process start-up overhead cannot push the kill past
+        # grace × budget.
+        self._start = time.perf_counter()
+        self._process.start()
+        child_conn.close()
+        self._hard_deadline: float | None = None
+        if task.timeout is not None:
+            self._hard_deadline = self._start + max(
+                task.timeout * grace, _MIN_HARD_TIMEOUT
+            )
+        self._closed = False
+
+    # -- introspection -------------------------------------------------
+    @property
+    def engine(self) -> str:
+        return self.task.engine
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the worker was forked."""
+        return time.perf_counter() - self._start
+
+    def alive(self) -> bool:
+        """True while the child process is running."""
+        return not self._closed and self._process.is_alive()
+
+    # -- non-blocking polling (racing) ---------------------------------
+    def ready(self) -> bool:
+        """True when a report can be collected without blocking.
+
+        Covers both a delivered message and a child that died without
+        reporting (EOF on the pipe).
+        """
+        if self._closed:
+            return False
+        try:
+            if self._conn.poll(0):
+                return True
+        except (OSError, ValueError):  # pragma: no cover - closed pipe
+            return True
+        return not self._process.is_alive()
+
+    def overdue(self) -> bool:
+        """True once the hard wall-clock deadline has passed."""
+        return (
+            not self._closed
+            and self._hard_deadline is not None
+            and time.perf_counter() > self._hard_deadline
+        )
+
+    # -- collection ----------------------------------------------------
+    def result(self, block: bool = True) -> SynthesisResult:
+        """Collect the worker's report (the ``run_isolated`` contract).
+
+        Blocks until the worker reports, crashes, or exceeds the hard
+        timeout; with ``block=False`` the report must already be
+        :meth:`ready`.  Always kills and reaps the child on exit.
+        """
+        timeout_arg: float | None = 0 if not block else None
+        if block and self._hard_deadline is not None:
+            timeout_arg = max(
+                0.0, self._hard_deadline - time.perf_counter()
+            )
+        try:
+            if not self._conn.poll(timeout_arg):
+                if self._process.is_alive():
+                    _kill(self._process)
+                    raise BudgetExceeded(
+                        f"worker for engine {self.task.engine!r} "
+                        f"exceeded its {self.task.timeout:.3f}s budget "
+                        f"and was killed after {self.elapsed:.3f}s",
+                        budget=self.task.timeout,
+                        elapsed=self.elapsed,
+                    )
+                raise EOFError
+            tag, payload = self._conn.recv()
+        except EOFError:
+            self._process.join(timeout=5.0)
+            raise WorkerCrash(
+                f"worker for engine {self.task.engine!r} died without "
+                f"reporting (exit code {self._process.exitcode})",
+                exitcode=self._process.exitcode,
+            ) from None
+        finally:
+            self.close()
+
+        if tag == "ok":
+            return payload
+        if tag == "timeout":
+            raise BudgetExceeded(payload, budget=self.task.timeout)
+        if tag == "infeasible":
+            raise SynthesisInfeasible(payload)
+        if tag == "unavailable":
+            raise EngineUnavailable(payload)
+        raise WorkerCrash(payload, exitcode=self._process.exitcode)
+
+    def cancel(self) -> float:
+        """Kill and reap the worker; returns the kill-to-reap latency.
+
+        Idempotent, and safe to call on an already-finished worker (a
+        plain reap, near-zero latency).  This is the racing executor's
+        loser path, so the returned latency is the per-loser
+        cancellation accounting.
+        """
+        started = time.perf_counter()
+        if not self._closed:
+            if self._process.is_alive():
+                _kill(self._process)
+            self.close()
+        return time.perf_counter() - started
+
+    def close(self) -> None:
+        """Close the pipe and reap the child (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self._process.is_alive():
+            _kill(self._process)
+        else:
+            self._process.join(timeout=5.0)
+
+
 def run_isolated(
     task: WorkerTask, *, grace: float = DEFAULT_GRACE
 ) -> SynthesisResult:
@@ -123,57 +275,7 @@ def run_isolated(
     timeout ``max(grace × timeout, 0.25s)``; a worker still alive at
     that point is killed and reported as :class:`BudgetExceeded`.
     """
-    ctx = _context()
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    process = ctx.Process(
-        target=_child_main, args=(task, child_conn), daemon=True
-    )
-    start = time.perf_counter()
-    process.start()
-    child_conn.close()
-    # The hard deadline is measured from *before* the fork so process
-    # start-up overhead cannot push the kill past grace × budget.
-    hard_timeout = None
-    if task.timeout is not None:
-        hard_timeout = max(task.timeout * grace, _MIN_HARD_TIMEOUT)
-        hard_timeout = max(
-            0.0, hard_timeout - (time.perf_counter() - start)
-        )
-    try:
-        if not parent_conn.poll(hard_timeout):
-            _kill(process)
-            raise BudgetExceeded(
-                f"worker for engine {task.engine!r} exceeded its "
-                f"{task.timeout:.3f}s budget and was killed after "
-                f"{time.perf_counter() - start:.3f}s",
-                budget=task.timeout,
-                elapsed=time.perf_counter() - start,
-            )
-        try:
-            tag, payload = parent_conn.recv()
-        except EOFError:
-            process.join(timeout=5.0)
-            raise WorkerCrash(
-                f"worker for engine {task.engine!r} died without "
-                f"reporting (exit code {process.exitcode})",
-                exitcode=process.exitcode,
-            ) from None
-    finally:
-        parent_conn.close()
-        if process.is_alive():
-            _kill(process)
-        else:
-            process.join(timeout=5.0)
-
-    if tag == "ok":
-        return payload
-    if tag == "timeout":
-        raise BudgetExceeded(payload, budget=task.timeout)
-    if tag == "infeasible":
-        raise SynthesisInfeasible(payload)
-    if tag == "unavailable":
-        raise EngineUnavailable(payload)
-    raise WorkerCrash(payload, exitcode=process.exitcode)
+    return WorkerHandle(task, grace=grace).result()
 
 
 def _kill(process) -> None:

@@ -14,8 +14,20 @@ Rows are keyed by ``(num_vars, canonical_hex, num_gates)`` in SQLite:
 a single file, safe under concurrent readers and writers (WAL journal
 plus a busy timeout), queryable with ordinary tooling, and append-
 cheap.  Every lookup re-verifies the first reconstructed chain against
-the queried function (packed-cube AllSAT), so a corrupt row degrades
-to a miss instead of serving a wrong circuit.
+the queried function (packed-cube AllSAT); a corrupt row is
+**quarantined** — marked in place, skipped by every later lookup, and
+counted — so one bad record degrades to a miss exactly once instead of
+re-verifying (or worse, raising) on every suite instance that touches
+the class.
+
+Two row grades share the table: ``exact = 1`` rows are optimal chains
+from engines whose capabilities claim exactness (the store's original
+contract), while ``exact = 0`` rows are verified **upper bounds** from
+heuristic engines.  Plain :meth:`ChainStore.lookup` serves only exact
+rows; :meth:`ChainStore.lookup_upper_bound` serves the best row of
+either grade and is the graceful-degradation path — when every exact
+engine exhausts its budget, the runtime answers with the best-known
+bound (clearly flagged non-exact) instead of a bare failure.
 """
 
 from __future__ import annotations
@@ -40,15 +52,24 @@ DEFAULT_MAX_CHAINS_PER_CLASS = 256
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS chains (
-    num_vars  INTEGER NOT NULL,
-    canon_hex TEXT    NOT NULL,
-    num_gates INTEGER NOT NULL,
-    engine    TEXT    NOT NULL,
-    solutions TEXT    NOT NULL,
-    created   REAL    NOT NULL,
+    num_vars    INTEGER NOT NULL,
+    canon_hex   TEXT    NOT NULL,
+    num_gates   INTEGER NOT NULL,
+    engine      TEXT    NOT NULL,
+    solutions   TEXT    NOT NULL,
+    created     REAL    NOT NULL,
+    exact       INTEGER NOT NULL DEFAULT 1,
+    quarantined INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (num_vars, canon_hex, num_gates)
 )
 """
+
+#: Columns added after the first shipped schema; existing databases
+#: are migrated in place with ``ALTER TABLE`` on open.
+_MIGRATIONS = (
+    ("exact", "INTEGER NOT NULL DEFAULT 1"),
+    ("quarantined", "INTEGER NOT NULL DEFAULT 0"),
+)
 
 
 class ChainStore:
@@ -79,12 +100,27 @@ class ChainStore:
         with self._conn:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute(_SCHEMA)
+            self._migrate()
         #: Served lookups / fell-through lookups / completed write-backs,
-        #: plus total wall-clock spent inside *served* lookups.
+        #: plus total wall-clock spent inside *served* lookups and the
+        #: number of corrupt rows quarantined by failed re-simulation.
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
         self.hit_seconds = 0.0
+
+    def _migrate(self) -> None:
+        """Add post-v1 columns to databases created by older code."""
+        present = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(chains)")
+        }
+        for column, decl in _MIGRATIONS:
+            if column not in present:
+                self._conn.execute(
+                    f"ALTER TABLE chains ADD COLUMN {column} {decl}"
+                )
 
     # ------------------------------------------------------------------
     # helpers
@@ -102,66 +138,144 @@ class ChainStore:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def lookup(self, function: TruthTable) -> SynthesisResult | None:
+    def lookup(
+        self,
+        function: TruthTable,
+        *,
+        events: list | None = None,
+    ) -> SynthesisResult | None:
         """Serve ``function``'s optimal chains from the store, or miss.
 
-        Picks the smallest recorded gate count for the class, rebuilds
-        every chain in the queried function's own input space, and
-        re-simulates the first one as a corruption guard.  Any failure
-        along the way (bad row, wrong simulation) counts as a miss.
+        Picks the smallest non-quarantined *exact* gate-count row for
+        the class, rebuilds every chain in the queried function's own
+        input space, and re-simulates the first one as a corruption
+        guard.  A row that fails the guard is **quarantined** — marked
+        in the database, skipped by all later lookups, and counted in
+        :attr:`quarantined` — and the lookup reports a miss rather
+        than escalating to the next row (a larger gate count must not
+        be served as the optimum).
+
+        ``events``, when given, receives ``("quarantined",
+        num_gates)`` tuples for per-call accounting (the executor
+        surfaces them in suite worker summaries).
         """
+        return self._lookup(function, exact_only=True, events=events)
+
+    def lookup_upper_bound(
+        self,
+        function: TruthTable,
+        *,
+        events: list | None = None,
+    ) -> tuple[SynthesisResult, bool] | None:
+        """Serve the best-known chain of *either* grade, or miss.
+
+        The graceful-degradation read path: exact and upper-bound rows
+        compete on gate count, corrupt rows are quarantined and the
+        *next* row is tried (any verified bound beats a bare failure).
+        Returns ``(result, exact_flag)``.
+        """
+        result = self._lookup(
+            function, exact_only=False, events=events
+        )
+        if result is None:
+            return None
+        return result, bool(getattr(result, "_store_exact", True))
+
+    def _lookup(
+        self,
+        function: TruthTable,
+        *,
+        exact_only: bool,
+        events: list | None,
+    ) -> SynthesisResult | None:
         started = time.perf_counter()
         canon, transform = self._canonical(function)
-        row = self._fetch_row(function.num_vars, canon.to_hex())
-        if row is None:
-            self._miss()
-            return None
-        num_gates, engine, payload = row
-        try:
-            records = json.loads(payload)
-            inverse = transform.inverse()
-            chains = [
-                npn_transform_chain(chain_from_record(r), inverse)
-                for r in records
-            ]
-        except (ValueError, TypeError, json.JSONDecodeError):
-            self._miss()
-            return None
-        # Corruption guard on the packed-cube AllSAT path: the chain is
-        # genuine iff its onset expands exactly to the queried function.
-        try:
-            valid = bool(chains) and verify_chain(chains[0], function)
-        except ValueError:
-            valid = False
-        if not valid:
-            self._miss()
-            return None
-        runtime = time.perf_counter() - started
-        with self._lock:
-            self.hits += 1
-            self.hit_seconds += runtime
-        spec = SynthesisSpec(function=function)
-        return SynthesisResult(
-            spec=spec,
-            chains=chains,
-            num_gates=num_gates,
-            runtime=runtime,
+        canon_hex = canon.to_hex()
+        rows = self._fetch_rows(
+            function.num_vars, canon_hex, exact_only=exact_only
         )
+        inverse = transform.inverse()
+        for num_gates, _engine, payload, exact in rows:
+            chains = None
+            try:
+                records = json.loads(payload)
+                chains = [
+                    npn_transform_chain(chain_from_record(r), inverse)
+                    for r in records
+                ]
+            except (ValueError, TypeError, json.JSONDecodeError):
+                chains = None
+            # Corruption guard on the packed-cube AllSAT path: the
+            # chain is genuine iff its onset expands exactly to the
+            # queried function.
+            try:
+                valid = bool(chains) and verify_chain(
+                    chains[0], function
+                )
+            except ValueError:
+                valid = False
+            if not valid:
+                self._quarantine(
+                    function.num_vars, canon_hex, num_gates, events
+                )
+                if exact_only:
+                    break  # never serve a larger count as the optimum
+                continue
+            runtime = time.perf_counter() - started
+            with self._lock:
+                self.hits += 1
+                self.hit_seconds += runtime
+            spec = SynthesisSpec(function=function)
+            result = SynthesisResult(
+                spec=spec,
+                chains=chains,
+                num_gates=num_gates,
+                runtime=runtime,
+            )
+            result._store_exact = bool(exact)
+            return result
+        self._miss()
+        return None
 
-    def _fetch_row(
-        self, num_vars: int, canon_hex: str
-    ) -> tuple[int, str, str] | None:
+    def _fetch_rows(
+        self, num_vars: int, canon_hex: str, *, exact_only: bool
+    ) -> list[tuple[int, str, str, int]]:
+        query = (
+            "SELECT num_gates, engine, solutions, exact FROM chains "
+            "WHERE num_vars = ? AND canon_hex = ? AND quarantined = 0 "
+        )
+        if exact_only:
+            query += "AND exact = 1 "
+        query += "ORDER BY num_gates ASC"
         with self._lock:
             try:
-                cursor = self._conn.execute(
-                    "SELECT num_gates, engine, solutions FROM chains "
-                    "WHERE num_vars = ? AND canon_hex = ? "
-                    "ORDER BY num_gates ASC LIMIT 1",
-                    (num_vars, canon_hex),
-                )
-                return cursor.fetchone()
+                cursor = self._conn.execute(query, (num_vars, canon_hex))
+                return cursor.fetchall()
             except sqlite3.Error:
-                return None
+                return []
+
+    def _quarantine(
+        self,
+        num_vars: int,
+        canon_hex: str,
+        num_gates: int,
+        events: list | None,
+    ) -> None:
+        """Mark a corrupt row so no later lookup re-verifies it."""
+        with self._lock:
+            try:
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE chains SET quarantined = 1 WHERE "
+                        "num_vars = ? AND canon_hex = ? AND "
+                        "num_gates = ?",
+                        (num_vars, canon_hex, num_gates),
+                    )
+            except sqlite3.Error:
+                pass  # mark is best-effort; the skip still happens
+            self.quarantined += 1
+        if events is not None:
+            events.append(("quarantined", num_gates))
 
     def _miss(self) -> None:
         with self._lock:
@@ -175,14 +289,19 @@ class ChainStore:
         function: TruthTable,
         result: SynthesisResult,
         engine: str = "",
+        *,
+        exact: bool = True,
     ) -> bool:
         """Record a solution set for ``function``'s NPN class.
 
         Chains are rewritten into canonical space before storage.  An
         existing row at the same gate count is merged (union of
         solution sets, capped); chains that fail to re-simulate are
-        dropped rather than stored.  Returns True when a row was
-        written.
+        dropped rather than stored.  ``exact=False`` grades the row as
+        a verified upper bound (heuristic engines); merging with an
+        existing row keeps the *stronger* grade, and a fresh write
+        clears any quarantine mark on the row.  Returns True when a
+        row was written.
         """
         if not result.chains or result.num_gates < 0:
             return False
@@ -202,22 +321,26 @@ class ChainStore:
         with self._lock:
             try:
                 with self._conn:
-                    self._merge_row(key, canonical_chains, engine)
+                    self._merge_row(key, canonical_chains, engine, exact)
             except sqlite3.Error:
                 return False
             self.writes += 1
         return True
 
-    def _merge_row(self, key, canonical_chains, engine: str) -> None:
+    def _merge_row(
+        self, key, canonical_chains, engine: str, exact: bool
+    ) -> None:
         num_vars, canon_hex, num_gates = key
         cursor = self._conn.execute(
-            "SELECT solutions FROM chains WHERE num_vars = ? AND "
-            "canon_hex = ? AND num_gates = ?",
+            "SELECT solutions, exact FROM chains WHERE num_vars = ? "
+            "AND canon_hex = ? AND num_gates = ?",
             key,
         )
         row = cursor.fetchone()
+        grade = 1 if exact else 0
         merged = {chain.signature(): chain for chain in canonical_chains}
         if row is not None:
+            grade = max(grade, int(row[1]))  # grades only escalate
             try:
                 for record in json.loads(row[0]):
                     chain = chain_from_record(record)
@@ -227,11 +350,21 @@ class ChainStore:
         chains = sorted(merged.values(), key=lambda c: c.signature())
         chains = chains[: self._max_chains]
         payload = json.dumps([chain_to_record(c) for c in chains])
+        # A fresh verified write supersedes any quarantine mark.
         self._conn.execute(
             "INSERT OR REPLACE INTO chains "
-            "(num_vars, canon_hex, num_gates, engine, solutions, created) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            (num_vars, canon_hex, num_gates, engine, payload, time.time()),
+            "(num_vars, canon_hex, num_gates, engine, solutions, "
+            "created, exact, quarantined) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 0)",
+            (
+                num_vars,
+                canon_hex,
+                num_gates,
+                engine,
+                payload,
+                time.time(),
+                grade,
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -248,6 +381,7 @@ class ChainStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "quarantined": self.quarantined,
             "classes": len(self),
         }
 

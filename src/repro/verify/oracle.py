@@ -18,7 +18,10 @@ pair that disagrees:
   whose historical constant-output semantics deliberately differ —
   see ``tests/test_circuit_sat.py``);
 * engines that both declare :attr:`EngineCapabilities.exact` must
-  agree on the optimal gate count;
+  agree on the optimal gate count — with the default engine list this
+  includes the CEGIS engine, whose sample-grown SAT instances share no
+  constraint schedule with the fully-constrained baselines, making
+  the gate-count cross-check a genuinely independent vote;
 * the first exact result is pushed through a :class:`ChainStore`
   round trip — put, then lookup of a *different* orbit member — and
   the served chains are re-simulated against that member.

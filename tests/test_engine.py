@@ -19,7 +19,14 @@ EXAMPLE7 = from_hex("8ff8", 4)  # the paper's example, optimum 3 gates
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert engine_names() == ("bms", "fen", "hier", "lutexact", "stp")
+        assert engine_names() == (
+            "bms",
+            "cegis",
+            "fen",
+            "hier",
+            "lutexact",
+            "stp",
+        )
 
     def test_unknown_engine_raises(self):
         with pytest.raises(EngineUnavailable):
@@ -40,10 +47,14 @@ class TestRegistry:
         assert not engine_capabilities("fen").all_solutions
         assert not engine_capabilities("bms").all_solutions
         assert engine_capabilities("stp").custom_operators
+        assert engine_capabilities("cegis").exact
+        assert not engine_capabilities("cegis").all_solutions
 
 
 class TestSynthesizeDispatch:
-    @pytest.mark.parametrize("name", ["stp", "hier", "fen", "bms", "lutexact"])
+    @pytest.mark.parametrize(
+        "name", ["stp", "hier", "fen", "bms", "lutexact", "cegis"]
+    )
     def test_spec_dispatch(self, name):
         engine = create_engine(name)
         spec = SynthesisSpec(function=EXAMPLE7, timeout=120)
@@ -52,7 +63,9 @@ class TestSynthesizeDispatch:
         for chain in result.chains:
             assert chain.simulate_output() == EXAMPLE7
 
-    @pytest.mark.parametrize("name", ["stp", "hier", "fen", "bms", "lutexact"])
+    @pytest.mark.parametrize(
+        "name", ["stp", "hier", "fen", "bms", "lutexact", "cegis"]
+    )
     def test_run_engine(self, name):
         result = run_engine(name, parity(3), timeout=120)
         assert result.num_gates == 2

@@ -1,0 +1,164 @@
+"""Engine health scores: circuit breakers and adaptive deadlines."""
+
+import pytest
+
+from repro.runtime.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    EngineHealth,
+)
+from repro.truthtable import from_hex
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def health(clock):
+    return EngineHealth(
+        window=8,
+        failure_threshold=0.5,
+        min_samples=4,
+        cooldown=10.0,
+        clock=clock,
+    )
+
+
+class TestBreakerTransitions:
+    def test_fresh_engine_is_closed(self, health):
+        assert health.state("stp") == BREAKER_CLOSED
+
+    def test_opens_after_repeated_failures(self, health):
+        for _ in range(4):
+            health.record("stp", "crash")
+        assert health.state("stp") == BREAKER_OPEN
+
+    def test_min_samples_guards_single_early_crash(self, health):
+        health.record("stp", "crash")
+        assert health.state("stp") == BREAKER_CLOSED
+
+    def test_infeasible_is_not_a_failure(self, health):
+        # Infeasibility is a correct answer about the problem, not a
+        # malfunction — it must never trip the breaker.
+        for _ in range(16):
+            health.record("stp", "infeasible")
+        assert health.state("stp") == BREAKER_CLOSED
+
+    def test_cooldown_half_opens(self, health, clock):
+        for _ in range(4):
+            health.record("stp", "timeout")
+        assert health.state("stp") == BREAKER_OPEN
+        clock.advance(9.0)
+        assert health.state("stp") == BREAKER_OPEN
+        clock.advance(2.0)
+        assert health.state("stp") == BREAKER_HALF_OPEN
+
+    def test_probe_success_closes(self, health, clock):
+        for _ in range(4):
+            health.record("stp", "crash")
+        clock.advance(11.0)
+        assert health.select(["stp"]) == ["stp"]  # the probe
+        health.record("stp", "ok")
+        assert health.state("stp") == BREAKER_CLOSED
+
+    def test_probe_failure_reopens(self, health, clock):
+        for _ in range(4):
+            health.record("stp", "crash")
+        clock.advance(11.0)
+        assert health.select(["stp"]) == ["stp"]
+        health.record("stp", "timeout")
+        assert health.state("stp") == BREAKER_OPEN
+        # ... and the cooldown restarts from the re-open.
+        clock.advance(9.0)
+        assert health.state("stp") == BREAKER_OPEN
+        clock.advance(2.0)
+        assert health.state("stp") == BREAKER_HALF_OPEN
+
+
+class TestSelect:
+    def test_open_engines_are_skipped(self, health):
+        for _ in range(4):
+            health.record("stp", "crash")
+        assert health.select(["stp", "fen"]) == ["fen"]
+
+    def test_half_open_admits_exactly_one_probe(self, health, clock):
+        for _ in range(4):
+            health.record("stp", "crash")
+        clock.advance(11.0)
+        assert health.select(["stp", "fen"]) == ["stp", "fen"]
+        # The probe token is consumed until the next record().
+        assert health.select(["stp", "fen"]) == ["fen"]
+
+    def test_never_returns_empty(self, health):
+        for name in ("stp", "fen"):
+            for _ in range(4):
+                health.record(name, "crash")
+        # Everything is open, but dispatch must still get a lane.
+        assert health.select(["stp", "fen"]) == ["stp"]
+
+    def test_limit_caps_width(self, health):
+        lanes = health.select(["stp", "fen", "cegis"], limit=2)
+        assert lanes == ["stp", "fen"]
+
+
+class TestAdaptiveDeadlines:
+    def test_no_history_means_full_budget(self, health):
+        assert health.suggest_timeout(from_hex("8ff8", 4), 60.0) is None
+
+    def test_suggestion_scales_worst_recent_time(self, health):
+        f = from_hex("8ff8", 4)
+        health.record("stp", "ok", 0.5, function=f)
+        health.record("fen", "ok", 1.0, function=f)
+        # margin (4.0) × worst recent (1.0), clamped to the budget.
+        assert health.suggest_timeout(f, 60.0) == pytest.approx(4.0)
+        assert health.suggest_timeout(f, 2.0) == pytest.approx(2.0)
+
+    def test_floor_clamps_tiny_histories(self, health):
+        f = from_hex("8ff8", 4)
+        health.record("stp", "ok", 0.001, function=f)
+        assert health.suggest_timeout(f, 60.0) == pytest.approx(0.5)
+
+    def test_history_is_shared_across_the_npn_orbit(self, health):
+        # 0x8ff8 and its complement share a canonical class, so one
+        # solve seeds the deadline for the whole orbit.
+        f = from_hex("8ff8", 4)
+        g = ~f
+        health.record("stp", "ok", 1.0, function=f)
+        assert health.suggest_timeout(g, 60.0) == pytest.approx(4.0)
+
+    def test_seed_class_times(self, health):
+        f = from_hex("8ff8", 4)
+        from repro.cache import get_cache
+
+        canon, _ = get_cache().npn_canonical(f)
+        health.seed_class_times([(4, canon.to_hex(), 2.0)])
+        assert health.suggest_timeout(f, 60.0) == pytest.approx(8.0)
+
+
+class TestIntrospection:
+    def test_to_record_snapshot(self, health):
+        health.record("stp", "ok")
+        health.record("fen", "crash")
+        snapshot = health.to_record()
+        assert snapshot["stp"]["state"] == BREAKER_CLOSED
+        assert snapshot["stp"]["failure_rate"] == 0.0
+        assert snapshot["fen"]["samples"] == 1
+        assert snapshot["fen"]["failure_rate"] == 1.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EngineHealth(failure_threshold=0.0)

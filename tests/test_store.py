@@ -118,15 +118,26 @@ class TestExecutorIntegration:
         outcome = executor.run(function, 30.0)
         assert outcome.solved and outcome.engine == "fen"
 
-    def test_inexact_engines_never_populate_the_store(self, tmp_path):
+    def test_inexact_engines_only_write_upper_bounds(self, tmp_path):
+        # A heuristic engine's result lands as an upper-bound row:
+        # the plain (optimal) lookup must refuse to serve it, while
+        # the degradation path may.
         from repro.engine import engine_capabilities
 
         assert not engine_capabilities("hier").exact
+        function = from_hex("e8", 3)
         with ChainStore(tmp_path / "chains.db") as store:
             executor = FaultTolerantExecutor(("hier",), store=store)
-            outcome = executor.run(from_hex("e8", 3), 30.0)
+            outcome = executor.run(function, 30.0)
             assert outcome.solved
-            assert store.writes == 0 and len(store) == 0
+            assert store.writes == 1 and len(store) == 1
+            assert store.lookup(function) is None
+            served = store.lookup_upper_bound(function)
+            assert served is not None
+            result, exact = served
+            assert exact is False
+            for chain in result.chains:
+                assert_chain_realizes(function, chain)
 
 
 class TestCorruptionAndConcurrency:
