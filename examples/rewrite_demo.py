@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Store-backed network rewriting, end to end.
+
+Loads the bundled naive full adder (two outputs sharing logic), runs
+a store-backed rewriting pass — every cut function is served from a
+persistent chain store or synthesized exactly and written back — then
+replays the same rewrite against the warmed store to show the second
+run needs **zero** synthesis calls.  The rewritten network is verified
+by packed simulation and exported back to BLIF.
+
+Run::
+
+    python examples/rewrite_demo.py
+
+This is the scripted twin of the CLI::
+
+    repro-rewrite examples/circuits/fulladder_naive.blif --store db.sqlite
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.network import (
+    blif_to_network,
+    network_to_blif,
+    rewrite_with_store,
+)
+from repro.store import ChainStore
+
+CIRCUIT = Path(__file__).resolve().parent / "circuits" / "fulladder_naive.blif"
+
+
+def load_network():
+    return blif_to_network(CIRCUIT.read_text())
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="rewrite-demo-") as tmp:
+        store_path = os.path.join(tmp, "chains.db")
+
+        # -- cold pass: misses synthesize and write back -------------
+        net = load_network()
+        baseline = [t.bits for t in net.simulate()]
+        print(f"loaded {CIRCUIT.name}: {net.num_gates()} LUTs, "
+              f"{len(net.pos)} outputs")
+        with ChainStore(store_path) as store:
+            cold = rewrite_with_store(net, store, timeout_per_cut=30.0)
+        print(f"cold pass: {cold.gates_before} -> {cold.gates_after} "
+              f"gates ({cold.synthesis_calls} synthesis call(s), "
+              f"{cold.store_hits} store hit(s))")
+
+        # The pass already verified-and-committed; check once more
+        # from the caller's side.
+        assert cold.verified
+        assert [t.bits for t in net.simulate()] == baseline
+        print("packed simulation: rewritten network is equivalent")
+
+        # -- warm pass: every class is served from the store ---------
+        replay = load_network()
+        with ChainStore(store_path) as store:
+            warm = rewrite_with_store(replay, store, timeout_per_cut=30.0)
+        print(f"warm pass: {warm.gates_before} -> {warm.gates_after} "
+              f"gates ({warm.synthesis_calls} synthesis call(s), "
+              f"{warm.store_hits} store hit(s))")
+        assert warm.synthesis_calls == 0
+        assert warm.gain == cold.gain
+        print("warm replay reproduced the rewrite with zero synthesis")
+
+        # -- export --------------------------------------------------
+        out_path = os.path.join(tmp, "fulladder_rewritten.blif")
+        with open(out_path, "w") as handle:
+            handle.write(network_to_blif(net))
+        round_trip = blif_to_network(open(out_path).read())
+        assert [t.bits for t in round_trip.simulate()] == baseline
+        print(f"exported {net.num_gates()}-LUT network to BLIF and "
+              f"round-tripped it losslessly")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,13 @@
 
 from .chain import BooleanChain, Gate
 from .export import chain_to_expression, chain_to_verilog
+from .transform import (
+    SharedChainBuilder,
+    extract_output_cone,
+    merge_chains_shared,
+    npn_transform_chain,
+    npn_transform_chain_multi,
+)
 from .costs import (
     COST_MODELS,
     DEFAULT_OP_WEIGHTS,
@@ -19,6 +26,11 @@ __all__ = [
     "Gate",
     "chain_to_expression",
     "chain_to_verilog",
+    "SharedChainBuilder",
+    "extract_output_cone",
+    "merge_chains_shared",
+    "npn_transform_chain",
+    "npn_transform_chain_multi",
     "COST_MODELS",
     "DEFAULT_OP_WEIGHTS",
     "depth",

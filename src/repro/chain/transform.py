@@ -12,7 +12,7 @@ function with the same gate count (a large part of the paper's
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from ..truthtable.table import TruthTable
 from .chain import BooleanChain
@@ -24,6 +24,10 @@ __all__ = [
     "flip_signal",
     "polarity_variants",
     "npn_transform_chain",
+    "npn_transform_chain_multi",
+    "merge_chains_shared",
+    "SharedChainBuilder",
+    "extract_output_cone",
 ]
 
 
@@ -148,6 +152,182 @@ def npn_transform_chain(chain: BooleanChain, transform) -> BooleanChain:
             complemented ^ flipped_input ^ bool(transform.output_flip),
         )
     return rewritten
+
+
+def npn_transform_chain_multi(chain: BooleanChain, transform) -> BooleanChain:
+    """Rewrite a multi-output chain through a joint NPN transform.
+
+    ``transform`` is a :class:`~repro.truthtable.npn.MultiNPNTransform`:
+    one shared input permutation/negation plus a *per-output* negation
+    flag.  Same absorption rules as :func:`npn_transform_chain` — the
+    gate codes swallow the input complements, the output flags swallow
+    the rest — so gate count is preserved and the rewrite is the
+    bijection between a multi-output orbit member's solution set and
+    the canonical representative's.
+    """
+    n = chain.num_inputs
+    perm = transform.perm
+    flips = transform.input_flips
+    output_flips = transform.output_flips
+    if len(perm) != n:
+        raise ValueError("transform arity does not match chain")
+    if len(output_flips) != len(chain.outputs):
+        raise ValueError("transform output count does not match chain")
+
+    def remap(signal: int) -> int:
+        if signal != BooleanChain.CONST0 and signal < n:
+            return perm[signal]
+        return signal
+
+    rewritten = BooleanChain(n)
+    for gate in chain.gates:
+        code = gate.op
+        for pos, fanin in enumerate(gate.fanins):
+            if fanin != BooleanChain.CONST0 and fanin < n:
+                if (flips >> fanin) & 1:
+                    code = _flip_code_input(code, gate.arity, pos)
+        rewritten.add_gate(code, tuple(remap(f) for f in gate.fanins))
+    for (signal, complemented), out_flip in zip(
+        chain.outputs, output_flips
+    ):
+        flipped_input = (
+            signal != BooleanChain.CONST0
+            and signal < n
+            and bool((flips >> signal) & 1)
+        )
+        rewritten.set_output(
+            remap(signal), complemented ^ flipped_input ^ bool(out_flip)
+        )
+    return rewritten
+
+
+def _merge_one(
+    merged: BooleanChain,
+    chain: BooleanChain,
+    gate_index: dict[tuple[int, tuple[int, ...]], int],
+    *,
+    commit: bool,
+) -> int:
+    """Map ``chain``'s gates into ``merged``, sharing structurally
+    identical gates; returns how many *new* gates the chain needs.
+
+    With ``commit=False`` nothing is added — the count is the
+    sharing-aware cost a candidate chain would incur, which the
+    decompose-and-share merger minimizes over each output's optimal
+    solution set.
+    """
+    n = merged.num_inputs
+    mapping: dict[int, int] = {i: i for i in range(n)}
+    added = 0
+    staged: dict[tuple[int, tuple[int, ...]], int] = {}
+    next_signal = merged.num_signals
+    for gi, gate in enumerate(chain.gates):
+        fanins = tuple(mapping[f] for f in gate.fanins)
+        key = (gate.op, fanins)
+        signal = gate_index.get(key)
+        if signal is None:
+            signal = staged.get(key)
+        if signal is None:
+            if commit:
+                signal = merged.add_gate(gate.op, fanins)
+                gate_index[key] = signal
+            else:
+                signal = next_signal
+                staged[key] = signal
+                next_signal += 1
+            added += 1
+        mapping[n + gi] = signal
+    if commit:
+        for out_signal, complemented in chain.outputs:
+            merged.set_output(
+                out_signal
+                if out_signal == BooleanChain.CONST0
+                else mapping[out_signal],
+                complemented,
+            )
+    return added
+
+
+class SharedChainBuilder:
+    """Incrementally fuse single-output chains into one multi-output
+    chain with structural gate sharing.
+
+    Gate ``(op, fanins)`` pairs already present in the merged prefix
+    are reused rather than duplicated, so common subexpressions across
+    outputs are built once — the "shared interior gates" a
+    multi-output spec asks for.  :meth:`cost` prices a candidate
+    without committing it, which lets a caller pick, from each
+    output's optimal-solution set, the chain that shares the most
+    logic with what is already merged.
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        self.chain = BooleanChain(num_inputs)
+        self._index: dict[tuple[int, tuple[int, ...]], int] = {}
+
+    def cost(self, chain: BooleanChain) -> int:
+        """New gates ``chain`` would add after sharing (no commit)."""
+        return _merge_one(self.chain, chain, self._index, commit=False)
+
+    def append(self, chain: BooleanChain) -> int:
+        """Merge ``chain`` in; its outputs append to the merged chain.
+
+        Returns the number of gates actually added.
+        """
+        if chain.num_inputs != self.chain.num_inputs:
+            raise ValueError("chains must share one input space")
+        return _merge_one(self.chain, chain, self._index, commit=True)
+
+
+def merge_chains_shared(
+    chains: Sequence[BooleanChain],
+) -> BooleanChain:
+    """Fuse single-output chains into one multi-output chain, sharing
+    structurally identical gates (see :class:`SharedChainBuilder`).
+
+    All chains must read the same primary inputs; output ``j`` of the
+    result is chain ``j``'s output.
+    """
+    chains = list(chains)
+    if not chains:
+        raise ValueError("need at least one chain")
+    builder = SharedChainBuilder(chains[0].num_inputs)
+    for chain in chains:
+        builder.append(chain)
+    return builder.chain
+
+
+def extract_output_cone(chain: BooleanChain, index: int) -> BooleanChain:
+    """The single-output chain computing output ``index`` alone.
+
+    Gates outside the output's transitive fanin cone are dropped and
+    the survivors renumbered, so splitting a shared multi-output chain
+    yields per-output chains with no dead logic.
+    """
+    signal, complemented = chain.outputs[index]
+    n = chain.num_inputs
+    needed: set[int] = set()
+    stack = [] if signal == BooleanChain.CONST0 else [signal]
+    while stack:
+        current = stack.pop()
+        if current < n or current in needed:
+            continue
+        needed.add(current)
+        stack.extend(chain.gate(current).fanins)
+    single = BooleanChain(n)
+    mapping: dict[int, int] = {i: i for i in range(n)}
+    for gi, gate in enumerate(chain.gates):
+        old = n + gi
+        if old not in needed:
+            continue
+        mapping[old] = single.add_gate(
+            gate.op, tuple(mapping[f] for f in gate.fanins)
+        )
+    single.set_output(
+        signal if signal == BooleanChain.CONST0 else mapping[signal],
+        complemented,
+    )
+    return single
 
 
 def polarity_variants(

@@ -30,7 +30,15 @@ __all__ = [
 
 
 class _SpecAdapter:
-    """Shared plumbing: spec overrides and context-aware timeouts."""
+    """Shared plumbing: spec overrides, context-aware timeouts, and
+    the multi-output route.
+
+    ``synthesize`` is the protocol entry point for every adapter: a
+    multi-output spec is dispatched to the decompose-and-share fusion
+    (which calls back into this adapter once per distinct output),
+    while single-output specs go straight to the engine's own
+    ``_synthesize_single``.
+    """
 
     #: Spec fields this engine's backend honours as ctor overrides.
     _SPEC_KEYS: tuple[str, ...] = ()
@@ -41,6 +49,20 @@ class _SpecAdapter:
             for key, value in kwargs.items()
             if key in self._SPEC_KEYS and value is not None
         }
+
+    def synthesize(
+        self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
+    ) -> SynthesisResult:
+        if spec.is_multi_output:
+            from .multioutput import decompose_and_share
+
+            return decompose_and_share(self, spec, ctx)
+        return self._synthesize_single(spec, ctx)
+
+    def _synthesize_single(
+        self, spec: SynthesisSpec, ctx: SynthesisContext | None
+    ) -> SynthesisResult:
+        raise NotImplementedError
 
     def _effective_spec(self, spec: SynthesisSpec) -> SynthesisSpec:
         if not self._overrides:
@@ -65,6 +87,7 @@ class STPEngine(_SpecAdapter):
         verification=True,
         custom_operators=True,
         exact=True,
+        multi_output=True,
     )
     _SPEC_KEYS = (
         "operators",
@@ -76,7 +99,7 @@ class STPEngine(_SpecAdapter):
         "npn_canonicalize",
     )
 
-    def synthesize(
+    def _synthesize_single(
         self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
     ) -> SynthesisResult:
         from ..core.pipeline import run_pipeline
@@ -93,10 +116,11 @@ class HierEngine(_SpecAdapter):
         verification=True,
         custom_operators=True,
         exact=False,
+        multi_output=True,
     )
     _SPEC_KEYS = ("operators", "all_solutions", "max_solutions")
 
-    def synthesize(
+    def _synthesize_single(
         self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
     ) -> SynthesisResult:
         from ..core.hierarchical import HierarchicalSynthesizer
@@ -117,7 +141,7 @@ class _BaselineAdapter(_SpecAdapter):
     def _backend(self, spec: SynthesisSpec):
         raise NotImplementedError
 
-    def synthesize(
+    def _synthesize_single(
         self, spec: SynthesisSpec, ctx: SynthesisContext | None = None
     ) -> SynthesisResult:
         eff = self._effective_spec(spec)
@@ -138,6 +162,7 @@ class FENEngine(_BaselineAdapter):
         verification=True,
         custom_operators=False,
         exact=True,
+        multi_output=True,
     )
 
     def _backend(self, spec: SynthesisSpec):
@@ -155,6 +180,7 @@ class BMSEngine(_BaselineAdapter):
         verification=True,
         custom_operators=False,
         exact=True,
+        multi_output=True,
     )
 
     def _backend(self, spec: SynthesisSpec):
@@ -172,6 +198,7 @@ class LutExactEngine(_BaselineAdapter):
         verification=True,
         custom_operators=False,
         exact=True,
+        multi_output=True,
     )
 
     def _backend(self, spec: SynthesisSpec):
@@ -189,6 +216,7 @@ class CegisEngine(_BaselineAdapter):
         verification=True,
         custom_operators=False,
         exact=True,
+        multi_output=True,
     )
 
     def _backend(self, spec: SynthesisSpec):

@@ -23,7 +23,12 @@ layer (truth tables, STP algebra, core, store) may call down into them
 without cycles.
 """
 
-from .allsat import chain_onset, packed_all_sat, stp_assignments
+from .allsat import (
+    chain_onset,
+    chain_output_onsets,
+    packed_all_sat,
+    stp_assignments,
+)
 from .bitops import (
     array_to_bits,
     bits_to_array,
@@ -65,6 +70,7 @@ __all__ = [
     "array_to_bits",
     "bits_to_array",
     "chain_onset",
+    "chain_output_onsets",
     "cofactor_bits",
     "collapse_indices",
     "depends_bits",

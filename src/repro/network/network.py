@@ -257,9 +257,21 @@ class LogicNetwork:
     ) -> tuple[int, bool]:
         """Instantiate a Boolean chain with its PIs bound to ``leaves``.
 
-        Returns ``(node, complemented)`` for the chain's (single)
-        output.  Zero-gate chains resolve to a leaf or to a constant
-        node.
+        Returns ``(node, complemented)`` for the chain's *first*
+        output; multi-output chains splice through
+        :meth:`splice_chain_multi`.  Zero-gate chains resolve to a
+        leaf or to a constant node.
+        """
+        return self.splice_chain_multi(chain, leaves)[0]
+
+    def splice_chain_multi(
+        self, chain: BooleanChain, leaves: Sequence[int]
+    ) -> list[tuple[int, bool]]:
+        """Instantiate a chain and return every output's
+        ``(node, complemented)`` pair, in the chain's output order.
+
+        Shared interior gates are instantiated once; a CONST0 output
+        resolves to a single constant node shared by all such outputs.
         """
         if len(leaves) != chain.num_inputs:
             raise ValueError("leaf count must match the chain inputs")
@@ -272,11 +284,16 @@ class LogicNetwork:
                 tuple(mapping[f] for f in gate.fanins),
             )
             mapping[chain.num_inputs + gi] = uid
-        signal, complemented = chain.outputs[0]
-        if signal == BooleanChain.CONST0:
-            const = self.add_node(TruthTable(0, 0), ())
-            return const, complemented
-        return mapping[signal], complemented
+        const: int | None = None
+        out: list[tuple[int, bool]] = []
+        for signal, complemented in chain.outputs:
+            if signal == BooleanChain.CONST0:
+                if const is None:
+                    const = self.add_node(TruthTable(0, 0), ())
+                out.append((const, complemented))
+            else:
+                out.append((mapping[signal], complemented))
+        return out
 
     def replace_node(
         self, old: int, new: int, complemented: bool
@@ -322,6 +339,21 @@ class LogicNetwork:
                 swept += 1
         return swept
 
+    def adopt(self, other: "LogicNetwork") -> None:
+        """Take over ``other``'s structure in place.
+
+        The commit half of a copy-verify-commit pass: run a rewriting
+        pass on ``network.copy()``, check equivalence, then ``adopt``
+        the working copy — callers holding a reference to this network
+        see the rewritten structure, and a failed check simply drops
+        the copy.
+        """
+        self.name = other.name
+        self._nodes = other._nodes
+        self._pis = other._pis
+        self._pos = other._pos
+        self._next_uid = other._next_uid
+
     def copy(self) -> "LogicNetwork":
         """Deep structural copy."""
         dup = LogicNetwork(self.name)
@@ -349,9 +381,10 @@ class LogicNetwork:
     # ------------------------------------------------------------------
     @classmethod
     def from_chain(cls, chain: BooleanChain, name: str = "chain") -> "LogicNetwork":
-        """Wrap a Boolean chain as a network."""
+        """Wrap a Boolean chain as a network — one PO per chain
+        output, shared gates instantiated once."""
         net = cls(name)
         leaves = [net.add_pi() for _ in range(chain.num_inputs)]
-        node, complemented = net.splice_chain(chain, leaves)
-        net.add_po(node, complemented)
+        for node, complemented in net.splice_chain_multi(chain, leaves):
+            net.add_po(node, complemented)
         return net

@@ -16,15 +16,21 @@ paper's all-solutions output is for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..chain.chain import BooleanChain
 from ..chain.costs import COST_MODELS
+from ..chain.transform import trivial_chain
 from ..core.database import NPNDatabase
 from .cuts import Cut, cut_function, enumerate_cuts
 from .network import LogicNetwork
 
-__all__ = ["RewriteResult", "rewrite_network"]
+__all__ = [
+    "RewriteResult",
+    "StoreRewriteResult",
+    "rewrite_network",
+    "rewrite_with_store",
+]
 
 
 def _cone_above(
@@ -59,6 +65,82 @@ class RewriteResult:
     def gain(self) -> int:
         """Gates saved."""
         return self.gates_before - self.gates_after
+
+
+@dataclass
+class StoreRewriteResult(RewriteResult):
+    """A :func:`rewrite_with_store` pass, with its store traffic.
+
+    ``synthesis_calls`` counts cuts that actually reached a synthesis
+    engine — a warm store replays the same rewrite with this at zero.
+    ``verified`` reports the pass-level packed-simulation equivalence
+    check (the pass is rolled back when it fails, and skipped —
+    reported False — above the 16-PI simulation cap).
+    """
+
+    store_hits: int = 0
+    store_misses: int = 0
+    synthesis_calls: int = 0
+    verified: bool = False
+
+
+def _rewrite_pass(
+    network: LogicNetwork,
+    chain_source: Callable[..., "Sequence[BooleanChain] | None"],
+    *,
+    cut_size: int,
+    cost: Callable[[BooleanChain], float],
+    max_cuts_per_node: int,
+    zero_gain: bool,
+    result: RewriteResult,
+) -> None:
+    """The shared DAG-aware replacement loop (in place).
+
+    ``chain_source(local)`` maps a cut's local function to candidate
+    chains (or None); the loop picks the cheapest by ``cost``, prices
+    the replacement by MFFC-above-the-cut, and commits the best
+    positive-gain choice per node.
+    """
+    cut_sets = enumerate_cuts(
+        network, k=cut_size, max_cuts_per_node=max_cuts_per_node
+    )
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if node.is_pi or node.dead:
+            continue
+        best_choice: tuple[int, BooleanChain, Cut] | None = None
+        for cut in cut_sets.get(uid, []):
+            if cut.size < 2 or cut.leaves == (uid,):
+                continue
+            if any(network.node(l).dead for l in cut.leaves):
+                continue
+            result.cuts_tried += 1
+            local = cut_function(network, cut)
+            chains = chain_source(local)
+            if not chains:
+                continue
+            chain = min(chains, key=cost)
+            # Only the part of the MFFC strictly above the cut leaves
+            # actually dies (logic below stays alive through them).
+            cone = _cone_above(network, uid, cut.leaves)
+            saved = len(network.mffc(uid) & cone)
+            added = chain.num_gates
+            gain = saved - added
+            if gain > 0 or (zero_gain and gain == 0):
+                if best_choice is None or gain > best_choice[0]:
+                    best_choice = (gain, chain, cut)
+        if best_choice is None:
+            continue
+        _, chain, cut = best_choice
+        new_node, complemented = network.splice_chain(
+            chain, list(cut.leaves)
+        )
+        network.replace_node(uid, new_node, complemented)
+        network.sweep_dead()
+        result.replacements += 1
+
+    network.sweep_dead()
+    result.gates_after = network.num_gates()
 
 
 def rewrite_network(
@@ -96,45 +178,124 @@ def rewrite_network(
         gates_before=network.num_gates(),
         gates_after=network.num_gates(),
     )
-
-    cut_sets = enumerate_cuts(
-        network, k=cut_size, max_cuts_per_node=max_cuts_per_node
+    _rewrite_pass(
+        network,
+        db.lookup,
+        cut_size=cut_size,
+        cost=cost,
+        max_cuts_per_node=max_cuts_per_node,
+        zero_gain=zero_gain,
+        result=result,
     )
-    for uid in network.topological_order():
-        node = network.node(uid)
-        if node.is_pi or node.dead:
-            continue
-        best_choice: tuple[int, BooleanChain, Cut] | None = None
-        for cut in cut_sets.get(uid, []):
-            if cut.size < 2 or cut.leaves == (uid,):
-                continue
-            if any(network.node(l).dead for l in cut.leaves):
-                continue
-            result.cuts_tried += 1
-            local = cut_function(network, cut)
-            chains = db.lookup(local)
-            if not chains:
-                continue
-            chain = min(chains, key=cost)
-            # Only the part of the MFFC strictly above the cut leaves
-            # actually dies (logic below stays alive through them).
-            cone = _cone_above(network, uid, cut.leaves)
-            saved = len(network.mffc(uid) & cone)
-            added = chain.num_gates
-            gain = saved - added
-            if gain > 0 or (zero_gain and gain == 0):
-                if best_choice is None or gain > best_choice[0]:
-                    best_choice = (gain, chain, cut)
-        if best_choice is None:
-            continue
-        _, chain, cut = best_choice
-        new_node, complemented = network.splice_chain(
-            chain, list(cut.leaves)
-        )
-        network.replace_node(uid, new_node, complemented)
-        network.sweep_dead()
-        result.replacements += 1
+    return result
 
-    network.sweep_dead()
-    result.gates_after = network.num_gates()
+
+def rewrite_with_store(
+    network: LogicNetwork,
+    store,
+    *,
+    cut_size: int = 4,
+    tie_break: str | Callable[[BooleanChain], float] = "depth",
+    max_cuts_per_node: int = 8,
+    zero_gain: bool = False,
+    engines: Sequence[str] = ("stp",),
+    race: bool = False,
+    timeout_per_cut: float | None = 5.0,
+    verify: bool = True,
+    executor=None,
+) -> StoreRewriteResult:
+    """One store-backed DAG-aware rewriting pass (copy-verify-commit).
+
+    Cut functions are served from the persistent
+    :class:`~repro.store.ChainStore` when possible (inverse-NPN on
+    hit) and synthesized through a fault-tolerant executor on a miss,
+    which writes the fresh optimum back — so a benchmark suite warms
+    the store once and every later pass over any circuit sharing the
+    same NPN classes replays with **zero** synthesis calls.
+
+    The pass runs on ``network.copy()``; with ``verify`` the rewritten
+    copy's packed simulation is compared output-for-output against the
+    original before :meth:`~repro.network.network.LogicNetwork.adopt`
+    commits it.  A mismatch (or a network above the 16-PI simulation
+    cap) leaves ``network`` untouched and reports ``verified=False``
+    with ``gates_after == gates_before``.
+
+    Parameters beyond :func:`rewrite_network`'s:
+
+    engines:
+        Engine fallback chain for cache misses (registry names).
+    race:
+        Race the default engine portfolio per miss
+        (:class:`~repro.runtime.racing.RacingExecutor`) instead of
+        walking a fallback chain.
+    timeout_per_cut:
+        Synthesis budget per cut miss, seconds (None = unbounded).
+    executor:
+        Pre-built executor override (must expose
+        ``run(function, timeout)``); ``engines``/``race`` are ignored
+        when given.  The executor should share ``store`` so write-backs
+        land in the same database.
+    """
+    if cut_size > 4:
+        raise ValueError(
+            "rewriting uses exact NPN classification (cut_size <= 4)"
+        )
+    cost = (
+        COST_MODELS[tie_break] if isinstance(tie_break, str) else tie_break
+    )
+    if executor is None:
+        if race:
+            from ..runtime.racing import RacingExecutor
+
+            executor = RacingExecutor(store=store)
+        else:
+            from ..runtime.executor import FaultTolerantExecutor
+
+            executor = FaultTolerantExecutor(
+                tuple(engines), store=store
+            )
+
+    result = StoreRewriteResult(
+        gates_before=network.num_gates(),
+        gates_after=network.num_gates(),
+    )
+
+    def chain_source(local):
+        trivial = trivial_chain(local)
+        if trivial is not None:
+            return [trivial]
+        outcome = executor.run(local, timeout_per_cut)
+        if outcome.engine == "store":
+            result.store_hits += 1
+        else:
+            result.store_misses += 1
+            result.synthesis_calls += 1
+        if outcome.status != "ok" or outcome.result is None:
+            return None
+        return outcome.result.chains
+
+    working = network.copy()
+    _rewrite_pass(
+        working,
+        chain_source,
+        cut_size=cut_size,
+        cost=cost,
+        max_cuts_per_node=max_cuts_per_node,
+        zero_gain=zero_gain,
+        result=result,
+    )
+
+    if verify:
+        if len(network.pis) > 16:
+            result.gates_after = result.gates_before
+            result.verified = False
+            return result
+        before = [t.bits for t in network.simulate()]
+        after = [t.bits for t in working.simulate()]
+        if before != after:
+            result.gates_after = result.gates_before
+            result.verified = False
+            return result
+        result.verified = True
+    network.adopt(working)
     return result

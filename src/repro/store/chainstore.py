@@ -10,6 +10,14 @@ the class transform before being stored — and a lookup maps them back
 through the inverse transform of the queried orbit member, so one row
 serves the whole orbit.
 
+Multi-output solution sets share the same table: the key is the
+comma-joined per-output canonical hex under the *joint* NPN transform
+(one shared input permutation/negation, per-output output negations),
+which can never collide with a single-output hex, and the row's
+``num_outputs`` column records the vector width.  Old single-output
+databases migrate in place (``ALTER TABLE`` adds the column with
+DEFAULT 1) and keep serving unmodified.
+
 Rows are keyed by ``(num_vars, canonical_hex, num_gates)`` in SQLite:
 a single file, safe under concurrent readers and writers (WAL journal
 plus a busy timeout), queryable with ordinary tooling, and append-
@@ -38,9 +46,9 @@ import sqlite3
 import threading
 import time
 
-from ..core.circuit_sat import verify_chain
+from ..core.circuit_sat import verify_chain, verify_chain_outputs
 from ..core.spec import SynthesisResult, SynthesisSpec
-from ..chain.transform import npn_transform_chain
+from ..chain.transform import npn_transform_chain, npn_transform_chain_multi
 from ..truthtable.table import TruthTable
 from .serialize import chain_from_record, chain_to_record
 
@@ -60,6 +68,7 @@ CREATE TABLE IF NOT EXISTS chains (
     created     REAL    NOT NULL,
     exact       INTEGER NOT NULL DEFAULT 1,
     quarantined INTEGER NOT NULL DEFAULT 0,
+    num_outputs INTEGER NOT NULL DEFAULT 1,
     PRIMARY KEY (num_vars, canon_hex, num_gates)
 )
 """
@@ -69,6 +78,7 @@ CREATE TABLE IF NOT EXISTS chains (
 _MIGRATIONS = (
     ("exact", "INTEGER NOT NULL DEFAULT 1"),
     ("quarantined", "INTEGER NOT NULL DEFAULT 0"),
+    ("num_outputs", "INTEGER NOT NULL DEFAULT 1"),
 )
 
 
@@ -134,6 +144,22 @@ class ChainStore:
         from ..cache import get_cache
 
         return get_cache().npn_canonical(function)
+
+    @staticmethod
+    def _canonical_multi(functions):
+        from ..truthtable.npn import canonicalize_multi
+
+        return canonicalize_multi(functions)
+
+    @staticmethod
+    def _multi_key(canon_tables) -> str:
+        """Comma-joined per-output canonical hexes.
+
+        Commas never occur in a single-output hex key, so multi-output
+        rows share the ``chains`` table without colliding with the
+        single-output keyspace — old databases keep serving unmodified.
+        """
+        return ",".join(t.to_hex() for t in canon_tables)
 
     # ------------------------------------------------------------------
     # read path
@@ -237,6 +263,72 @@ class ChainStore:
         self._miss()
         return None
 
+    def lookup_multi(
+        self,
+        functions,
+        *,
+        events: list | None = None,
+    ) -> SynthesisResult | None:
+        """Serve a multi-output function vector from the store, or miss.
+
+        The vector is canonicalized jointly (one shared input
+        permutation/negation, per-output output negations), the row is
+        fetched under the comma-joined canonical key, and every stored
+        chain is rewritten back through the inverse transform.  The
+        first chain is re-simulated output-by-output with the packed
+        verifier; corruption quarantines the row exactly as in the
+        single-output path.  A one-element vector delegates to
+        :meth:`lookup`, so multi-output callers transparently share
+        the single-output keyspace.
+        """
+        functions = list(functions)
+        if not functions:
+            raise ValueError("need at least one output function")
+        if len(functions) == 1:
+            return self.lookup(functions[0], events=events)
+        started = time.perf_counter()
+        canon_tables, transform = self._canonical_multi(functions)
+        canon_hex = self._multi_key(canon_tables)
+        num_vars = functions[0].num_vars
+        rows = self._fetch_rows(num_vars, canon_hex, exact_only=True)
+        inverse = transform.inverse()
+        for num_gates, _engine, payload, _exact in rows:
+            chains = None
+            try:
+                records = json.loads(payload)
+                chains = [
+                    npn_transform_chain_multi(
+                        chain_from_record(r), inverse
+                    )
+                    for r in records
+                ]
+            except (ValueError, TypeError, json.JSONDecodeError):
+                chains = None
+            try:
+                valid = bool(chains) and verify_chain_outputs(
+                    chains[0], functions
+                )
+            except ValueError:
+                valid = False
+            if not valid:
+                self._quarantine(num_vars, canon_hex, num_gates, events)
+                break  # never serve a larger count as the optimum
+            runtime = time.perf_counter() - started
+            with self._lock:
+                self.hits += 1
+                self.hit_seconds += runtime
+            spec = SynthesisSpec(functions=tuple(functions))
+            result = SynthesisResult(
+                spec=spec,
+                chains=chains,
+                num_gates=num_gates,
+                runtime=runtime,
+            )
+            result._store_exact = True
+            return result
+        self._miss()
+        return None
+
     def _fetch_rows(
         self, num_vars: int, canon_hex: str, *, exact_only: bool
     ) -> list[tuple[int, str, str, int]]:
@@ -327,8 +419,70 @@ class ChainStore:
             self.writes += 1
         return True
 
+    def put_multi(
+        self,
+        functions,
+        result: SynthesisResult,
+        engine: str = "",
+        *,
+        exact: bool = True,
+    ) -> bool:
+        """Record a shared multi-output chain for a function vector.
+
+        Chains are rewritten into the joint canonical space (shared
+        input transform, per-output negations) and re-verified against
+        the canonical tables before storage; the row carries its
+        output count in ``num_outputs``.  A one-element vector
+        delegates to :meth:`put`.  Returns True when a row was written.
+        """
+        functions = list(functions)
+        if not functions:
+            raise ValueError("need at least one output function")
+        if len(functions) == 1:
+            return self.put(functions[0], result, engine, exact=exact)
+        if not result.chains or result.num_gates < 0:
+            return False
+        canon_tables, transform = self._canonical_multi(functions)
+        canonical_chains = []
+        for chain in result.chains[: self._max_chains]:
+            if len(chain.outputs) != len(functions):
+                continue
+            rewritten = npn_transform_chain_multi(chain, transform)
+            try:
+                if not verify_chain_outputs(rewritten, canon_tables):
+                    continue
+            except ValueError:
+                continue
+            canonical_chains.append(rewritten)
+        if not canonical_chains:
+            return False
+        key = (
+            functions[0].num_vars,
+            self._multi_key(canon_tables),
+            result.num_gates,
+        )
+        with self._lock:
+            try:
+                with self._conn:
+                    self._merge_row(
+                        key,
+                        canonical_chains,
+                        engine,
+                        exact,
+                        num_outputs=len(functions),
+                    )
+            except sqlite3.Error:
+                return False
+            self.writes += 1
+        return True
+
     def _merge_row(
-        self, key, canonical_chains, engine: str, exact: bool
+        self,
+        key,
+        canonical_chains,
+        engine: str,
+        exact: bool,
+        num_outputs: int = 1,
     ) -> None:
         num_vars, canon_hex, num_gates = key
         cursor = self._conn.execute(
@@ -354,8 +508,8 @@ class ChainStore:
         self._conn.execute(
             "INSERT OR REPLACE INTO chains "
             "(num_vars, canon_hex, num_gates, engine, solutions, "
-            "created, exact, quarantined) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, 0)",
+            "created, exact, quarantined, num_outputs) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 0, ?)",
             (
                 num_vars,
                 canon_hex,
@@ -364,6 +518,7 @@ class ChainStore:
                 payload,
                 time.time(),
                 grade,
+                num_outputs,
             ),
         )
 

@@ -20,8 +20,11 @@ from .corpus import (
 from .fuzz import FuzzConfig, FuzzReport, run_fuzz
 from .generators import (
     DEFAULT_SEED_FUNCTIONS,
+    MULTI_PATTERNS,
     STRATEGIES,
     FunctionGenerator,
+    MultiOutputGenerator,
+    multi_pattern_names,
     strategy_names,
 )
 from .oracle import (
@@ -42,8 +45,11 @@ __all__ = [
     "FuzzReport",
     "run_fuzz",
     "DEFAULT_SEED_FUNCTIONS",
+    "MULTI_PATTERNS",
     "STRATEGIES",
     "FunctionGenerator",
+    "MultiOutputGenerator",
+    "multi_pattern_names",
     "strategy_names",
     "DifferentialHarness",
     "DifferentialReport",

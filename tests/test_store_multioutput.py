@@ -1,0 +1,188 @@
+"""Multi-output chain-store rows and the schema migration path."""
+
+import random
+import sqlite3
+
+from repro.core import verify_chain_outputs
+from repro.core.spec import SynthesisSpec
+from repro.engine import create_engine
+from repro.store import ChainStore
+from repro.truthtable import from_hex
+from repro.truthtable.npn import MultiNPNTransform
+
+MAJ = from_hex("e8", 3)
+FA_SUM = from_hex("96", 3)
+XOR = from_hex("6", 2)
+AND = from_hex("8", 2)
+
+#: The very first shipped schema, before the exact/quarantined/
+#: num_outputs migrations — kept verbatim as the migration fixture.
+V1_SCHEMA = """
+CREATE TABLE chains (
+    num_vars    INTEGER NOT NULL,
+    canon_hex   TEXT    NOT NULL,
+    num_gates   INTEGER NOT NULL,
+    engine      TEXT    NOT NULL,
+    solutions   TEXT    NOT NULL,
+    created     REAL    NOT NULL,
+    PRIMARY KEY (num_vars, canon_hex, num_gates)
+)
+"""
+
+
+def synth(functions, **kwargs):
+    if len(functions) == 1:
+        spec = SynthesisSpec(function=functions[0], **kwargs)
+    else:
+        spec = SynthesisSpec(functions=tuple(functions), **kwargs)
+    return create_engine("stp").synthesize(spec)
+
+
+class TestMultiOutputRows:
+    def test_round_trip(self, tmp_path):
+        result = synth((FA_SUM, MAJ), all_solutions=True)
+        with ChainStore(tmp_path / "store.db") as store:
+            assert store.lookup_multi((FA_SUM, MAJ)) is None
+            assert store.put_multi((FA_SUM, MAJ), result, "stp")
+            served = store.lookup_multi((FA_SUM, MAJ))
+            assert served is not None
+            assert served.num_gates == result.num_gates
+            assert verify_chain_outputs(
+                served.chains[0], (FA_SUM, MAJ)
+            )
+
+    def test_serves_joint_orbit_member(self, tmp_path):
+        rng = random.Random(3)
+        result = synth((FA_SUM, MAJ), all_solutions=True)
+        with ChainStore(tmp_path / "store.db") as store:
+            store.put_multi((FA_SUM, MAJ), result, "stp")
+            for _ in range(5):
+                perm = list(range(3))
+                rng.shuffle(perm)
+                t = MultiNPNTransform(
+                    tuple(perm),
+                    rng.getrandbits(3),
+                    (
+                        bool(rng.getrandbits(1)),
+                        bool(rng.getrandbits(1)),
+                    ),
+                )
+                member = t.apply((FA_SUM, MAJ))
+                served = store.lookup_multi(member)
+                assert served is not None
+                assert verify_chain_outputs(
+                    served.chains[0], list(member)
+                )
+
+    def test_keys_do_not_collide_with_single_output(self, tmp_path):
+        multi = synth((XOR, AND))
+        single = synth((XOR,))
+        with ChainStore(tmp_path / "store.db") as store:
+            store.put_multi((XOR, AND), multi, "stp")
+            # only the multi row exists; single lookup must miss
+            assert store.lookup(XOR) is None
+            store.put(XOR, single, "stp")
+            assert store.lookup(XOR) is not None
+            assert store.lookup_multi((XOR, AND)) is not None
+
+    def test_single_element_vector_delegates(self, tmp_path):
+        result = synth((MAJ,))
+        with ChainStore(tmp_path / "store.db") as store:
+            assert store.put_multi((MAJ,), result, "stp")
+            # written through the single-output path: plain lookup hits
+            assert store.lookup(MAJ) is not None
+            assert store.lookup_multi((MAJ,)) is not None
+
+    def test_output_count_mismatch_not_stored(self, tmp_path):
+        single = synth((MAJ,))
+        with ChainStore(tmp_path / "store.db") as store:
+            # a single-output chain cannot back a two-output row
+            assert not store.put_multi((MAJ, FA_SUM), single, "stp")
+
+
+class TestSchemaMigration:
+    def _make_v1_db(self, path, store_with_row):
+        """A database in the original shipped schema, seeded with a
+        row copied from a modern store."""
+        src = sqlite3.connect(store_with_row)
+        row = src.execute(
+            "SELECT num_vars, canon_hex, num_gates, engine, "
+            "solutions, created FROM chains"
+        ).fetchone()
+        src.close()
+        conn = sqlite3.connect(path)
+        conn.execute(V1_SCHEMA)
+        conn.execute(
+            "INSERT INTO chains VALUES (?, ?, ?, ?, ?, ?)", row
+        )
+        conn.commit()
+        conn.close()
+
+    def test_pre_migration_db_still_serves(self, tmp_path):
+        seed = tmp_path / "seed.db"
+        result = synth((MAJ,), all_solutions=True)
+        with ChainStore(seed) as store:
+            store.put(MAJ, result, "stp")
+        old = tmp_path / "old.db"
+        self._make_v1_db(old, seed)
+
+        with ChainStore(old) as migrated:
+            columns = {
+                r[1]
+                for r in migrated._conn.execute(
+                    "PRAGMA table_info(chains)"
+                )
+            }
+            assert {"exact", "quarantined", "num_outputs"} <= columns
+            served = migrated.lookup(MAJ)
+            assert served is not None
+            assert served.num_gates == result.num_gates
+
+    def test_multi_writes_coexist_with_migrated_rows(self, tmp_path):
+        seed = tmp_path / "seed.db"
+        single = synth((MAJ,), all_solutions=True)
+        with ChainStore(seed) as store:
+            store.put(MAJ, single, "stp")
+        old = tmp_path / "old.db"
+        self._make_v1_db(old, seed)
+
+        multi = synth((FA_SUM, MAJ), all_solutions=True)
+        with ChainStore(old) as store:
+            assert store.put_multi((FA_SUM, MAJ), multi, "stp")
+            assert store.lookup(MAJ) is not None
+            assert store.lookup_multi((FA_SUM, MAJ)) is not None
+            rows = store._conn.execute(
+                "SELECT num_outputs, COUNT(*) FROM chains "
+                "GROUP BY num_outputs ORDER BY num_outputs"
+            ).fetchall()
+            assert rows == [(1, 1), (2, 1)]
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "store.db"
+        result = synth((MAJ,))
+        with ChainStore(path) as store:
+            store.put(MAJ, result, "stp")
+        # reopening re-runs _migrate() against the migrated schema
+        with ChainStore(path) as store:
+            assert store.lookup(MAJ) is not None
+
+
+class TestMultiQuarantine:
+    def test_corrupt_multi_row_quarantined(self, tmp_path):
+        result = synth((FA_SUM, MAJ))
+        path = tmp_path / "store.db"
+        with ChainStore(path) as store:
+            store.put_multi((FA_SUM, MAJ), result, "stp")
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE chains SET solutions = '[[\"bogus\"]]'")
+        conn.commit()
+        conn.close()
+        with ChainStore(path) as store:
+            events = []
+            assert store.lookup_multi(
+                (FA_SUM, MAJ), events=events
+            ) is None
+            assert store.quarantined == 1
+            assert events and events[0][0] == "quarantined"
+            # quarantined rows stay skipped
+            assert store.lookup_multi((FA_SUM, MAJ)) is None
