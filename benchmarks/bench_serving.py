@@ -1,0 +1,341 @@
+"""Async load benchmark for the ``repro-serve`` synthesis server.
+
+Boots the full serving stack in-process (store → persistent scheduler
+pool → NPN-coalescing service → HTTP front-end), pre-warms the chain
+store by requesting every NPN class representative once, then fires
+``--requests`` concurrent requests whose *classes* follow a Zipf
+distribution — a few hot classes dominate, exactly the skew that makes
+coalescing and the warm store earn their keep.  Each request is a
+random orbit member of its class (random input permutation/negations +
+output negation), so warm hits still exercise the store's inverse-NPN
+rewrite::
+
+    python benchmarks/bench_serving.py --requests 1000 \
+        --json BENCH_serving.json
+
+Every response body is **independently re-verified** here with the
+packed AllSAT verifier — the bench gates on zero incorrect chains,
+zero failed requests, and a strictly positive coalesce ratio, and
+optionally on a minimum warm-store hit ratio (``--min-hit-ratio``,
+used by CI against a pre-warmed store).  The JSON report carries
+client-side p50/p99 latency, throughput, and the server's own
+``/metrics`` snapshot.
+"""
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+
+from repro.core.circuit_sat import verify_chain
+from repro.parallel.scheduler import BatchScheduler
+from repro.serve.ratelimit import RateLimiter
+from repro.serve.server import SynthesisServer
+from repro.serve.service import SynthesisService
+from repro.store import ChainStore
+from repro.store.serialize import chain_from_record
+from repro.truthtable.npn import NPNTransform, npn_classes
+
+
+def _percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _zipf_weights(count, skew):
+    return [1.0 / (rank**skew) for rank in range(1, count + 1)]
+
+
+def _random_orbit_member(rng, table):
+    """A uniformly-random-ish member of ``table``'s NPN orbit."""
+    n = table.num_vars
+    perm = list(range(n))
+    rng.shuffle(perm)
+    transform = NPNTransform(
+        tuple(perm), rng.randrange(1 << n), bool(rng.randrange(2))
+    )
+    return transform.apply(table)
+
+
+async def _post_json(host, port, path, payload, timeout):
+    """One HTTP POST on its own connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(payload_bytes)
+
+
+async def _get_json(host, port, path, timeout=30.0):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: bench\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    _, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    return json.loads(payload_bytes)
+
+
+async def _drive(args):
+    rng = random.Random(args.seed)
+    reps = npn_classes(args.vars)
+    store = ChainStore(args.store)
+    scheduler = BatchScheduler({}, args.jobs, queue_depth=0).start(
+        recycle_after=500
+    )
+    service = SynthesisService(
+        scheduler,
+        store=store,
+        default_timeout=args.timeout,
+        max_backlog=max(args.requests, 256),
+    )
+    server = SynthesisServer(
+        service, port=0, rate_limiter=RateLimiter(None)
+    )
+    await server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port} ({len(reps)} NPN classes)")
+
+    warm_count = max(1, int(round(len(reps) * args.warm_fraction)))
+    try:
+        # Warm the *hot* classes (Zipf rank order): the timed run then
+        # measures a warm-store serving plane, while the cold tail
+        # still reaches the engine path — concurrent duplicates there
+        # are what exercises coalescing.
+        warm_started = time.perf_counter()
+        for rep in reps[:warm_count]:
+            status, body = await _post_json(
+                host,
+                port,
+                "/synthesize",
+                {"function": rep.to_hex(), "vars": args.vars},
+                args.client_timeout,
+            )
+            if status != 200:
+                raise SystemExit(
+                    f"warmup failed for 0x{rep.to_hex()}: "
+                    f"{status} {body.get('error', '')}"
+                )
+        warm_seconds = time.perf_counter() - warm_started
+        print(
+            f"warmed {warm_count}/{len(reps)} classes "
+            f"in {warm_seconds:.2f}s"
+        )
+
+        # The load population: Zipf-skewed class choice, random orbit
+        # member per request.
+        weights = _zipf_weights(len(reps), args.skew)
+        picks = rng.choices(range(len(reps)), weights, k=args.requests)
+        population = [
+            _random_orbit_member(rng, reps[index]) for index in picks
+        ]
+
+        gate = asyncio.Semaphore(args.concurrency)
+        latencies = []
+        failures = []
+        bad_chains = []
+        statuses = {}
+
+        async def one(table):
+            payload = {
+                "function": table.to_hex(),
+                "vars": args.vars,
+                "max_chains": 1,
+            }
+            async with gate:
+                started = time.perf_counter()
+                try:
+                    status, body = await _post_json(
+                        host,
+                        port,
+                        "/synthesize",
+                        payload,
+                        args.client_timeout,
+                    )
+                except Exception as exc:
+                    failures.append(f"{table.to_hex()}: {exc!r}")
+                    return
+                latencies.append(time.perf_counter() - started)
+            statuses[status] = statuses.get(status, 0) + 1
+            if status not in (200, 203):
+                failures.append(
+                    f"{table.to_hex()}: HTTP {status} "
+                    f"{body.get('error', '')}"
+                )
+                return
+            if not body.get("chains"):
+                failures.append(f"{table.to_hex()}: empty chain set")
+                return
+            chain = chain_from_record(body["chains"][0])
+            if not verify_chain(chain, table):
+                bad_chains.append(table.to_hex())
+
+        load_started = time.perf_counter()
+        await asyncio.gather(*(one(t) for t in population))
+        load_seconds = time.perf_counter() - load_started
+
+        metrics = await _get_json(host, port, "/metrics")
+    finally:
+        await server.shutdown(drain_timeout=30.0)
+        scheduler.shutdown(cancel_queued=True)
+        store.close()
+
+    serving = metrics.get("serving", {})
+    report = {
+        "bench": "serving",
+        "vars": args.vars,
+        "classes": len(reps),
+        "warmed_classes": warm_count,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "zipf_skew": args.skew,
+        "seed": args.seed,
+        "warmup_seconds": round(warm_seconds, 3),
+        "load_seconds": round(load_seconds, 3),
+        "throughput_rps": round(args.requests / load_seconds, 2),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p90": round(_percentile(latencies, 0.90) * 1000, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 3),
+        },
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "failed_requests": len(failures),
+        "failure_samples": failures[:10],
+        "incorrect_chains": len(bad_chains),
+        "coalesce_ratio": serving.get("coalesce_ratio", 0.0),
+        "hit_ratio": serving.get("hit_ratio", 0.0),
+        "server_metrics": metrics,
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Zipf-skewed async load benchmark for repro-serve"
+    )
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=1000,
+        help="concurrent in-flight requests (socket cap)",
+    )
+    parser.add_argument("--vars", type=int, default=3)
+    parser.add_argument(
+        "--skew", type=float, default=1.1, help="Zipf exponent"
+    )
+    parser.add_argument(
+        "--warm-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of classes (hottest first) pre-warmed into "
+        "the store; the cold tail exercises coalescing",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--client-timeout", type=float, default=120.0
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="chain-store path (default: a fresh temp file per run; "
+        "an in-memory store cannot be shared across the pool's "
+        "threads)",
+    )
+    parser.add_argument("--json", default="BENCH_serving.json")
+    parser.add_argument(
+        "--min-hit-ratio",
+        type=float,
+        default=0.0,
+        help="gate: minimum warm-store hit ratio over the load run",
+    )
+    args = parser.parse_args(argv)
+
+    cleanup = None
+    if args.store is None:
+        import shutil
+        import tempfile
+
+        tempdir = tempfile.mkdtemp(prefix="bench_serving_")
+        args.store = f"{tempdir}/chains.db"
+        cleanup = lambda: shutil.rmtree(tempdir, ignore_errors=True)  # noqa: E731
+    try:
+        report = asyncio.run(_drive(args))
+    finally:
+        if cleanup is not None:
+            cleanup()
+    with open(args.json, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(
+        f"{report['requests']} requests in {report['load_seconds']}s "
+        f"({report['throughput_rps']} req/s), "
+        f"p50={report['latency_ms']['p50']}ms "
+        f"p99={report['latency_ms']['p99']}ms, "
+        f"coalesce={report['coalesce_ratio']} "
+        f"hits={report['hit_ratio']}"
+    )
+    print(f"wrote {args.json}")
+
+    failed = []
+    if report["failed_requests"]:
+        failed.append(
+            f"{report['failed_requests']} failed requests "
+            f"(samples: {report['failure_samples']})"
+        )
+    if report["incorrect_chains"]:
+        failed.append(
+            f"{report['incorrect_chains']} responses failed "
+            "independent verification"
+        )
+    if report["coalesce_ratio"] <= 0.0 and report["hit_ratio"] < 1.0:
+        failed.append("coalesce ratio is zero on a skewed load")
+    if report["hit_ratio"] < args.min_hit_ratio:
+        failed.append(
+            f"hit ratio {report['hit_ratio']} below gate "
+            f"{args.min_hit_ratio}"
+        )
+    if failed:
+        for line in failed:
+            print(f"GATE FAILED: {line}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -218,8 +218,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             engine_kwargs=engine_kwargs,
             store=store,
         )
+    store_counters = None
     try:
         outcome = executor.run(target, timeout=args.timeout)
+        if store is not None:
+            store_counters = store.counters()
     finally:
         if store is not None:
             store.close()
@@ -281,7 +284,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(chain.format())
 
     if args.stats:
-        _print_stats(result.stats.to_record())
+        from .stats import stats_snapshot
+
+        _print_stats(
+            stats_snapshot(
+                stats=result.stats, store_counters=store_counters
+            )
+        )
 
     if args.blif and ranked:
         network = LogicNetwork.from_chain(
@@ -293,33 +302,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     return EXIT_OK
 
 
-def _print_stats(record: dict) -> None:
-    """Render a ``SynthesisStats.to_record()`` summary on stdout."""
+def _print_stats(snapshot: dict) -> None:
+    """Render a :func:`repro.stats.stats_snapshot` dict on stdout.
+
+    The same merged snapshot backs the serving layer's ``/metrics``
+    endpoint; here it is flattened to greppable lines.
+    """
     print("-- stats")
-    print(
-        "search: "
-        f"fences={record['fences_examined']} "
-        f"dags={record['dags_examined']} "
-        f"candidates={record['candidates_generated']} "
-        f"verified={record['candidates_verified']} "
-        f"verify_failures={record['verification_failures']}"
-    )
-    for stage, seconds in sorted(record["stage_seconds"].items()):
-        print(f"stage {stage}: {seconds:.4f}s")
-    hits = record["cache_hits"]
-    misses = record["cache_misses"]
-    for cache in sorted(set(hits) | set(misses)):
+    record = snapshot.get("synthesis")
+    if record:
         print(
-            f"cache {cache}: hits={hits.get(cache, 0)} "
-            f"misses={misses.get(cache, 0)}"
+            "search: "
+            f"fences={record['fences_examined']} "
+            f"dags={record['dags_examined']} "
+            f"candidates={record['candidates_generated']} "
+            f"verified={record['candidates_verified']} "
+            f"verify_failures={record['verification_failures']}"
         )
-    calls = record.get("kernel_calls", {})
-    seconds = record.get("kernel_seconds", {})
-    for kernel in sorted(set(calls) | set(seconds)):
-        line = f"kernel {kernel}: calls={calls.get(kernel, 0)}"
-        if kernel in seconds:
-            line += f" time={seconds[kernel]:.4f}s"
-        print(line)
+        for stage, seconds in sorted(record["stage_seconds"].items()):
+            print(f"stage {stage}: {seconds:.4f}s")
+        hits = record["cache_hits"]
+        misses = record["cache_misses"]
+        for cache in sorted(set(hits) | set(misses)):
+            print(
+                f"cache {cache}: hits={hits.get(cache, 0)} "
+                f"misses={misses.get(cache, 0)}"
+            )
+        calls = record.get("kernel_calls", {})
+        seconds = record.get("kernel_seconds", {})
+        for kernel in sorted(set(calls) | set(seconds)):
+            line = f"kernel {kernel}: calls={calls.get(kernel, 0)}"
+            if kernel in seconds:
+                line += f" time={seconds[kernel]:.4f}s"
+            print(line)
+    store = snapshot.get("store")
+    if store:
+        print(
+            "store: "
+            + " ".join(f"{k}={store[k]}" for k in sorted(store))
+        )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+"""Synthesis-as-a-service: the resident serving layer.
+
+Everything the batch reproduction grew — the NPN-keyed
+:class:`~repro.store.ChainStore`, the resident
+:class:`~repro.parallel.BatchScheduler` pool, engine racing, health
+breakers, graceful degradation — hosted behind a long-lived asyncio
+HTTP + JSON API (``repro-serve``).  Requests are canonicalized to
+their (joint) NPN class, concurrent duplicates coalesce onto one
+in-flight synthesis, warm classes are served straight from the store
+through the caller's inverse transform, and misses run on the
+persistent dispatcher pool.
+"""
+
+from .metrics import ServingMetrics
+from .ratelimit import RateLimiter, TokenBucket
+from .server import SynthesisServer
+from .service import SynthesisRequest, SynthesisResponse, SynthesisService
+
+__all__ = [
+    "ServingMetrics",
+    "RateLimiter",
+    "TokenBucket",
+    "SynthesisServer",
+    "SynthesisRequest",
+    "SynthesisResponse",
+    "SynthesisService",
+]

@@ -1,0 +1,179 @@
+"""``repro-serve``: the resident synthesis server.
+
+Boots the whole serving stack — chain store, persistent scheduler
+pool, NPN-coalescing service, HTTP front-end — and runs until SIGTERM
+or SIGINT, then drains gracefully (in-flight requests finish, the
+pool empties, the listener closes) before exiting 0::
+
+    repro-serve --port 8945 --store chains.db --jobs 4
+    repro-serve --port 0 --race --rate 200 --burst 400
+
+``--port 0`` binds an ephemeral port; the actual address is printed as
+``listening on HOST:PORT`` on stdout (and flushed) so harnesses can
+parse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Sequence
+
+from ..parallel.scheduler import BatchScheduler
+from ..runtime.engines import DEFAULT_FALLBACK_CHAIN, ENGINE_NAMES
+from .ratelimit import RateLimiter
+from .server import SynthesisServer
+from .service import SynthesisService
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-lived exact-synthesis HTTP server with NPN "
+        "request coalescing over a persistent worker pool.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8945,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="resident dispatcher threads (default: 2)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="persistent chain-store path (SQLite); omit for a "
+        "store-less server (no warm hits, no degradation)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="primary engine (prepended to the default fallback chain)",
+    )
+    parser.add_argument(
+        "--race",
+        action="store_true",
+        help="race the healthy lanes in isolated workers per miss",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="default per-request synthesis budget, seconds",
+    )
+    parser.add_argument(
+        "--max-timeout",
+        type=float,
+        default=120.0,
+        help="hard cap on caller-requested budgets, seconds",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client sustained requests/sec (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client burst size (default: 2x rate)",
+    )
+    parser.add_argument(
+        "--max-backlog",
+        type=int,
+        default=256,
+        help="shed new engine work past this scheduler backlog",
+    )
+    parser.add_argument(
+        "--recycle-after",
+        type=int,
+        default=1000,
+        help="recycle each dispatcher thread after N tasks (0 = never)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight work on shutdown",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    store = None
+    if args.store:
+        from ..store import ChainStore
+
+        store = ChainStore(args.store)
+    engines = tuple(DEFAULT_FALLBACK_CHAIN)
+    if args.engine:
+        engines = tuple(dict.fromkeys((args.engine,) + engines))
+    scheduler = BatchScheduler({}, args.jobs, queue_depth=0)
+    scheduler.start(
+        recycle_after=args.recycle_after or None, stop_on_error=False
+    )
+    limiter = RateLimiter(
+        args.rate,
+        args.burst
+        if args.burst is not None
+        else (2.0 * args.rate if args.rate else 1.0),
+    )
+    service = SynthesisService(
+        scheduler,
+        store=store,
+        engines=engines,
+        race=args.race,
+        default_timeout=args.timeout,
+        max_timeout=args.max_timeout,
+        max_backlog=args.max_backlog,
+    )
+    server = SynthesisServer(
+        service, host=args.host, port=args.port, rate_limiter=limiter
+    )
+    await server.start()
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    try:
+        await stop.wait()
+        print("draining", file=sys.stderr, flush=True)
+        await server.shutdown(drain_timeout=args.drain_timeout)
+    finally:
+        scheduler.shutdown(cancel_queued=True)
+        if store is not None:
+            store.close()
+    print("stopped", file=sys.stderr, flush=True)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

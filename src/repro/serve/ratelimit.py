@@ -1,0 +1,118 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+The classic token bucket: each client key owns a bucket of capacity
+``burst`` that refills at ``rate`` tokens per second; a request
+consumes one token, and an empty bucket means HTTP 429.  Buckets are
+created lazily per client and reaped once they have been idle long
+enough to be full again, so an adversarial spray of distinct client
+ids cannot grow the table without bound.
+
+Mutated from the event-loop thread only — no locks.  The clock is
+injectable so tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/sec."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; refill lazily."""
+        elapsed = max(0.0, now - self.updated)
+        self.updated = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, now: float, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will be available."""
+        deficit = cost - self.tokens
+        if deficit <= 0 or self.rate <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+class RateLimiter:
+    """Lazily-created per-client token buckets.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens per second per client.  ``None`` disables
+        limiting entirely (every ``allow`` succeeds).
+    burst:
+        Bucket capacity — the number of back-to-back requests a quiet
+        client may fire before the sustained rate applies.
+    max_clients:
+        Reap idle (full-again) buckets when the table grows past this.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = 50.0,
+        burst: float = 100.0,
+        *,
+        max_clients: int = 10_000,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self._rate = rate
+        self._burst = burst
+        self._max_clients = max(1, max_clients)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate is not None
+
+    def allow(self, client: str) -> bool:
+        """True when ``client`` may proceed; consumes one token."""
+        if self._rate is None:
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self._max_clients:
+                self._reap(now)
+            bucket = self._buckets[client] = TokenBucket(
+                self._rate, self._burst, now
+            )
+        return bucket.allow(now)
+
+    def retry_after(self, client: str) -> float:
+        """Advisory ``Retry-After`` seconds for a limited client."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            return 0.0
+        return bucket.retry_after(self._clock())
+
+    def _reap(self, now: float) -> None:
+        """Drop buckets idle long enough to have refilled completely."""
+        assert self._rate is not None
+        full_after = self._burst / self._rate
+        for client in [
+            c
+            for c, b in self._buckets.items()
+            if now - b.updated >= full_after
+        ]:
+            del self._buckets[client]

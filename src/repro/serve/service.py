@@ -1,0 +1,699 @@
+"""The synthesis service: NPN coalescing over the resident runtime.
+
+This is the heart of synthesis-as-a-service.  Every request — a
+single truth table or a joint multi-output vector — goes through the
+same funnel:
+
+1. **Warm path.**  The persistent :class:`~repro.store.ChainStore` is
+   consulted first (in a worker thread — SQLite I/O must not block
+   the event loop).  A hit is served immediately through the store's
+   own inverse-NPN rewrite, graded exact.
+2. **Coalescing.**  A miss is canonicalized to its (joint) NPN class.
+   If that class already has a synthesis in flight, the request simply
+   awaits the shared future — K concurrent requests for one class cost
+   exactly one engine run, and each caller maps the canonical chains
+   back through *its own* inverse transform.
+3. **Engine path.**  Otherwise the canonical representative is
+   submitted to the persistent :class:`~repro.parallel.BatchScheduler`
+   pool.  Dispatch is health-aware — the shared
+   :class:`~repro.runtime.health.EngineHealth` breaker picks the lanes
+   — and optionally races engines (``race=True``).  Solved results are
+   written back to the store, so the whole orbit is warm afterwards.
+4. **Degradation.**  When every exact lane fails, the store's
+   best-known upper bound for the class is served with
+   ``exact: false`` and a ``degraded`` status the HTTP layer maps to
+   its own (non-failure) status code.
+
+Every response's first chain is re-verified against the *caller's*
+tables with the packed AllSAT verifier before it leaves the service —
+a transform bug or corrupt store row becomes a counted ``corrupt``
+failure, never a silently wrong circuit.
+
+Single-threaded discipline: all coalescing state (``_inflight``) is
+touched from the event-loop thread only.  Scheduler futures resolve on
+dispatcher threads and are marshalled back with
+``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..chain.transform import npn_transform_chain, npn_transform_chain_multi
+from ..core.circuit_sat import verify_chain, verify_chain_outputs
+from ..core.spec import SynthesisSpec, SynthesisStats
+from ..runtime.engines import DEFAULT_FALLBACK_CHAIN
+from ..runtime.errors import classify_failure
+from ..runtime.executor import ExecutionOutcome, FaultTolerantExecutor
+from ..runtime.health import EngineHealth
+from ..truthtable import from_hex
+from ..truthtable.npn import canonicalize, canonicalize_multi
+from ..truthtable.table import TruthTable
+from .metrics import ServingMetrics
+
+__all__ = ["SynthesisRequest", "SynthesisResponse", "SynthesisService"]
+
+#: Largest arity a request may carry.  Above this the packed verifier
+#: and the semi-canonical form still work, but table payloads grow as
+#: ``2**n`` — the cap keeps one request from monopolising the parser.
+MAX_REQUEST_VARS = 12
+
+#: Statuses the HTTP layer treats as "an answer was served".
+_ANSWERED = frozenset({"ok", "degraded"})
+
+
+@dataclass(frozen=True)
+class SynthesisRequest:
+    """One validated synthesis request.
+
+    ``functions`` is the output vector (length 1 for the classic
+    single-output request); all outputs share one input space.
+    """
+
+    functions: tuple[TruthTable, ...]
+    timeout: float | None = None
+    max_chains: int = 4
+    client: str = "anonymous"
+
+    @property
+    def num_vars(self) -> int:
+        return self.functions[0].num_vars
+
+    @property
+    def is_multi(self) -> bool:
+        return len(self.functions) > 1
+
+    @staticmethod
+    def from_payload(
+        payload: Mapping, *, client: str = "anonymous"
+    ) -> "SynthesisRequest":
+        """Parse and validate a JSON request body.
+
+        Accepts ``{"function": "8ff8", "vars": 4}`` or
+        ``{"functions": ["8ff8", "0660"], "vars": 4}`` plus optional
+        ``timeout`` (seconds) and ``max_chains``.  Raises
+        :class:`ValueError` with a client-safe message on any
+        malformed field.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError("request body must be a JSON object")
+        num_vars = payload.get("vars")
+        if not isinstance(num_vars, int) or isinstance(num_vars, bool):
+            raise ValueError('"vars" must be an integer')
+        if not 1 <= num_vars <= MAX_REQUEST_VARS:
+            raise ValueError(
+                f'"vars" must be between 1 and {MAX_REQUEST_VARS}'
+            )
+        if "functions" in payload:
+            raw = payload["functions"]
+            if (
+                not isinstance(raw, Sequence)
+                or isinstance(raw, (str, bytes))
+                or not raw
+            ):
+                raise ValueError('"functions" must be a non-empty list')
+            if len(raw) > 8:
+                raise ValueError("at most 8 outputs per request")
+            hexes = list(raw)
+        elif "function" in payload:
+            hexes = [payload["function"]]
+        else:
+            raise ValueError('missing "function" or "functions"')
+        tables = []
+        for entry in hexes:
+            if not isinstance(entry, str):
+                raise ValueError("truth tables must be hex strings")
+            tables.append(from_hex(entry, num_vars))
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            if isinstance(timeout, bool) or not isinstance(
+                timeout, (int, float)
+            ):
+                raise ValueError('"timeout" must be a number')
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValueError('"timeout" must be positive')
+        max_chains = payload.get("max_chains", 4)
+        if (
+            isinstance(max_chains, bool)
+            or not isinstance(max_chains, int)
+            or max_chains < 1
+        ):
+            raise ValueError('"max_chains" must be a positive integer')
+        return SynthesisRequest(
+            functions=tuple(tables),
+            timeout=timeout,
+            max_chains=min(max_chains, 64),
+            client=client,
+        )
+
+
+@dataclass
+class SynthesisResponse:
+    """What the service answered for one request."""
+
+    status: str  # "ok" | "degraded" | "timeout" | "crash" | ...
+    exact: bool = False
+    source: str = ""  # "store" | "engine" | ""
+    engine: str = ""
+    num_gates: int = -1
+    num_solutions: int = 0
+    chains: list = field(default_factory=list)
+    runtime: float = 0.0
+    npn_class: str = ""
+    coalesced: bool = False
+    error: str = ""
+
+    @property
+    def answered(self) -> bool:
+        """True when a circuit was served (exact or degraded)."""
+        return self.status in _ANSWERED
+
+    def to_payload(self) -> dict:
+        """JSON body for the HTTP layer."""
+        from ..store.serialize import chain_to_record
+
+        return {
+            "status": self.status,
+            "exact": self.exact,
+            "source": self.source,
+            "engine": self.engine,
+            "num_gates": self.num_gates,
+            "num_solutions": self.num_solutions,
+            "npn_class": self.npn_class,
+            "coalesced": self.coalesced,
+            "runtime": round(self.runtime, 6),
+            "error": self.error,
+            "chains": [chain_to_record(c) for c in self.chains],
+        }
+
+
+class SynthesisService:
+    """NPN-coalescing synthesis front-end over the resident runtime.
+
+    Parameters
+    ----------
+    scheduler:
+        A **started** :class:`~repro.parallel.BatchScheduler` (resident
+        mode).  The service only uses ``submit_call``/``backlog``; it
+        does not own the pool's lifecycle.
+    store:
+        Optional :class:`~repro.store.ChainStore` for the warm path,
+        write-back, and degraded upper bounds.
+    engines:
+        Exact-lane preference order.  Health-filtered per dispatch.
+    race:
+        Race the healthy lanes in isolated workers per miss instead of
+        walking them as an in-process fallback chain.
+    default_timeout / max_timeout:
+        Per-request synthesis budget when the caller names none, and
+        the hard cap a caller may request.
+    max_backlog:
+        Load-shedding threshold: new engine-path work is rejected
+        (``overloaded``) while the scheduler backlog is at or past it.
+        Coalescing joins and warm hits are never shed.
+    fault_plan:
+        Deterministic fault injection, threaded into the exact lanes
+        (tests drive the degraded path with a wildcard crash plan).
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        *,
+        store=None,
+        engines: Sequence[str] = DEFAULT_FALLBACK_CHAIN,
+        race: bool = False,
+        health: EngineHealth | None = None,
+        metrics: ServingMetrics | None = None,
+        default_timeout: float = 20.0,
+        max_timeout: float = 120.0,
+        max_backlog: int = 256,
+        fault_plan=None,
+        engine_kwargs: dict[str, dict] | None = None,
+        verify_responses: bool = True,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        self._scheduler = scheduler
+        self._store = store
+        self._engines = tuple(engines)
+        self._race = race
+        self.health = health if health is not None else EngineHealth()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._default_timeout = default_timeout
+        self._max_timeout = max_timeout
+        self._max_backlog = max(1, max_backlog)
+        self._fault_plan = fault_plan
+        self._engine_kwargs = engine_kwargs or {}
+        self._verify_responses = verify_responses
+        #: (num_vars, num_outputs, canon_key) -> shared asyncio future
+        #: resolving to the canonical-space ExecutionOutcome.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        #: Aggregated search effort across every engine run this
+        #: process served; feeds the ``synthesis`` /metrics section.
+        self.stats = SynthesisStats()
+
+    @property
+    def scheduler(self):
+        """The resident pool this service dispatches onto."""
+        return self._scheduler
+
+    @property
+    def inflight_classes(self) -> int:
+        """NPN classes with a synthesis currently in flight."""
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # request funnel
+    # ------------------------------------------------------------------
+    async def synthesize(
+        self, request: SynthesisRequest
+    ) -> SynthesisResponse:
+        """Serve one admitted request (rate limiting happens upstream)."""
+        started = time.perf_counter()
+        self.metrics.requests += 1
+        response = await self._synthesize(request)
+        response.runtime = time.perf_counter() - started
+        self.metrics.observe_latency(response.runtime)
+        return response
+
+    async def _synthesize(
+        self, request: SynthesisRequest
+    ) -> SynthesisResponse:
+        timeout = min(
+            request.timeout
+            if request.timeout is not None
+            else self._default_timeout,
+            self._max_timeout,
+        )
+
+        # 1. Warm path: the store rewrites chains into the caller's own
+        # input space, so no transform is needed here.
+        if self._store is not None:
+            result = await asyncio.to_thread(
+                self._store_lookup, request.functions
+            )
+            if result is not None:
+                self.metrics.store_hits += 1
+                return self._finish(
+                    request,
+                    status="ok",
+                    exact=True,
+                    source="store",
+                    engine="store",
+                    chains=result.chains,
+                    num_gates=result.num_gates,
+                )
+
+        # 2. Canonicalize and coalesce.
+        canon_tables, inverse = self._canonicalize(request.functions)
+        key = (
+            request.num_vars,
+            len(canon_tables),
+            ",".join(t.to_hex() for t in canon_tables),
+        )
+        shared = self._inflight.get(key)
+        coalesced = shared is not None
+        if shared is None:
+            if self._scheduler.backlog() >= self._max_backlog:
+                self.metrics.shed += 1
+                return SynthesisResponse(
+                    status="overloaded",
+                    error="scheduler backlog full; retry later",
+                    npn_class=key[2],
+                )
+            shared = self._launch(key, canon_tables, timeout)
+            if shared is None:
+                self.metrics.failures += 1
+                return SynthesisResponse(
+                    status="unavailable",
+                    error="scheduler is not accepting work",
+                    npn_class=key[2],
+                )
+            self.metrics.engine_runs += 1
+        else:
+            self.metrics.coalesced += 1
+
+        # 3. Await the shared canonical outcome.  shield(): one caller
+        # timing out or disconnecting must not cancel the synthesis the
+        # other coalesced callers are waiting on.
+        wait_budget = timeout * 3.0 + 30.0
+        try:
+            outcome = await asyncio.wait_for(
+                asyncio.shield(shared), wait_budget
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.metrics.failures += 1
+            return SynthesisResponse(
+                status="timeout",
+                error="timed out waiting for the in-flight synthesis",
+                npn_class=key[2],
+                coalesced=coalesced,
+            )
+
+        # 4. Map the canonical outcome into the caller's space.
+        return self._materialize(
+            request, key[2], inverse, outcome, coalesced
+        )
+
+    # ------------------------------------------------------------------
+    # canonical-space synthesis (runs on dispatcher threads)
+    # ------------------------------------------------------------------
+    def _launch(
+        self,
+        key: tuple,
+        canon_tables: tuple[TruthTable, ...],
+        timeout: float,
+    ) -> asyncio.Future | None:
+        """Submit the canonical representative; register the shared future."""
+        loop = asyncio.get_running_loop()
+        shared: asyncio.Future = loop.create_future()
+        if len(canon_tables) == 1:
+            canon = canon_tables[0]
+
+            def job() -> ExecutionOutcome:
+                return self._run_canonical_single(canon, timeout)
+
+        else:
+
+            def job() -> ExecutionOutcome:
+                return self._run_canonical_multi(canon_tables, timeout)
+
+        try:
+            handle = self._scheduler.submit_call(f"serve {key[2]}", job)
+        except RuntimeError:
+            return None
+        self._inflight[key] = shared
+
+        def relay(done: Future) -> None:
+            loop.call_soon_threadsafe(self._resolve, key, shared, done)
+
+        handle.add_done_callback(relay)
+        return shared
+
+    def _resolve(
+        self, key: tuple, shared: asyncio.Future, done: Future
+    ) -> None:
+        """Event-loop side: publish the outcome, retire the class."""
+        self._inflight.pop(key, None)
+        if shared.done():  # pragma: no cover - defensive
+            return
+        if done.cancelled():
+            outcome = ExecutionOutcome(
+                function_hex=key[2],
+                num_vars=key[0],
+                status="unavailable",
+                error="synthesis cancelled during shutdown",
+            )
+        else:
+            exc = done.exception()
+            if exc is not None:
+                outcome = ExecutionOutcome(
+                    function_hex=key[2],
+                    num_vars=key[0],
+                    status="crash",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                outcome = done.result()
+        if outcome.result is not None and outcome.result.stats is not None:
+            self.stats.merge(outcome.result.stats)
+        shared.set_result(outcome)
+
+    def _run_canonical_single(
+        self, canon: TruthTable, timeout: float
+    ) -> ExecutionOutcome:
+        """One exact synthesis of a canonical representative.
+
+        Health-aware: the breaker picks the lanes; outcomes are folded
+        back so a persistently failing engine stops being dispatched.
+        Failures degrade to the store's best upper bound for the class.
+        """
+        lanes = tuple(self.health.select(self._engines))
+        if not lanes:  # pragma: no cover - select() never returns empty
+            lanes = self._engines
+        if self._race and len(lanes) > 1:
+            from ..runtime.racing import RacingExecutor
+
+            executor = RacingExecutor(
+                lanes,
+                health=self.health,
+                store=self._store,
+                fault_plan=self._fault_plan,
+                engine_kwargs={
+                    name: dict(self._engine_kwargs.get(name, {}))
+                    for name in lanes
+                },
+            )
+            return executor.run(canon, timeout=timeout)
+        executor = FaultTolerantExecutor(
+            lanes,
+            store=self._store,
+            fault_plan=self._fault_plan,
+            engine_kwargs=self._engine_kwargs,
+        )
+        outcome = executor.run(canon, timeout=timeout)
+        for record in outcome.trail:
+            self.health.record(
+                record.engine,
+                record.status,
+                record.runtime,
+                function=canon if record.status == "ok" else None,
+            )
+        if not outcome.solved and self._store is not None:
+            outcome = self._degrade_from_store(canon, outcome)
+        return outcome
+
+    def _degrade_from_store(
+        self, canon: TruthTable, outcome: ExecutionOutcome
+    ) -> ExecutionOutcome:
+        """Swap a hard failure for the class's best stored upper bound."""
+        try:
+            found = self._store.lookup_upper_bound(canon)
+        except Exception:
+            found = None
+        if found is None:
+            return outcome
+        result, _exact = found
+        outcome.status = "degraded"
+        outcome.engine = "store"
+        outcome.exact = False
+        outcome.result = result
+        return outcome
+
+    def _run_canonical_multi(
+        self, canon_tables: tuple[TruthTable, ...], timeout: float
+    ) -> ExecutionOutcome:
+        """Joint multi-output synthesis of a canonical vector.
+
+        Walks the healthy lanes through decompose-and-share; solved
+        results are written back under the joint canonical key.  The
+        fault plan does not apply here — injection targets the
+        single-output executor path.
+        """
+        from ..engine import create_engine, engine_capabilities
+        from ..engine.multioutput import decompose_and_share
+
+        key_hex = ",".join(t.to_hex() for t in canon_tables)
+        outcome = ExecutionOutcome(
+            function_hex=key_hex,
+            num_vars=canon_tables[0].num_vars,
+            status="crash",
+        )
+        started = time.perf_counter()
+        if self._store is not None:
+            try:
+                stored = self._store.lookup_multi(list(canon_tables))
+            except Exception:
+                stored = None
+            if stored is not None:
+                outcome.status = "ok"
+                outcome.engine = "store"
+                outcome.result = stored
+                outcome.runtime = time.perf_counter() - started
+                return outcome
+        spec = SynthesisSpec(
+            function=canon_tables[0],
+            functions=tuple(canon_tables),
+            timeout=timeout,
+        )
+        for name in self.health.select(self._engines) or list(
+            self._engines
+        ):
+            attempt_started = time.perf_counter()
+            try:
+                engine = create_engine(
+                    name, **self._engine_kwargs.get(name, {})
+                )
+                result = engine_run = decompose_and_share(engine, spec)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                status = classify_failure(exc)
+                self.health.record(
+                    name, status, time.perf_counter() - attempt_started
+                )
+                outcome.status = status
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                if status in ("timeout", "infeasible"):
+                    break
+                continue
+            self.health.record(
+                name, "ok", time.perf_counter() - attempt_started
+            )
+            outcome.status = "ok"
+            outcome.engine = name
+            outcome.result = result
+            outcome.runtime = time.perf_counter() - started
+            if self._store is not None:
+                try:
+                    exact = bool(engine_capabilities(name).exact)
+                    self._store.put_multi(
+                        list(canon_tables),
+                        engine_run,
+                        engine=name,
+                        exact=exact,
+                    )
+                except Exception:
+                    pass
+            return outcome
+        outcome.runtime = time.perf_counter() - started
+        return outcome
+
+    # ------------------------------------------------------------------
+    # caller-space mapping
+    # ------------------------------------------------------------------
+    def _materialize(
+        self,
+        request: SynthesisRequest,
+        npn_class: str,
+        inverse,
+        outcome: ExecutionOutcome,
+        coalesced: bool,
+    ) -> SynthesisResponse:
+        """Rewrite the shared canonical outcome for this caller."""
+        if not (outcome.solved or outcome.degraded):
+            self.metrics.failures += 1
+            return SynthesisResponse(
+                status=outcome.status,
+                engine=outcome.engine,
+                error=outcome.error or "synthesis failed",
+                npn_class=npn_class,
+                coalesced=coalesced,
+            )
+        rewrite = (
+            npn_transform_chain_multi
+            if request.is_multi
+            else npn_transform_chain
+        )
+        chains = [
+            rewrite(chain, inverse)
+            for chain in outcome.result.chains[: request.max_chains]
+        ]
+        degraded = outcome.degraded
+        if degraded:
+            self.metrics.degraded += 1
+        return self._finish(
+            request,
+            status="degraded" if degraded else "ok",
+            exact=not degraded,
+            source="engine" if outcome.engine != "store" else "store",
+            engine=outcome.engine,
+            chains=chains,
+            num_gates=outcome.result.num_gates,
+            npn_class=npn_class,
+            coalesced=coalesced,
+        )
+
+    def _finish(
+        self,
+        request: SynthesisRequest,
+        *,
+        status: str,
+        exact: bool,
+        source: str,
+        engine: str,
+        chains: list,
+        num_gates: int,
+        npn_class: str = "",
+        coalesced: bool = False,
+    ) -> SynthesisResponse:
+        """Final response assembly + the caller-space verification gate."""
+        chains = list(chains[: request.max_chains])
+        if self._verify_responses and chains:
+            ok = (
+                verify_chain_outputs(chains[0], request.functions)
+                if request.is_multi
+                else verify_chain(chains[0], request.functions[0])
+            )
+            if not ok:
+                self.metrics.verify_failures += 1
+                self.metrics.failures += 1
+                return SynthesisResponse(
+                    status="corrupt",
+                    engine=engine,
+                    error="response failed packed verification",
+                    npn_class=npn_class,
+                    coalesced=coalesced,
+                )
+        return SynthesisResponse(
+            status=status,
+            exact=exact,
+            source=source,
+            engine=engine,
+            num_gates=num_gates,
+            num_solutions=len(chains),
+            chains=chains,
+            npn_class=npn_class,
+            coalesced=coalesced,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _store_lookup(self, functions: tuple[TruthTable, ...]):
+        """Exact warm-path lookup, caller space (worker thread)."""
+        try:
+            if len(functions) == 1:
+                return self._store.lookup(functions[0])
+            return self._store.lookup_multi(list(functions))
+        except Exception:
+            return None
+
+    @staticmethod
+    def _canonicalize(functions: tuple[TruthTable, ...]):
+        """Canonical tables + the inverse transform for this caller."""
+        if len(functions) == 1:
+            canon, transform = canonicalize(functions[0])
+            return (canon,), transform.inverse()
+        canon_tables, transform = canonicalize_multi(functions)
+        return canon_tables, transform.inverse()
+
+    def metrics_snapshot(self) -> dict:
+        """The merged ``/metrics`` document (JSON-safe)."""
+        from ..stats import stats_snapshot
+
+        return stats_snapshot(
+            stats=self.stats,
+            store=self._store,
+            extra={
+                "serving": self.metrics.to_record(
+                    queue_depth=self._scheduler.backlog(),
+                    inflight_classes=self.inflight_classes,
+                ),
+                "health": self.health.to_record(),
+                "scheduler": {
+                    "jobs": self._scheduler.jobs,
+                    "backlog": self._scheduler.backlog(),
+                    "workers": [
+                        stats.to_record()
+                        for stats in self._scheduler.worker_stats
+                    ],
+                },
+            },
+        )

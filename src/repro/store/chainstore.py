@@ -21,7 +21,11 @@ DEFAULT 1) and keep serving unmodified.
 Rows are keyed by ``(num_vars, canonical_hex, num_gates)`` in SQLite:
 a single file, safe under concurrent readers and writers (WAL journal
 plus a busy timeout), queryable with ordinary tooling, and append-
-cheap.  Every lookup re-verifies the first reconstructed chain against
+cheap.  Within one process each thread gets its **own** connection
+(created lazily, used only by its owning thread), so concurrent
+lookups from the serving layer's worker pool read in parallel instead
+of serializing on a shared handle; writes still serialize on one
+process-wide lock because a merge is a read-modify-write.  Every lookup re-verifies the first reconstructed chain against
 the queried function (packed-cube AllSAT); a corrupt row is
 **quarantined** — marked in place, skipped by every later lookup, and
 counted — so one bad record degrades to a miss exactly once instead of
@@ -87,9 +91,11 @@ class ChainStore:
 
     All chains are stored in the NPN-canonical input space; ``lookup``
     rewrites them back through the inverse transform of the queried
-    function.  One instance may be shared across threads (operations
-    serialize on an internal lock); separate processes sharing the same
-    path coordinate through SQLite's own locking.
+    function.  One instance may be shared across threads: each thread
+    reads through its own lazily-created connection (WAL readers never
+    block each other), while writes and counter updates serialize on an
+    internal lock; separate processes sharing the same path coordinate
+    through SQLite's own locking.
     """
 
     def __init__(
@@ -104,13 +110,20 @@ class ChainStore:
         directory = os.path.dirname(self._path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(
-            self._path, timeout=30.0, check_same_thread=False
-        )
-        with self._conn:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(_SCHEMA)
-            self._migrate()
+        # Per-thread connections: ``check_same_thread=False`` is safe
+        # here because each connection is only ever *used* by the thread
+        # that created it (the thread-local below enforces that); the
+        # flag is relaxed solely so ``close()`` can shut every
+        # connection down from whichever thread calls it.
+        self._local = threading.local()
+        self._conns: dict[int, sqlite3.Connection] = {}
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        conn = self._connection()
+        with self._lock:
+            with conn:
+                conn.execute(_SCHEMA)
+                self._migrate(conn)
         #: Served lookups / fell-through lookups / completed write-backs,
         #: plus total wall-clock spent inside *served* lookups and the
         #: number of corrupt rows quarantined by failed re-simulation.
@@ -120,15 +133,44 @@ class ChainStore:
         self.quarantined = 0
         self.hit_seconds = 0.0
 
-    def _migrate(self) -> None:
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection, created on first use.
+
+        Dead threads' connections are reaped opportunistically whenever
+        a new one is opened, so long-lived processes with worker
+        recycling do not accumulate handles.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        if self._closed:
+            raise sqlite3.ProgrammingError(
+                "Cannot operate on a closed database."
+            )
+        conn = sqlite3.connect(
+            self._path, timeout=30.0, check_same_thread=False
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        self._local.conn = conn
+        with self._conns_lock:
+            alive = {t.ident for t in threading.enumerate()}
+            for ident in list(self._conns):
+                if ident not in alive:
+                    try:
+                        self._conns.pop(ident).close()
+                    except sqlite3.Error:  # pragma: no cover
+                        pass
+            self._conns[threading.get_ident()] = conn
+        return conn
+
+    def _migrate(self, conn: sqlite3.Connection) -> None:
         """Add post-v1 columns to databases created by older code."""
         present = {
-            row[1]
-            for row in self._conn.execute("PRAGMA table_info(chains)")
+            row[1] for row in conn.execute("PRAGMA table_info(chains)")
         }
         for column, decl in _MIGRATIONS:
             if column not in present:
-                self._conn.execute(
+                conn.execute(
                     f"ALTER TABLE chains ADD COLUMN {column} {decl}"
                 )
 
@@ -339,12 +381,13 @@ class ChainStore:
         if exact_only:
             query += "AND exact = 1 "
         query += "ORDER BY num_gates ASC"
-        with self._lock:
-            try:
-                cursor = self._conn.execute(query, (num_vars, canon_hex))
-                return cursor.fetchall()
-            except sqlite3.Error:
-                return []
+        try:
+            cursor = self._connection().execute(
+                query, (num_vars, canon_hex)
+            )
+            return cursor.fetchall()
+        except sqlite3.Error:
+            return []
 
     def _quarantine(
         self,
@@ -356,8 +399,9 @@ class ChainStore:
         """Mark a corrupt row so no later lookup re-verifies it."""
         with self._lock:
             try:
-                with self._conn:
-                    self._conn.execute(
+                conn = self._connection()
+                with conn:
+                    conn.execute(
                         "UPDATE chains SET quarantined = 1 WHERE "
                         "num_vars = ? AND canon_hex = ? AND "
                         "num_gates = ?",
@@ -412,8 +456,11 @@ class ChainStore:
         key = (function.num_vars, canon.to_hex(), result.num_gates)
         with self._lock:
             try:
-                with self._conn:
-                    self._merge_row(key, canonical_chains, engine, exact)
+                conn = self._connection()
+                with conn:
+                    self._merge_row(
+                        conn, key, canonical_chains, engine, exact
+                    )
             except sqlite3.Error:
                 return False
             self.writes += 1
@@ -463,8 +510,10 @@ class ChainStore:
         )
         with self._lock:
             try:
-                with self._conn:
+                conn = self._connection()
+                with conn:
                     self._merge_row(
+                        conn,
                         key,
                         canonical_chains,
                         engine,
@@ -478,6 +527,7 @@ class ChainStore:
 
     def _merge_row(
         self,
+        conn: sqlite3.Connection,
         key,
         canonical_chains,
         engine: str,
@@ -485,7 +535,7 @@ class ChainStore:
         num_outputs: int = 1,
     ) -> None:
         num_vars, canon_hex, num_gates = key
-        cursor = self._conn.execute(
+        cursor = conn.execute(
             "SELECT solutions, exact FROM chains WHERE num_vars = ? "
             "AND canon_hex = ? AND num_gates = ?",
             key,
@@ -505,7 +555,7 @@ class ChainStore:
         chains = chains[: self._max_chains]
         payload = json.dumps([chain_to_record(c) for c in chains])
         # A fresh verified write supersedes any quarantine mark.
-        self._conn.execute(
+        conn.execute(
             "INSERT OR REPLACE INTO chains "
             "(num_vars, canon_hex, num_gates, engine, solutions, "
             "created, exact, quarantined, num_outputs) "
@@ -526,9 +576,10 @@ class ChainStore:
     # introspection / lifecycle
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        with self._lock:
-            cursor = self._conn.execute("SELECT COUNT(*) FROM chains")
-            return int(cursor.fetchone()[0])
+        cursor = self._connection().execute(
+            "SELECT COUNT(*) FROM chains"
+        )
+        return int(cursor.fetchone()[0])
 
     def counters(self) -> dict:
         """JSON-safe hit/miss/write counters plus the row count."""
@@ -541,10 +592,20 @@ class ChainStore:
         }
 
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
-        with self._lock:
+        """Close every thread's connection (idempotent).
+
+        Connections were opened with ``check_same_thread=False``
+        precisely so this teardown may run from any thread; after
+        closing, threads that still hold a thread-local reference get
+        SQLite's own ``ProgrammingError`` instead of undefined
+        behaviour.
+        """
+        with self._conns_lock:
+            self._closed = True
+            conns, self._conns = list(self._conns.values()), {}
+        for conn in conns:
             try:
-                self._conn.close()
+                conn.close()
             except sqlite3.Error:  # pragma: no cover - close is best-effort
                 pass
 

@@ -177,6 +177,119 @@ class TestSchedulerUnit:
         assert scheduler.run([]) == []
 
 
+class TestResidentPool:
+    """The long-lived start()/submit()/drain()/shutdown() lifecycle."""
+
+    def test_submit_returns_future_with_outcome(self):
+        scheduler = BatchScheduler({"STP": FakeExecutor()}, jobs=2)
+        scheduler.start()
+        try:
+            futures = [
+                scheduler.submit(t) for t in _tasks(["8ff8", "aaaa"])
+            ]
+            outcomes = [f.result(timeout=10) for f in futures]
+            assert [o.function_hex for o in outcomes] == [
+                "8ff8", "aaaa",
+            ]
+        finally:
+            scheduler.shutdown()
+        assert not scheduler.started
+
+    def test_pool_survives_executor_exception(self):
+        """Resident mode: one poisoned request fails its own future
+        but the pool keeps serving later submissions."""
+        executor = FakeExecutor(raise_on={"8ff8"})
+        scheduler = BatchScheduler({"STP": executor}, jobs=1)
+        scheduler.start()
+        try:
+            bad, good = [
+                scheduler.submit(t) for t in _tasks(["8ff8", "aaaa"])
+            ]
+            with pytest.raises(RuntimeError, match="blew up"):
+                bad.result(timeout=10)
+            assert good.result(timeout=10).function_hex == "aaaa"
+        finally:
+            scheduler.shutdown()
+
+    def test_submit_call_runs_arbitrary_closures(self):
+        scheduler = BatchScheduler({}, jobs=2)
+        scheduler.start()
+        try:
+            future = scheduler.submit_call("custom", lambda: 42)
+            assert future.result(timeout=10) == 42
+        finally:
+            scheduler.shutdown()
+
+    def test_drain_waits_for_backlog(self):
+        scheduler = BatchScheduler(
+            {"STP": FakeExecutor(delay=0.02)}, jobs=2, queue_depth=0
+        )
+        scheduler.start()
+        try:
+            futures = [
+                scheduler.submit(t)
+                for t in _tasks([f"{i:04x}" for i in range(12)])
+            ]
+            assert scheduler.drain(timeout=30)
+            assert scheduler.backlog() == 0
+            assert all(f.done() for f in futures)
+        finally:
+            scheduler.shutdown()
+
+    def test_recycling_replaces_dispatcher_threads(self):
+        """recycle_after=1 forces a fresh thread per task; every task
+        still completes and the slot records its recycle count."""
+        # Hold the thread *objects* (idents are reused by the OS once
+        # a recycled thread exits; live references are not).
+        workers = []
+        lock = threading.Lock()
+
+        class Recorder(FakeExecutor):
+            def run(self, function, timeout):
+                with lock:
+                    workers.append(threading.current_thread())
+                return super().run(function, timeout)
+
+        scheduler = BatchScheduler({"STP": Recorder()}, jobs=1)
+        scheduler.start(recycle_after=1)
+        try:
+            futures = [
+                scheduler.submit(t)
+                for t in _tasks(["8ff8", "aaaa", "0001"])
+            ]
+            for f in futures:
+                assert f.result(timeout=10).solved
+        finally:
+            scheduler.shutdown()
+        assert len({id(w) for w in workers}) == 3  # fresh thread per task
+        assert scheduler.worker_stats[0].recycled >= 2
+        assert scheduler.worker_stats[0].tasks == 3
+
+    def test_submit_after_shutdown_rejected(self):
+        scheduler = BatchScheduler({"STP": FakeExecutor()}, jobs=1)
+        scheduler.start()
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError, match="not accepting"):
+            scheduler.submit(_tasks(["8ff8"])[0])
+
+    def test_run_rejected_while_resident(self):
+        scheduler = BatchScheduler({"STP": FakeExecutor()}, jobs=1)
+        scheduler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                scheduler.run(_tasks(["8ff8"]))
+        finally:
+            scheduler.shutdown()
+
+    def test_restart_after_shutdown(self):
+        scheduler = BatchScheduler({"STP": FakeExecutor()}, jobs=1)
+        for _ in range(2):
+            scheduler.start()
+            future = scheduler.submit(_tasks(["8ff8"])[0])
+            assert future.result(timeout=10).solved
+            scheduler.shutdown()
+
+
 class TestProgressReporter:
     def test_silent_when_stream_is_none(self):
         reporter = ProgressReporter(2, stream=None)

@@ -1,0 +1,591 @@
+"""Tests for the synthesis-as-a-service layer (:mod:`repro.serve`).
+
+Covers the ISSUE-mandated serving behaviours end to end:
+
+* request parsing and validation;
+* token-bucket rate limiting (unit level and HTTP 429);
+* **coalescing correctness** — K concurrent requests for distinct
+  orbit members of one NPN class cost exactly one engine run, and
+  every caller still receives a chain realizing *its own* function;
+* the degraded path — every exact lane faulted via a wildcard crash
+  plan, a pre-seeded upper-bound store row served with
+  ``exact: false`` and HTTP 203 (distinct from hard failures);
+* graceful drain — in-flight requests finish, new synthesis work is
+  rejected 503, and a real ``repro-serve`` process exits 0 on
+  SIGTERM.
+
+No pytest-asyncio in the environment, so async scenarios run under
+``asyncio.run`` inside plain test functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.circuit_sat import verify_chain_outputs
+from repro.engine import run_engine
+from repro.parallel.scheduler import BatchScheduler
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.serve.metrics import LatencyWindow, ServingMetrics
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+from repro.serve.server import STATUS_HTTP, SynthesisServer
+from repro.serve.service import SynthesisRequest, SynthesisService
+from repro.store import ChainStore
+from repro.store.serialize import chain_from_record
+from repro.truthtable import from_hex
+from repro.truthtable.npn import NPNTransform
+
+from .helpers import assert_chain_realizes
+
+# Four orbit members of 0xe8's NPN class (majority-of-3): input
+# permutations/negations and an output negation of one function.
+_CLASS_REP = from_hex("e8", 3)
+_ORBIT = [
+    _CLASS_REP,
+    NPNTransform((1, 2, 0), 0b010, False).apply(_CLASS_REP),
+    NPNTransform((2, 0, 1), 0b101, True).apply(_CLASS_REP),
+    NPNTransform((0, 2, 1), 0b111, True).apply(_CLASS_REP),
+]
+
+
+def _service_stack(
+    *,
+    jobs=2,
+    engines=("fen",),
+    fault_plan=None,
+    store=None,
+    **kwargs,
+):
+    """A started scheduler + service; caller must shut the pool down."""
+    scheduler = BatchScheduler({}, jobs, queue_depth=0).start()
+    service = SynthesisService(
+        scheduler,
+        store=store,
+        engines=engines,
+        fault_plan=fault_plan,
+        default_timeout=30.0,
+        **kwargs,
+    )
+    return scheduler, service
+
+
+async def _post(host, port, path, payload, headers=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode()
+        head = (
+            f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n"
+        )
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), 60.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(body), head
+
+
+async def _get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), 30.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return int(raw.split(b" ", 2)[1]), json.loads(
+        raw.partition(b"\r\n\r\n")[2]
+    )
+
+
+class TestRequestParsing:
+    def test_single_output_roundtrip(self):
+        request = SynthesisRequest.from_payload(
+            {"function": "e8", "vars": 3, "timeout": 5, "max_chains": 2}
+        )
+        assert request.functions == (from_hex("e8", 3),)
+        assert request.timeout == 5.0
+        assert request.max_chains == 2
+        assert not request.is_multi
+
+    def test_multi_output(self):
+        request = SynthesisRequest.from_payload(
+            {"functions": ["e8", "96"], "vars": 3}
+        )
+        assert request.is_multi
+        assert len(request.functions) == 2
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"vars": 3},
+            {"function": "e8"},
+            {"function": "zz", "vars": 3},
+            {"function": "e8", "vars": 0},
+            {"function": "e8", "vars": 99},
+            {"function": "e8", "vars": 3, "timeout": -1},
+            {"function": "e8", "vars": 3, "timeout": "fast"},
+            {"function": "e8", "vars": 3, "max_chains": 0},
+            {"functions": [], "vars": 3},
+            {"functions": "e8", "vars": 3},
+            {"functions": [5], "vars": 3},
+            {"function": "e8", "vars": True},
+            "not an object",
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(ValueError):
+            SynthesisRequest.from_payload(payload)
+
+
+class TestRateLimiting:
+    def test_token_bucket_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=clock[0])
+        assert bucket.allow(clock[0])
+        assert bucket.allow(clock[0])
+        assert not bucket.allow(clock[0])
+        assert bucket.retry_after(clock[0]) == pytest.approx(1.0)
+        clock[0] = 1.5
+        assert bucket.allow(clock[0])
+        assert not bucket.allow(clock[0])
+
+    def test_limiter_tracks_clients_independently(self):
+        clock = [0.0]
+        limiter = RateLimiter(1.0, 1.0, clock=lambda: clock[0])
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")
+        clock[0] += 2.0
+        assert limiter.allow("a")
+
+    def test_disabled_limiter_always_allows(self):
+        limiter = RateLimiter(None)
+        assert all(limiter.allow("x") for _ in range(1000))
+
+    def test_reap_bounds_client_table(self):
+        clock = [0.0]
+        limiter = RateLimiter(
+            10.0, 5.0, max_clients=4, clock=lambda: clock[0]
+        )
+        for index in range(4):
+            assert limiter.allow(f"c{index}")
+        clock[0] += 10.0  # every bucket is full again -> reapable
+        assert limiter.allow("fresh")
+        assert len(limiter._buckets) <= 4
+
+
+class TestServingMetrics:
+    def test_latency_percentiles(self):
+        window = LatencyWindow(maxlen=100)
+        for ms in range(1, 101):
+            window.observe(ms / 1000.0)
+        assert window.percentile(50) == pytest.approx(0.050)
+        assert window.percentile(99) == pytest.approx(0.099)
+        assert window.count == 100
+
+    def test_coalesce_and_hit_ratio(self):
+        metrics = ServingMetrics()
+        metrics.requests = 10
+        metrics.coalesced = 4
+        metrics.store_hits = 3
+        record = metrics.to_record(queue_depth=2, inflight_classes=1)
+        assert record["coalesce_ratio"] == pytest.approx(0.4)
+        assert record["hit_ratio"] == pytest.approx(0.3)
+        assert record["queue_depth"] == 2
+        assert record["inflight_classes"] == 1
+
+
+class TestCoalescing:
+    def test_concurrent_orbit_requests_cost_one_engine_run(self):
+        """K concurrent same-class requests -> 1 synthesis, K correct
+        per-caller chains (each through its own inverse transform)."""
+        scheduler, service = _service_stack(engines=("fen",))
+        members = [_ORBIT[i % len(_ORBIT)] for i in range(8)]
+
+        async def drive():
+            return await asyncio.gather(
+                *(
+                    service.synthesize(
+                        SynthesisRequest(functions=(member,))
+                    )
+                    for member in members
+                )
+            )
+
+        try:
+            responses = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+
+        assert service.metrics.engine_runs == 1
+        assert service.metrics.coalesced == len(members) - 1
+        assert sum(1 for r in responses if r.coalesced) == len(members) - 1
+        for member, response in zip(members, responses):
+            assert response.status == "ok"
+            assert response.exact is True
+            assert response.chains
+            assert_chain_realizes(member, response.chains[0])
+
+    def test_distinct_classes_do_not_coalesce(self):
+        scheduler, service = _service_stack(engines=("fen",))
+        tables = [from_hex("e8", 3), from_hex("16", 3)]
+
+        async def drive():
+            return await asyncio.gather(
+                *(
+                    service.synthesize(SynthesisRequest(functions=(t,)))
+                    for t in tables
+                )
+            )
+
+        try:
+            responses = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert service.metrics.engine_runs == 2
+        assert service.metrics.coalesced == 0
+        for table, response in zip(tables, responses):
+            assert response.status == "ok"
+            assert_chain_realizes(table, response.chains[0])
+
+    def test_multi_output_request_verified_jointly(self):
+        scheduler, service = _service_stack(engines=("fen",))
+        functions = (from_hex("e8", 3), from_hex("96", 3))
+
+        async def drive():
+            return await service.synthesize(
+                SynthesisRequest(functions=functions)
+            )
+
+        try:
+            response = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert response.status == "ok"
+        assert response.chains
+        assert verify_chain_outputs(response.chains[0], functions)
+
+    def test_warm_store_hit_skips_the_pool(self, tmp_path):
+        store = ChainStore(str(tmp_path / "chains.db"))
+        result = run_engine("fen", _CLASS_REP, 30.0)
+        store.put(_CLASS_REP, result, engine="fen")
+        scheduler, service = _service_stack(store=store)
+        member = _ORBIT[2]
+
+        async def drive():
+            return await service.synthesize(
+                SynthesisRequest(functions=(member,))
+            )
+
+        try:
+            response = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+            store.close()
+        assert response.status == "ok"
+        assert response.source == "store"
+        assert service.metrics.store_hits == 1
+        assert service.metrics.engine_runs == 0
+        assert_chain_realizes(member, response.chains[0])
+
+
+class TestDegradedPath:
+    def _faulted_service(self, tmp_path):
+        """Every exact lane crashes; the store holds an upper bound."""
+        store = ChainStore(str(tmp_path / "chains.db"))
+        result = run_engine("fen", _CLASS_REP, 30.0)
+        assert store.put(
+            _CLASS_REP, result, engine="bms", exact=False
+        )
+        plan = FaultPlan(
+            {
+                FaultPlan.WILDCARD: FaultSpec(
+                    kind="crash", times=None
+                )
+            }
+        )
+        scheduler, service = _service_stack(
+            engines=("stp", "fen"), fault_plan=plan, store=store
+        )
+        return scheduler, service, store
+
+    def test_degraded_serves_upper_bound_not_exact(self, tmp_path):
+        scheduler, service, store = self._faulted_service(tmp_path)
+        member = _ORBIT[1]
+
+        async def drive():
+            return await service.synthesize(
+                SynthesisRequest(functions=(member,))
+            )
+
+        try:
+            response = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+            store.close()
+        assert response.status == "degraded"
+        assert response.exact is False
+        assert response.chains
+        assert_chain_realizes(member, response.chains[0])
+        assert service.metrics.degraded == 1
+
+    def test_degraded_http_status_distinct_from_failures(self, tmp_path):
+        assert STATUS_HTTP["degraded"] == 203
+        assert STATUS_HTTP["degraded"] not in (
+            STATUS_HTTP["crash"],
+            STATUS_HTTP["timeout"],
+            STATUS_HTTP["unavailable"],
+        )
+        scheduler, service, store = self._faulted_service(tmp_path)
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            status, body, _ = await _post(
+                host,
+                port,
+                "/synthesize",
+                {"function": _ORBIT[1].to_hex(), "vars": 3},
+            )
+            await server.shutdown(drain_timeout=10.0)
+            return status, body
+
+        try:
+            status, body = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+            store.close()
+        assert status == 203
+        assert body["exact"] is False
+        assert body["status"] == "degraded"
+        chain = chain_from_record(body["chains"][0])
+        assert_chain_realizes(_ORBIT[1], chain)
+
+    def test_hard_failure_without_stored_bound(self):
+        plan = FaultPlan(
+            {FaultPlan.WILDCARD: FaultSpec(kind="crash", times=None)}
+        )
+        scheduler, service = _service_stack(
+            engines=("fen",), fault_plan=plan
+        )
+
+        async def drive():
+            return await service.synthesize(
+                SynthesisRequest(functions=(_CLASS_REP,))
+            )
+
+        try:
+            response = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert response.status == "crash"
+        assert not response.answered
+        assert service.metrics.failures == 1
+
+
+class TestHTTPServer:
+    def test_rate_limit_429_with_retry_after(self):
+        scheduler, service = _service_stack()
+        limiter = RateLimiter(0.001, 2.0)
+        server = SynthesisServer(service, rate_limiter=limiter)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            results = []
+            for _ in range(4):
+                results.append(
+                    await _post(
+                        host,
+                        port,
+                        "/synthesize",
+                        {"function": "e8", "vars": 3},
+                        headers={"X-Client": "hammer"},
+                    )
+                )
+            await server.shutdown(drain_timeout=10.0)
+            return results
+
+        try:
+            results = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        codes = [status for status, _, _ in results]
+        assert codes[:2] == [200, 200]
+        assert codes[2:] == [429, 429]
+        assert service.metrics.rate_limited == 2
+        assert b"retry-after" in results[2][2].lower()
+
+    def test_metrics_endpoint_merges_all_counter_families(self):
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            await _post(
+                host, port, "/synthesize", {"function": "e8", "vars": 3}
+            )
+            status, snapshot = await _get(host, port, "/metrics")
+            await server.shutdown(drain_timeout=10.0)
+            return status, snapshot
+
+        try:
+            status, snapshot = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status == 200
+        assert snapshot["serving"]["requests"] == 1
+        assert snapshot["serving"]["latency_ms"]["p50"] >= 0
+        assert "kernels" in snapshot
+        assert "synthesis" in snapshot  # aggregated engine-run stats
+        assert "scheduler" in snapshot
+        assert snapshot["scheduler"]["jobs"] == 2
+        assert "health" in snapshot
+
+    def test_malformed_http_and_unknown_routes(self):
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            status404, _ = await _get(host, port, "/nope")
+            status405, _, _ = await _post(host, port, "/metrics", {})
+            status400, body, _ = await _post(
+                host, port, "/synthesize", {"function": 3, "vars": 3}
+            )
+            await server.shutdown(drain_timeout=10.0)
+            return status404, status405, status400, body
+
+        try:
+            status404, status405, status400, body = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status404 == 404
+        assert status405 == 405
+        assert status400 == 400
+        assert service.metrics.bad_requests == 1
+
+
+class TestGracefulDrain:
+    def test_drain_rejects_new_work_but_finishes_inflight(self):
+        scheduler, service = _service_stack(engines=("fen",))
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            inflight = asyncio.ensure_future(
+                _post(
+                    host,
+                    port,
+                    "/synthesize",
+                    {"function": "8ff8", "vars": 4},
+                )
+            )
+            # Let the in-flight request reach the service before
+            # flipping the drain flag.
+            await asyncio.sleep(0.05)
+            server.begin_drain()
+            status503, body503, _ = await _post(
+                host, port, "/synthesize", {"function": "e8", "vars": 3}
+            )
+            health_status, health = await _get(host, port, "/healthz")
+            status_inflight, body_inflight, _ = await inflight
+            await server.shutdown(drain_timeout=30.0)
+            return (
+                status503,
+                body503,
+                health,
+                status_inflight,
+                body_inflight,
+            )
+
+        try:
+            (
+                status503,
+                body503,
+                health,
+                status_inflight,
+                body_inflight,
+            ) = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status503 == 503
+        assert body503["error"] == "draining"
+        assert health["status"] == "draining"
+        assert status_inflight == 200
+        chain = chain_from_record(body_inflight["chains"][0])
+        assert_chain_realizes(from_hex("8ff8", 4), chain)
+        assert service.metrics.draining_rejected == 1
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        """A real repro-serve process exits 0 on SIGTERM."""
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.cli",
+                "--port",
+                "0",
+                "--jobs",
+                "1",
+                "--store",
+                str(tmp_path / "chains.db"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("listening on ")
+            host, port = banner.rsplit(" ", 1)[1].rsplit(":", 1)
+
+            async def one_request():
+                status, body, _ = await _post(
+                    host, int(port), "/synthesize",
+                    {"function": "e8", "vars": 3},
+                )
+                return status
+
+            assert asyncio.run(one_request()) == 200
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert rc == 0
+        stderr = proc.stderr.read()
+        assert "draining" in stderr
+        assert "stopped" in stderr

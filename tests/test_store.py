@@ -191,6 +191,53 @@ class TestCorruptionAndConcurrency:
             for rep in reps:
                 assert store.lookup(rep) is not None
 
+    def test_one_instance_hammered_from_many_threads(self, tmp_path):
+        """One shared ChainStore must survive concurrent lookup/put
+        from many threads (the serving layer's access pattern): every
+        thread reads through its own SQLite connection, writes
+        serialize internally, and no operation raises or serves a
+        wrong chain."""
+        reps = npn_classes(3)[:6]
+        results = {r: run_engine("fen", r, 30.0) for r in reps}
+        errors = []
+        barrier = threading.Barrier(8)
+
+        with ChainStore(tmp_path / "chains.db") as store:
+            # Pre-seed half the classes so lookups mix hits and misses.
+            for rep in reps[:3]:
+                store.put(rep, results[rep], "fen")
+
+            def hammer(worker):
+                try:
+                    barrier.wait(timeout=30)
+                    for round_ in range(12):
+                        rep = reps[(worker + round_) % len(reps)]
+                        served = store.lookup(rep)
+                        if served is not None:
+                            assert_chain_realizes(rep, served.chains[0])
+                        store.put(rep, results[rep], "fen")
+                        served = store.lookup(rep)
+                        assert served is not None
+                        assert (
+                            served.num_gates
+                            == results[rep].num_gates
+                        )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert store.quarantined == 0
+            for rep in reps:
+                assert store.lookup(rep) is not None
+
 
 class TestSuiteWarmStore:
     def test_warm_store_serves_suite_with_zero_synthesis(self, tmp_path):

@@ -129,7 +129,7 @@ class TestSchemaMigration:
         with ChainStore(old) as migrated:
             columns = {
                 r[1]
-                for r in migrated._conn.execute(
+                for r in migrated._connection().execute(
                     "PRAGMA table_info(chains)"
                 )
             }
@@ -151,7 +151,7 @@ class TestSchemaMigration:
             assert store.put_multi((FA_SUM, MAJ), multi, "stp")
             assert store.lookup(MAJ) is not None
             assert store.lookup_multi((FA_SUM, MAJ)) is not None
-            rows = store._conn.execute(
+            rows = store._connection().execute(
                 "SELECT num_outputs, COUNT(*) FROM chains "
                 "GROUP BY num_outputs ORDER BY num_outputs"
             ).fetchall()
