@@ -19,6 +19,11 @@ Run from the repository root::
 ``--min-allsat-speedup`` turns the report into a regression gate: the
 process exits non-zero when the geometric-mean AllSAT speedup falls
 below the threshold (CI pins 1.0 — packed must never be slower).
+``--max-npn4-wall`` gates the end-to-end section the same way: CI pins
+it at half the recorded pre-batching seed wall (40.0s for the 8-class
+subset → 20.0s), so losing the batched-factorization win fails the
+build.  ``--histogram-out`` additionally writes the per-kernel
+call-count histogram of the NPN4 run as its own artifact.
 """
 
 from __future__ import annotations
@@ -258,6 +263,46 @@ def bench_npn4(count: int, timeout: float) -> dict:
     }
 
 
+def kernel_histogram(npn4: dict) -> dict:
+    """Per-kernel call-count histogram of the NPN4 run, largest first.
+
+    ``fact_quartering`` counts *scalar* quartering invocations — the
+    pre-batching hot spot — while ``fact_quartering_batch`` counts the
+    demands that went through the stacked kernel instead; their ratio
+    is the headline of the batching rework.
+    """
+    calls = npn4.get("kernel_calls", {})
+    seconds = npn4.get("kernel_seconds", {})
+    ranked = sorted(calls.items(), key=lambda kv: -kv[1])
+    return {
+        "benchmark": "kernel_call_histogram",
+        "npn4_functions": npn4.get("functions"),
+        "npn4_wall_s": npn4.get("wall_s"),
+        "kernels": [
+            {
+                "kernel": name,
+                "calls": count,
+                "seconds": round(seconds.get(name, 0.0), 6),
+            }
+            for name, count in ranked
+        ],
+    }
+
+
+def print_histogram(histogram: dict, width: int = 40) -> None:
+    rows = histogram["kernels"]
+    if not rows:
+        return
+    top = rows[0]["calls"] or 1
+    print("kernel call histogram (npn4 subset):")
+    for row in rows:
+        bar = "#" * max(1, round(width * row["calls"] / top))
+        print(
+            f"  {row['kernel']:<24} {row['calls']:>10,} "
+            f"{row['seconds']:>9.3f}s {bar}"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -281,6 +326,19 @@ def main(argv=None) -> int:
         default=None,
         help="fail (exit 1) when the geometric-mean AllSAT speedup "
         "drops below this value",
+    )
+    parser.add_argument(
+        "--max-npn4-wall",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the end-to-end NPN4 wall clock "
+        "exceeds this many seconds",
+    )
+    parser.add_argument(
+        "--histogram-out",
+        default=None,
+        help="also write the per-kernel call-count histogram of the "
+        "NPN4 run to this JSON path",
     )
     args = parser.parse_args(argv)
 
@@ -327,8 +385,16 @@ def main(argv=None) -> int:
         f"{npn4['wall_s']:.2f}s; verify agreement on "
         f"{npn4['verify_chains_checked']} chains"
     )
+    histogram = kernel_histogram(npn4)
+    print_histogram(histogram)
+    if args.histogram_out:
+        with open(args.histogram_out, "w") as handle:
+            json.dump(histogram, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.histogram_out}")
     print(f"wrote {args.out}")
 
+    failed = False
     if (
         args.min_allsat_speedup is not None
         and geomean < args.min_allsat_speedup
@@ -338,8 +404,18 @@ def main(argv=None) -> int:
             f"required {args.min_allsat_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if (
+        args.max_npn4_wall is not None
+        and npn4["wall_s"] > args.max_npn4_wall
+    ):
+        print(
+            f"FAIL: NPN4 wall clock {npn4['wall_s']:.2f}s exceeds the "
+            f"allowed {args.max_npn4_wall:.2f}s",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

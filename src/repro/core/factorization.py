@@ -23,9 +23,15 @@ assignment ``γ`` — by arc consistency plus backtracking, enumerating
 exactly the assignments the paper re-checks with the circuit AllSAT
 solver.
 
-Everything is computed on *cone-local* bit-packed tables and cached on
-the local shape, so structurally identical queries from different
-pDAGs (or different gate counts) are answered once.
+The search issues millions of queries per hard instance, so the hot
+paths run entirely on packed Python ints: quartering parts are packed
+β-profiles, the per-β allowed-value scan is a handful of mask ops, and
+the both-children-fixed case collapses to a cone-independent operator
+pattern match memoized on ``(g_v, g_a, g_b)``.  Cone shapes (index
+maps, γ-class masks, profile memos) live in a module-level registry
+shared by every engine, and :meth:`FactorizationEngine.prefetch_pairs`
+routes homogeneous disjoint-cone demand batches through the vectorized
+:func:`~repro.kernels.factorization.solve_disjoint_batch` kernel.
 
 Demand pruning: at a *minimal* gate count no chain can contain a gate
 whose function is constant, a (complemented) projection, or equal
@@ -38,19 +44,17 @@ non-closed operator sets they are disabled automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product as _product
 from typing import Iterator, Sequence
 
-import numpy as np
-
-from ..kernels.bitops import array_to_bits, bits_to_array, var_mask
+from ..kernels.bitops import collapse_indices, spread_indices, var_mask
 from ..kernels.factorization import (
     FLIP_INPUT0,
     FLIP_INPUT1,
-    expand_array,
     expand_positions,
     index_maps,
-    localize_array,
-    quartering_blocks,
+    quartering_profiles,
+    solve_disjoint_batch,
 )
 from ..truthtable.table import TruthTable
 from .spec import Deadline
@@ -84,6 +88,230 @@ class Factorization:
     g_b: TruthTable
 
 
+class _Shape:
+    """One union-local cone shape with its shape-keyed memos.
+
+    Shapes are registered process-globally (see :func:`_shape`) so
+    every engine — and every fence family revisiting the same cone
+    shape — shares the index maps, γ-class masks and quartering-profile
+    memo.  Everything here is pure structure: nothing depends on the
+    operator set, caps or deadlines.
+    """
+
+    __slots__ = (
+        "nu",
+        "a_pos",
+        "b_pos",
+        "size_a",
+        "size_b",
+        "full_a",
+        "full_b",
+        "full_g",
+        "disjoint",
+        "gamma_of",
+        "gamma_flat",
+        "amap_list",
+        "bmap_list",
+        "aclass_masks",
+        "bclass_masks",
+        "_profiles",
+        "_aexp",
+        "_bexp",
+        "_shared",
+        "_cof_memo",
+    )
+
+    def __init__(
+        self, nu: int, a_pos: tuple[int, ...], b_pos: tuple[int, ...]
+    ) -> None:
+        amap, bmap, disjoint, gamma_of = index_maps(nu, a_pos, b_pos)
+        self.nu = nu
+        self.a_pos = a_pos
+        self.b_pos = b_pos
+        self.size_a = 1 << len(a_pos)
+        self.size_b = 1 << len(b_pos)
+        self.full_a = (1 << self.size_a) - 1
+        self.full_b = (1 << self.size_b) - 1
+        self.full_g = (1 << (1 << nu)) - 1
+        self.disjoint = disjoint
+        self.gamma_of = gamma_of
+        self.gamma_flat = (
+            gamma_of.ravel().tolist() if disjoint else None
+        )
+        self.amap_list = amap.tolist()
+        self.bmap_list = bmap.tolist()
+        aclass = [0] * self.size_a
+        bclass = [0] * self.size_b
+        for gamma in range(1 << nu):
+            aclass[self.amap_list[gamma]] |= 1 << gamma
+            bclass[self.bmap_list[gamma]] |= 1 << gamma
+        self.aclass_masks = aclass
+        self.bclass_masks = bclass
+        self._profiles: dict[int, tuple[int, ...]] = {}
+        self._aexp: dict[int, int] = {}
+        self._bexp: dict[int, int] = {}
+        self._shared: tuple | None | bool = False
+        self._cof_memo: dict[tuple, tuple] = {}
+
+    @property
+    def batchable(self) -> bool:
+        """Whether :func:`solve_disjoint_batch` handles this shape."""
+        return self.disjoint and self.size_a <= 62 and self.size_b <= 62
+
+    def profiles(self, gv_local: int) -> tuple[int, ...]:
+        """Packed quartering β-profiles of a union-local table."""
+        cached = self._profiles.get(gv_local)
+        if cached is None:
+            cached = quartering_profiles(
+                gv_local,
+                self.nu,
+                self.gamma_flat,
+                self.size_a,
+                self.size_b,
+            )
+            self._profiles[gv_local] = cached
+        return cached
+
+    def a_expand(self, child_bits: int) -> int:
+        """A-child value per γ row, packed over the union rows."""
+        out = self._aexp.get(child_bits)
+        if out is None:
+            out = 0
+            m = child_bits
+            masks = self.aclass_masks
+            while m:
+                cell = (m & -m).bit_length() - 1
+                m &= m - 1
+                out |= masks[cell]
+            self._aexp[child_bits] = out
+        return out
+
+    def b_expand(self, child_bits: int) -> int:
+        """B-child value per γ row, packed over the union rows."""
+        out = self._bexp.get(child_bits)
+        if out is None:
+            out = 0
+            m = child_bits
+            masks = self.bclass_masks
+            while m:
+                cell = (m & -m).bit_length() - 1
+                m &= m - 1
+                out |= masks[cell]
+            self._bexp[child_bits] = out
+        return out
+
+    def shared_info(self) -> tuple | None:
+        """Cofactor-split structure for the shared free-free solver.
+
+        Splitting the union variables into the shared set ``S`` and the
+        private remainders ``A' = A \\ S`` / ``B' = B \\ S``, every
+        constraint row couples cells of one shared assignment ``s``
+        only, so the factorization decomposes into ``2^|S|``
+        independent subproblems whose solution sets multiply (the
+        cofactors of ``g_a`` at distinct ``s`` are independent
+        functions over ``A'``).  Returns ``(sh_count, sap, sbp, gbase,
+        offa, offb, a_spread, b_spread)`` — the γ-row offsets of each
+        (s, α', β') split and, per ``s``, the table mapping a packed
+        cofactor onto its cells of the full child index — or ``None``
+        when a private side is too wide and the generic CSP should run
+        instead.
+        """
+        info = self._shared
+        if info is False:
+            a_pos, b_pos = self.a_pos, self.b_pos
+            sset = set(a_pos) & set(b_pos)
+            spos = sorted(sset)
+            a_fr = [v for v in a_pos if v not in sset]
+            b_fr = [v for v in b_pos if v not in sset]
+            if len(a_fr) > 3 or len(b_fr) > 3 or len(spos) > 4:
+                info = None
+            else:
+                sh_count = 1 << len(spos)
+                sap = 1 << len(a_fr)
+                sbp = 1 << len(b_fr)
+                gbase = [
+                    sum(((s >> k) & 1) << p for k, p in enumerate(spos))
+                    for s in range(sh_count)
+                ]
+                offa = [
+                    sum(((m >> j) & 1) << p for j, p in enumerate(a_fr))
+                    for m in range(sap)
+                ]
+                offb = [
+                    sum(((m >> j) & 1) << p for j, p in enumerate(b_fr))
+                    for m in range(sbp)
+                ]
+                a_spread = _cofactor_spread(a_pos, spos, a_fr, sap)
+                b_spread = _cofactor_spread(b_pos, spos, b_fr, sbp)
+                info = (
+                    sh_count, sap, sbp, gbase, offa, offb,
+                    a_spread, b_spread,
+                )
+            self._shared = info
+        return info
+
+
+def _cofactor_spread(
+    pos: tuple[int, ...],
+    spos: list[int],
+    free: list[int],
+    width: int,
+) -> list[list[int]]:
+    """Per shared assignment ``s``, the table mapping a packed cofactor
+    (one bit per free-variable cell) onto its child-local index bits."""
+    sh_j = [pos.index(p) for p in spos]
+    fr_j = [pos.index(p) for p in free]
+    out = []
+    for s in range(1 << len(spos)):
+        base = sum(((s >> k) & 1) << j for k, j in enumerate(sh_j))
+        cell = [
+            base | sum(((m >> j) & 1) << jj for j, jj in enumerate(fr_j))
+            for m in range(width)
+        ]
+        table = [0] * (1 << width)
+        for m in range(1, 1 << width):
+            low = m & -m
+            table[m] = table[m ^ low] | (
+                1 << cell[low.bit_length() - 1]
+            )
+        out.append(table)
+    return out
+
+
+_SHAPES: dict[tuple[int, tuple[int, ...], tuple[int, ...]], _Shape] = {}
+
+
+def _shape(
+    nu: int, a_pos: tuple[int, ...], b_pos: tuple[int, ...]
+) -> _Shape:
+    key = (nu, a_pos, b_pos)
+    shape = _SHAPES.get(key)
+    if shape is None:
+        shape = _Shape(nu, a_pos, b_pos)
+        _SHAPES[key] = shape
+    return shape
+
+
+class _PairInfo:
+    """One (cone_a, cone_b) pair as seen by a specific engine.
+
+    ``pid`` is a small per-engine integer used in packed query-cache
+    keys; the variable masks drive the support-containment checks and
+    ``shape`` is the shared union-local structure.
+    """
+
+    __slots__ = (
+        "pid",
+        "a_vars",
+        "b_vars",
+        "u_vars",
+        "amask",
+        "bmask",
+        "umask",
+        "shape",
+    )
+
+
 class FactorizationEngine:
     """Memoizing factorization over one synthesis run."""
 
@@ -100,12 +328,37 @@ class FactorizationEngine:
         self._cap = max_solutions_per_query
         self._deadline = deadline
         self._stats = None
-        # local-shape solution cache and assorted small caches
+        self._small = num_vars <= 4
+        self._full = (1 << (1 << num_vars)) - 1
+        # pair registry and the layered memos (see class docstring)
+        self._pairs: dict[tuple, _PairInfo] = {}
+        self._bits_cache: dict = {}
         self._local_cache: dict[tuple, tuple] = {}
-        self._shape_cache: dict[tuple, tuple] = {}
-        self._localize_cache: dict[tuple, int | None] = {}
-        self._globalize_cache: dict[tuple, TruthTable] = {}
-        self._query_cache: dict[tuple, tuple] = {}
+        self._cons_cache: dict = {}
+        self._pattern_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._support_cache: dict[int, int] = {}
+        self._loc_cache: dict = {}
+        self._exp_cache: dict = {}
+        self._spread: dict[tuple[int, ...], list[int]] = {}
+        self._collapse: dict[tuple[int, ...], list[int]] = {}
+        self._table_cache: dict[int, TruthTable] = {}
+        self._fac_cache: dict[tuple, tuple] = {}
+        #: Cross-topology memos owned by the pipeline, keyed on
+        #: ``(cone_shape_term, demand_bits)``: complete solution sets
+        #: of private tree-shaped cones, and the tree-relaxation
+        #: realizability filter.  They live here so sibling pDAGs and
+        #: successive fences of every run sharing this engine reuse the
+        #: same subtree factorizations.
+        self.tree_memo: dict = {}
+        self.realize_memo: dict = {}
+        self.groups_memo: dict = {}
+        self.viable_memo: dict = {}
+        #: Private non-tree cones: complete op-vector solution sets
+        #: keyed ``(relabeled sub-DAG fanins, num cone PIs, localized
+        #: demand)``, plus the pool of narrower sub-engines that solve
+        #: them (one per cone PI count, same operators and cap).
+        self.cone_memo: dict = {}
+        self._sub_engines: dict[int, "FactorizationEngine"] = {}
 
     @property
     def prunes_enabled(self) -> bool:
@@ -115,7 +368,7 @@ class FactorizationEngine:
     @property
     def cached_queries(self) -> int:
         """Number of memoized top-level queries."""
-        return len(self._query_cache)
+        return len(self._bits_cache)
 
     def bind(self, deadline: Deadline | None = None, stats=None) -> None:
         """Rebind the per-run deadline and stats sink.
@@ -128,16 +381,110 @@ class FactorizationEngine:
         self._deadline = deadline
         self._stats = stats
 
+    def for_num_vars(self, num_vars: int) -> "FactorizationEngine":
+        """A sub-engine over ``num_vars`` inputs with this engine's
+        operator set and cap, rebound to the current deadline/stats.
+
+        Private-cone solves relabel a cone as a standalone pDAG over
+        its own PIs; the recursive search then needs an engine of that
+        narrower width.  Sub-engines are pooled so their memos persist
+        alongside the parent's.
+        """
+        if num_vars == self._num_vars:
+            return self
+        sub = self._sub_engines.get(num_vars)
+        if sub is None:
+            sub = FactorizationEngine(
+                num_vars, self._ops, max_solutions_per_query=self._cap
+            )
+            self._sub_engines[num_vars] = sub
+        sub.bind(self._deadline, self._stats)
+        return sub
+
+    def localize(self, bits: int, vars_: tuple[int, ...]) -> int:
+        """Project a demand onto the sorted variable tuple ``vars_``
+        (packed truth table over ``len(vars_)`` inputs)."""
+        return self._localize(bits, vars_)
+
     def clear_caches(self) -> None:
         """Drop all memoized state (memory backstop for long suites)."""
+        self._bits_cache.clear()
         self._local_cache.clear()
-        self._shape_cache.clear()
-        self._localize_cache.clear()
-        self._globalize_cache.clear()
-        self._query_cache.clear()
+        self._cons_cache.clear()
+        self._pattern_cache.clear()
+        self._support_cache.clear()
+        self._loc_cache.clear()
+        self._exp_cache.clear()
+        self._table_cache.clear()
+        self._fac_cache.clear()
+        self.tree_memo.clear()
+        self.realize_memo.clear()
+        self.groups_memo.clear()
+        self.viable_memo.clear()
+        self.cone_memo.clear()
+        for sub in self._sub_engines.values():
+            sub.clear_caches()
 
     # ------------------------------------------------------------------
-    # public query
+    # pair registry and packed keys
+    # ------------------------------------------------------------------
+    def pair_info(
+        self, cone_a: Sequence[int], cone_b: Sequence[int]
+    ) -> _PairInfo:
+        """The engine's handle for one (cone_a, cone_b) pair.
+
+        Callers that query the same node across many branch states
+        (the pipeline) fetch the handle once and pass it to
+        :meth:`decompositions_pairs` / :meth:`prefetch_pairs`.
+        """
+        a_vars = (
+            cone_a if isinstance(cone_a, tuple) else tuple(sorted(cone_a))
+        )
+        b_vars = (
+            cone_b if isinstance(cone_b, tuple) else tuple(sorted(cone_b))
+        )
+        key = (a_vars, b_vars)
+        pair = self._pairs.get(key)
+        if pair is None:
+            u_vars = tuple(sorted(set(a_vars) | set(b_vars)))
+            position = {v: i for i, v in enumerate(u_vars)}
+            pair = _PairInfo()
+            pair.pid = len(self._pairs)
+            pair.a_vars = a_vars
+            pair.b_vars = b_vars
+            pair.u_vars = u_vars
+            pair.amask = sum(1 << v for v in a_vars)
+            pair.bmask = sum(1 << v for v in b_vars)
+            pair.umask = pair.amask | pair.bmask
+            pair.shape = _shape(
+                len(u_vars),
+                tuple(position[v] for v in a_vars),
+                tuple(position[v] for v in b_vars),
+            )
+            self._pairs[key] = pair
+        return pair
+
+    def _key(
+        self,
+        gv: int,
+        pair: _PairInfo,
+        fa: int | None,
+        fb: int | None,
+        canonical: bool,
+    ):
+        """Query-cache key; a single machine int for ≤4-var engines."""
+        if self._small:
+            return (
+                gv
+                | ((0 if fa is None else fa + 1) << 16)
+                | ((0 if fb is None else fb + 1) << 33)
+                | (pair.pid << 50)
+                | ((1 << 62) if canonical else 0)
+            )
+        return (gv, pair.pid, fa, fb, canonical)
+
+    # ------------------------------------------------------------------
+    # public queries
     # ------------------------------------------------------------------
     def decompositions(
         self,
@@ -164,155 +511,355 @@ class FactorizationEngine:
         expansion.  ``canonical=False`` enumerates every polarity.
         """
         canonical = canonical and self._closed
-        a_vars = cone_a if isinstance(cone_a, tuple) else tuple(sorted(cone_a))
-        b_vars = cone_b if isinstance(cone_b, tuple) else tuple(sorted(cone_b))
-        key = (
-            g_v.bits,
-            a_vars,
-            b_vars,
-            None if fixed_a is None else fixed_a.bits,
-            None if fixed_b is None else fixed_b.bits,
-            canonical,
-        )
-        cached = self._query_cache.get(key)
-        if self._stats is not None:
-            self._stats.record_cache("factorization", cached is not None)
+        pair = self.pair_info(cone_a, cone_b)
+        fa = None if fixed_a is None else fixed_a.bits
+        fb = None if fixed_b is None else fixed_b.bits
+        key = (g_v.bits, pair.pid, fa, fb, canonical)
+        cached = self._fac_cache.get(key)
+        if cached is not None:
+            return cached
+        out = []
+        for ga_bits, gb_bits, group_ops in self.decompositions_pairs(
+            g_v.bits, pair, fa, fb, canonical
+        ):
+            g_a = fixed_a if fixed_a is not None else self._table(ga_bits)
+            g_b = fixed_b if fixed_b is not None else self._table(gb_bits)
+            for code in group_ops:
+                out.append(Factorization(code, g_a, g_b))
+        result = tuple(out)
+        self._fac_cache[key] = result
+        return result
+
+    def decompositions_pairs(
+        self,
+        gv_bits: int,
+        pair: _PairInfo,
+        fixed_a_bits: int | None = None,
+        fixed_b_bits: int | None = None,
+        canonical: bool = True,
+    ) -> tuple[tuple[int, int, tuple[int, ...]], ...]:
+        """Factorizations grouped by the child pair, on packed ints.
+
+        Returns ``(g_a_bits, g_b_bits, ops)`` triples over the global
+        row space — once both children of a node are determined the
+        operator choices are mutually independent, so the search
+        branches per *pair* and multiplies the operator lists out only
+        at complete assignments.  Semantics otherwise match
+        :meth:`decompositions` (same solutions, grouped).
+        """
+        canonical = canonical and self._closed
+        key = self._key(gv_bits, pair, fixed_a_bits, fixed_b_bits, canonical)
+        cached = self._bits_cache.get(key)
+        st = self._stats
+        if st is not None:
+            bucket = st.cache_hits if cached is not None else st.cache_misses
+            bucket["factorization"] = bucket.get("factorization", 0) + 1
         if cached is not None:
             return cached
         if self._deadline is not None:
             self._deadline.check()
+        result = self._solve_query(
+            gv_bits, pair, fixed_a_bits, fixed_b_bits, canonical
+        )
+        self._bits_cache[key] = result
+        return result
 
-        u_vars = tuple(sorted(set(a_vars) | set(b_vars)))
-        nu = len(u_vars)
+    def prefetch_pairs(self, queries, canonical: bool = True) -> None:
+        """Batch-populate the query memo for a list of pending queries.
 
-        gv_local = self._localize(g_v.bits, u_vars)
-        result: tuple[Factorization, ...]
-        if gv_local is None:
-            result = ()  # support leaks outside the union cone
-        else:
-            position = {v: i for i, v in enumerate(u_vars)}
-            a_pos = tuple(position[v] for v in a_vars)
-            b_pos = tuple(position[v] for v in b_vars)
-            fixed_a_local = (
-                self._localize(fixed_a.bits, a_vars) if fixed_a is not None else None
-            )
-            fixed_b_local = (
-                self._localize(fixed_b.bits, b_vars) if fixed_b is not None else None
-            )
-            if (fixed_a is not None and fixed_a_local is None) or (
-                fixed_b is not None and fixed_b_local is None
+        ``queries`` holds ``(gv_bits, pair, fixed_a_bits,
+        fixed_b_bits)`` tuples.  Disjoint-cone queries sharing a shape
+        and pinning pattern are stacked through the vectorized
+        :func:`~repro.kernels.factorization.solve_disjoint_batch`
+        kernel; everything else (shared cones, oversized shapes,
+        both-pinned consistency checks) is *skipped*, not solved — a
+        prefetch is advisory, and eagerly running the scalar solvers
+        here would pay for branches the search may prune before ever
+        querying them.  Cache-hit accounting is not recorded here — the
+        later :meth:`decompositions_pairs` calls see hits as usual.
+        """
+        canonical = canonical and self._closed
+        batches: dict[tuple, dict] = {}
+        for gv, pair, fa, fb in queries:
+            if not pair.shape.batchable or (
+                fa is not None and fb is not None
             ):
-                result = ()
-            else:
-                locals_ = self._solve_local(
+                continue
+            key = self._key(gv, pair, fa, fb, canonical)
+            if key in self._bits_cache:
+                continue
+            group = batches.setdefault(
+                (pair.pid, fa is None, fb is None), {}
+            )
+            group[key] = (gv, pair, fa, fb)
+        for members in batches.values():
+            pending = []
+            for key, (gv, pair, fa, fb) in members.items():
+                shape = pair.shape
+                if (
+                    self._support_mask(gv) & ~pair.umask
+                    or (
+                        fa is not None
+                        and self._support_mask(fa) & ~pair.amask
+                    )
+                    or (
+                        fb is not None
+                        and self._support_mask(fb) & ~pair.bmask
+                    )
+                ):
+                    self._bits_cache[key] = ()
+                    continue
+                gv_local = self._localize(gv, pair.u_vars)
+                fa_local = (
+                    None if fa is None else self._localize(fa, pair.a_vars)
+                )
+                fb_local = (
+                    None if fb is None else self._localize(fb, pair.b_vars)
+                )
+                lkey = (
                     gv_local,
-                    nu,
-                    a_pos,
-                    b_pos,
-                    fixed_a_local,
-                    fixed_b_local,
+                    shape.nu,
+                    shape.a_pos,
+                    shape.b_pos,
+                    fa_local,
+                    fb_local,
                     canonical,
                 )
-                out = []
-                for code, a_bits, b_bits in locals_:
-                    g_a = (
-                        fixed_a
-                        if fixed_a is not None
-                        else self._globalize(a_bits, a_vars)
-                    )
-                    g_b = (
-                        fixed_b
-                        if fixed_b is not None
-                        else self._globalize(b_bits, b_vars)
-                    )
-                    out.append(Factorization(code, g_a, g_b))
-                result = tuple(out)
-        self._query_cache[key] = result
-        return result
+                sols = self._local_cache.get(lkey)
+                if sols is not None:
+                    self._bits_cache[key] = self._group(sols, pair, fa, fb)
+                    continue
+                pending.append(
+                    (key, lkey, pair, fa, fb, gv_local, fa_local, fb_local)
+                )
+            if not pending:
+                continue
+            if self._deadline is not None:
+                self._deadline.check()
+            shape = pending[0][2].shape
+            descriptors = solve_disjoint_batch(
+                [p[5] for p in pending],
+                shape.nu,
+                shape.gamma_of,
+                self._ops,
+                fixed_a_seq=(
+                    [p[6] for p in pending]
+                    if pending[0][6] is not None
+                    else None
+                ),
+                fixed_b_seq=(
+                    [p[7] for p in pending]
+                    if pending[0][7] is not None
+                    else None
+                ),
+                canonical=canonical,
+            )
+            for item, des in zip(pending, descriptors):
+                key, lkey, pair, fa, fb, gv_local, fa_local, fb_local = item
+                sols = self._finish_disjoint(
+                    shape, gv_local, des, fa_local, fb_local, canonical
+                )
+                self._local_cache[lkey] = sols
+                self._bits_cache[key] = self._group(sols, pair, fa, fb)
 
     # ------------------------------------------------------------------
-    # local/global conversions (cached)
+    # the solve path (cache misses only)
     # ------------------------------------------------------------------
-    def _localize(self, bits: int, vars_sorted: tuple[int, ...]) -> int | None:
-        """Project a global table onto a cone; None if support leaks.
-
-        One kernel gather reads the cone rows off the global table and
-        the rebuild-compare leak check is a second gather.
-        """
-        key = (bits, vars_sorted)
-        if key in self._localize_cache:
-            return self._localize_cache[key]
-        local, leak = localize_array(bits, vars_sorted, self._num_vars)
-        result = None if leak else array_to_bits(local)
-        self._localize_cache[key] = result
-        return result
-
-    def _expand(self, local_bits: int, vars_sorted: tuple[int, ...]) -> int:
-        return expand_array(local_bits, vars_sorted, self._num_vars)
-
-    def _globalize(
-        self, local_bits: int, vars_sorted: tuple[int, ...]
-    ) -> TruthTable:
-        key = (local_bits, vars_sorted)
-        cached = self._globalize_cache.get(key)
-        if cached is not None:
-            return cached
-        table = TruthTable(
-            self._expand(local_bits, vars_sorted), self._num_vars
-        )
-        self._globalize_cache[key] = table
-        return table
-
-    # ------------------------------------------------------------------
-    # shape maps
-    # ------------------------------------------------------------------
-    def _maps(
-        self, nu: int, a_pos: tuple[int, ...], b_pos: tuple[int, ...]
-    ) -> tuple:
-        """Per-shape index maps γ → (α, β), cached (kernel arrays)."""
-        key = (nu, a_pos, b_pos)
-        cached = self._shape_cache.get(key)
-        if cached is not None:
-            return cached
-        result = index_maps(nu, a_pos, b_pos)
-        self._shape_cache[key] = result
-        return result
-
-    # ------------------------------------------------------------------
-    # the local factorization solver
-    # ------------------------------------------------------------------
-    def _solve_local(
+    def _solve_query(
         self,
-        gv_bits: int,
-        nu: int,
-        a_pos: tuple[int, ...],
-        b_pos: tuple[int, ...],
-        fixed_a: int | None,
-        fixed_b: int | None,
+        gv: int,
+        pair: _PairInfo,
+        fa: int | None,
+        fb: int | None,
         canonical: bool,
     ) -> tuple:
-        key = (gv_bits, nu, a_pos, b_pos, fixed_a, fixed_b, canonical)
+        if self._support_mask(gv) & ~pair.umask:
+            return ()  # support leaks outside the union cone
+        if fa is not None and self._support_mask(fa) & ~pair.amask:
+            return ()
+        if fb is not None and self._support_mask(fb) & ~pair.bmask:
+            return ()
+        if fa is not None and fb is not None:
+            ops = self._consistent_ops(gv, fa, fb)
+            return ((fa, fb, ops),) if ops else ()
+        shape = pair.shape
+        gv_local = self._localize(gv, pair.u_vars)
+        fa_local = None if fa is None else self._localize(fa, pair.a_vars)
+        fb_local = None if fb is None else self._localize(fb, pair.b_vars)
+        sols = self._solve_local(
+            gv_local, shape, fa_local, fb_local, canonical
+        )
+        return self._group(sols, pair, fa, fb)
+
+    def _solve_local(
+        self,
+        gv_local: int,
+        shape: _Shape,
+        fa_local: int | None,
+        fb_local: int | None,
+        canonical: bool,
+    ) -> tuple:
+        """Local solutions, memoized on ``(demand_bits, cone_shape)``
+        so sibling DAGs and successive fences reuse the work."""
+        key = (
+            gv_local,
+            shape.nu,
+            shape.a_pos,
+            shape.b_pos,
+            fa_local,
+            fb_local,
+            canonical,
+        )
         cached = self._local_cache.get(key)
         if cached is not None:
             return cached
-        amap, bmap, disjoint, gamma_of = self._maps(nu, a_pos, b_pos)
-        if disjoint:
-            solutions = tuple(
-                self._solve_disjoint(
-                    gv_bits, nu, a_pos, b_pos, gamma_of,
-                    fixed_a, fixed_b, canonical,
+        if shape.disjoint:
+            descriptors = self._disjoint_descriptors(
+                shape, gv_local, fa_local, fb_local, canonical
+            )
+            sols = self._finish_disjoint(
+                shape, gv_local, descriptors, fa_local, fb_local, canonical
+            )
+        elif fa_local is not None or fb_local is not None:
+            sols = tuple(
+                self._solve_shared_pinned(
+                    shape, gv_local, fa_local, fb_local, canonical
                 )
             )
         else:
-            solutions = tuple(
-                self._solve_shared(
-                    gv_bits, nu, a_pos, b_pos, amap, bmap,
-                    fixed_a, fixed_b, canonical,
-                )
-            )
-        self._local_cache[key] = solutions
-        return solutions
+            sols = tuple(self._solve_shared(gv_local, shape, canonical))
+        self._local_cache[key] = sols
+        return sols
 
+    def _group(
+        self, sols: tuple, pair: _PairInfo, fa: int | None, fb: int | None
+    ) -> tuple:
+        """Globalize local solutions and group them by the child pair."""
+        if not sols:
+            return ()
+        groups: dict[tuple[int, int], list[int]] = {}
+        for code, a_loc, b_loc in sols:
+            ga = fa if fa is not None else self._expand_bits(
+                a_loc, pair.a_vars
+            )
+            gb = fb if fb is not None else self._expand_bits(
+                b_loc, pair.b_vars
+            )
+            groups.setdefault((ga, gb), []).append(code)
+        return tuple(
+            (ga, gb, tuple(codes))
+            for (ga, gb), codes in groups.items()
+        )
+
+    # ------------------------------------------------------------------
+    # both children fixed: cone-independent operator pattern match
+    # ------------------------------------------------------------------
+    def _consistent_ops(
+        self, gv: int, ga: int, gb: int
+    ) -> tuple[int, ...]:
+        """Operators with ``φ(g_a, g_b) = g_v`` pointwise (global).
+
+        Each joint row falls in one of four minterm classes of
+        ``(g_a, g_b)``; consistency is a per-class uniformity check and
+        the surviving operators are a pattern match memoized on the
+        ``(pattern, wildcard)`` signature — cone-independent, so every
+        DAG revisiting the triple shares the answer.
+        """
+        key = (
+            gv | (ga << 16) | (gb << 32)
+            if self._small
+            else (gv, ga, gb)
+        )
+        ops = self._cons_cache.get(key)
+        if ops is not None:
+            return ops
+        full = self._full
+        m11 = ga & gb
+        m10 = ga & ~gb & full
+        m01 = gb & ~ga & full
+        m00 = ~(ga | gb) & full
+        pattern = 0
+        wild = 0
+        ops = None
+        for i, mask in enumerate((m00, m10, m01, m11)):
+            if not mask:
+                wild |= 1 << i
+                continue
+            r = gv & mask
+            if r == mask:
+                pattern |= 1 << i
+            elif r:
+                ops = ()  # class mixes 0s and 1s: no operator fits
+                break
+        if ops is None:
+            pkey = (pattern, wild)
+            ops = self._pattern_cache.get(pkey)
+            if ops is None:
+                ops = tuple(
+                    code
+                    for code in self._ops
+                    if not (code ^ pattern) & ~wild & 0xF
+                )
+                self._pattern_cache[pkey] = ops
+        self._cons_cache[key] = ops
+        return ops
+
+    # ------------------------------------------------------------------
+    # support masks and local/global conversions (cached, pure-int)
+    # ------------------------------------------------------------------
+    def _support_mask(self, bits: int) -> int:
+        """Variable-support bitmask of a global table (memoized)."""
+        m = self._support_cache.get(bits)
+        if m is None:
+            m = 0
+            for v in range(self._num_vars):
+                vm = var_mask(v, self._num_vars)
+                shift = 1 << v
+                if (bits & vm) >> shift != bits & (vm >> shift):
+                    m |= 1 << v
+            self._support_cache[bits] = m
+        return m
+
+    def _localize(self, bits: int, vars_: tuple[int, ...]) -> int:
+        """Project a global table onto a cone (support known inside)."""
+        key = (bits, vars_)
+        out = self._loc_cache.get(key)
+        if out is None:
+            sp = self._spread.get(vars_)
+            if sp is None:
+                sp = spread_indices(vars_, self._num_vars).tolist()
+                self._spread[vars_] = sp
+            out = 0
+            for i, row in enumerate(sp):
+                out |= ((bits >> row) & 1) << i
+            self._loc_cache[key] = out
+        return out
+
+    def _expand_bits(self, local_bits: int, vars_: tuple[int, ...]) -> int:
+        """Expand a cone-local table onto the global row space."""
+        key = (local_bits, vars_)
+        out = self._exp_cache.get(key)
+        if out is None:
+            cm = self._collapse.get(vars_)
+            if cm is None:
+                cm = collapse_indices(vars_, self._num_vars).tolist()
+                self._collapse[vars_] = cm
+            out = 0
+            for m, c in enumerate(cm):
+                out |= ((local_bits >> c) & 1) << m
+            self._exp_cache[key] = out
+        return out
+
+    def _table(self, bits: int) -> TruthTable:
+        table = self._table_cache.get(bits)
+        if table is None:
+            table = TruthTable(bits, self._num_vars)
+            self._table_cache[bits] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # minimality prunes
+    # ------------------------------------------------------------------
     def _admissible_local(
         self,
         child_bits: int,
@@ -321,185 +868,345 @@ class FactorizationEngine:
         nu: int,
         fixed: bool,
     ) -> bool:
-        """Minimality prunes on a free child demand (local form)."""
+        """Minimality prunes on a free child demand (local form).
+
+        The constant/projection verdict and the union-space expansion
+        depend only on ``(child_bits, child_pos, nu)``, so they are
+        memoized module-wide (``-1`` marks always-inadmissible); per
+        call only the parent-equality compare remains.
+        """
         if fixed or not self._closed:
             return True
-        nc = len(child_pos)
-        full = (1 << (1 << nc)) - 1
-        if child_bits == 0 or child_bits == full:
-            return False  # constant
-        # Support of the child (local) — prune bare projections.
-        support = 0
-        for i in range(nc):
-            if _local_depends(child_bits, nc, i):
-                support += 1
-                if support > 1:
-                    break
-        if support <= 1:
+        key = (child_bits, child_pos, nu)
+        expanded = _ADM_BASE.get(key)
+        if expanded is None:
+            expanded = _admissible_base(child_bits, child_pos, nu)
+            _ADM_BASE[key] = expanded
+        if expanded < 0:
             return False
-        # child == g_v (±) over the union: expand child onto U.
-        expanded = _expand_positions_cached(child_bits, child_pos, nu)
         gv_full = (1 << (1 << nu)) - 1
-        if expanded == gv_bits or expanded == (gv_bits ^ gv_full):
-            return False
-        return True
+        return expanded != gv_bits and expanded != (gv_bits ^ gv_full)
 
-    def _solve_disjoint(
+    # ------------------------------------------------------------------
+    # disjoint cones: quartering parts on packed β-profiles
+    # ------------------------------------------------------------------
+    def _disjoint_descriptors(
         self,
-        gv_bits: int,
-        nu: int,
-        a_pos: tuple[int, ...],
-        b_pos: tuple[int, ...],
-        gamma_of: np.ndarray,
-        fixed_a: int | None,
-        fixed_b: int | None,
+        shape: _Shape,
+        gv_local: int,
+        fa_local: int | None,
+        fb_local: int | None,
         canonical: bool,
-    ) -> Iterator[tuple[int, int, int]]:
-        """Quartering-part factorization for disjoint cones.
-
-        The column blocks and their grouping run as one kernel gather
-        plus ``np.unique(axis=0)``; the per-β allowed-value scan is a
-        pair of vectorized comparisons.  Only the (cap-bounded,
-        order-sensitive) free-cell enumeration stays a Python loop.
-        """
-        na, nb = len(a_pos), len(b_pos)
-        size_a, size_b = 1 << na, 1 << nb
-
-        # Column blocks: for each α the β-profile of g_v, as a matrix.
-        blocks = quartering_blocks(gv_bits, nu, gamma_of)
-
-        if fixed_a is None:
-            uniq, inverse = np.unique(
-                blocks, axis=0, return_inverse=True
-            )
-            if uniq.shape[0] != 2:
-                return  # not factorable (Example 5.2) or degenerate
-            # The block indicator is g_a up to polarity; both polarities
-            # are genuine, distinct solutions (their sub-chains differ),
-            # so enumerate both — AllSAT semantics.
-            idx0 = int(inverse[0])
-            a_bits = array_to_bits(inverse != idx0)
-            c_row = uniq[1 - idx0]  # β-profile of the g_a = 1 group
-            d_row = uniq[idx0]
-            full_a = (1 << size_a) - 1
-            # a_bits has bit 0 clear (α = 0 falls in the block0 group),
-            # i.e. it is the *normal* polarity; the complemented
-            # indicator is the other member of the polarity orbit.
-            a_candidates = [(a_bits, c_row, d_row)]
+    ) -> list[tuple[int, int, int, int]]:
+        """Scalar twin of the batch kernel: ``(code, a_bits, forced_b,
+        free_b_mask)`` descriptors for one demand (same contract and
+        order as :func:`solve_disjoint_batch` per batch entry)."""
+        profiles = shape.profiles(gv_local)
+        full_b = shape.full_b
+        candidates: list[tuple[int, int | None, int | None]] = []
+        if fa_local is None:
+            d = profiles[0]
+            c = None
+            for p in profiles:
+                if p != d:
+                    if c is None:
+                        c = p
+                    elif p != c:
+                        return []  # three distinct parts (Example 5.2)
+            if c is None:
+                return []  # degenerate: g_v independent of the A cone
+            a_bits = 0
+            for alpha, p in enumerate(profiles):
+                if p == c:
+                    a_bits |= 1 << alpha
+            # a_bits has bit 0 clear (α = 0 falls in the d group), i.e.
+            # it is the *normal* polarity; the complemented indicator
+            # is the other member of the polarity orbit.
+            candidates.append((a_bits, c, d))
             if not canonical:
-                a_candidates.append((a_bits ^ full_a, d_row, c_row))
+                candidates.append((a_bits ^ shape.full_a, d, c))
         else:
             # A is pinned; both groups must be internally uniform.
-            fa = bits_to_array(fixed_a, size_a).astype(bool)
-            ones = blocks[fa]
-            zeros = blocks[~fa]
-            if ones.size and (ones != ones[0]).any():
-                return
-            if zeros.size and (zeros != zeros[0]).any():
-                return
-            c_row = ones[0] if ones.size else None
-            d_row = zeros[0] if zeros.size else None
-            a_candidates = [(fixed_a, c_row, d_row)]
+            c = d = None
+            for alpha, p in enumerate(profiles):
+                if (fa_local >> alpha) & 1:
+                    if c is None:
+                        c = p
+                    elif p != c:
+                        return []
+                else:
+                    if d is None:
+                        d = p
+                    elif p != d:
+                        return []
+            candidates.append((fa_local, c, d))
 
-        fb_arr = (
-            None
-            if fixed_b is None
-            else bits_to_array(fixed_b, size_b).astype(bool)
-        )
-        for a_bits, c_row, d_row in a_candidates:
-            if not self._admissible_local(
-                a_bits, a_pos, gv_bits, nu, fixed_a is not None
-            ):
-                continue
-            a0 = a_bits & 1
-            b0 = None if fixed_b is None else fixed_b & 1
-            g0 = gv_bits & 1
+        descriptors = []
+        for a_bits, c, d in candidates:
             for code in self._ops:
-                # Row-0 filter: φ(A(0), B(0)) must equal g_v(0); with a
-                # known B(0) this rejects the operator outright, and
-                # with B free it must hold for at least one value.
-                if b0 is not None:
-                    if ((code >> ((b0 << 1) | a0)) & 1) != g0:
-                        continue
-                elif (
-                    ((code >> a0) & 1) != g0
-                    and ((code >> (2 | a0)) & 1) != g0
-                ):
+                # B value v is allowed at β iff the c profile matches
+                # φ(1, v) and the d profile matches φ(0, v) there.
+                allowed0 = allowed1 = full_b
+                if c is not None:
+                    allowed0 &= c if (code >> 1) & 1 else ~c
+                    allowed1 &= c if (code >> 3) & 1 else ~c
+                if d is not None:
+                    allowed0 &= d if code & 1 else ~d
+                    allowed1 &= d if (code >> 2) & 1 else ~d
+                allowed0 &= full_b
+                allowed1 &= full_b
+                if (allowed0 | allowed1) != full_b:
                     continue
-                # Allowed B value per β given the two block constraints:
-                # value v works iff φ(1, v) matches the c profile and
-                # φ(0, v) matches the d profile, elementwise over β.
-                avs = []
-                for v in (0, 1):
-                    ok = np.ones(size_b, dtype=bool)
-                    if c_row is not None:
-                        ok &= c_row == ((code >> ((v << 1) | 1)) & 1)
-                    if d_row is not None:
-                        ok &= d_row == ((code >> (v << 1)) & 1)
-                    avs.append(ok)
-                allowed0, allowed1 = avs
-                if not (allowed0 | allowed1).all():
+                forced = allowed1 & ~allowed0
+                freem = allowed0 & allowed1
+                if fb_local is not None:
+                    # Pinned B: every non-free cell must carry its
+                    # forced value.
+                    if (
+                        (freem | ~(fb_local ^ forced)) & full_b
+                    ) == full_b:
+                        descriptors.append((code, a_bits, fb_local, 0))
                     continue
-                forced_arr = allowed1 & ~allowed0
-                free_arr = allowed0 & allowed1
-                forced = array_to_bits(forced_arr)
-                if fb_arr is not None:
-                    # Check the pinned B against the constraints: every
-                    # non-free cell must carry its forced value.
-                    if (free_arr | (fb_arr == forced_arr)).all():
-                        yield (code, a_bits, fixed_b)
-                    continue
-                free = np.flatnonzero(free_arr).tolist()
-                if canonical and forced & 1 and 0 not in free:
-                    continue  # B would not be normal
-                emitted = 0
-                for combo in range(1 << len(free)):
-                    b_bits = forced
-                    for j, beta in enumerate(free):
-                        if (combo >> j) & 1:
-                            b_bits |= 1 << beta
-                    if canonical and b_bits & 1:
-                        continue  # not normal
-                    if self._admissible_local(
-                        b_bits, b_pos, gv_bits, nu, False
-                    ):
-                        yield (code, a_bits, b_bits)
-                        emitted += 1
-                        if emitted >= self._cap:
-                            break
+                descriptors.append((code, a_bits, forced, freem))
+        return descriptors
 
-    def _solve_shared(
+    def _finish_disjoint(
         self,
-        gv_bits: int,
-        nu: int,
-        a_pos: tuple[int, ...],
-        b_pos: tuple[int, ...],
-        amap: np.ndarray,
-        bmap: np.ndarray,
-        fixed_a: int | None,
-        fixed_b: int | None,
+        shape: _Shape,
+        gv_local: int,
+        descriptors,
+        fa_local: int | None,
+        fb_local: int | None,
+        canonical: bool,
+    ) -> tuple:
+        """Expand descriptors into ``(code, a_local, b_local)`` tuples,
+        applying admissibility prunes and the per-descriptor cap —
+        shared by the scalar path and the batch kernel epilogue."""
+        out = []
+        cap = self._cap
+        free_a = fa_local is None
+        a_ok: dict[int, bool] = {}
+        nu = shape.nu
+        for code, a_bits, b_base, freem in descriptors:
+            if free_a:
+                ok = a_ok.get(a_bits)
+                if ok is None:
+                    ok = self._admissible_local(
+                        a_bits, shape.a_pos, gv_local, nu, False
+                    )
+                    a_ok[a_bits] = ok
+                if not ok:
+                    continue
+            if fb_local is not None:
+                out.append((code, a_bits, b_base))
+                continue
+            forced = b_base
+            if canonical and forced & 1:
+                continue  # B would not be normal
+            free_cells = []
+            m = freem
+            while m:
+                free_cells.append((m & -m).bit_length() - 1)
+                m &= m - 1
+            emitted = 0
+            for combo in range(1 << len(free_cells)):
+                b_bits = forced
+                for j, beta in enumerate(free_cells):
+                    if (combo >> j) & 1:
+                        b_bits |= 1 << beta
+                if canonical and b_bits & 1:
+                    continue  # not normal
+                if self._admissible_local(
+                    b_bits, shape.b_pos, gv_local, nu, False
+                ):
+                    out.append((code, a_bits, b_bits))
+                    emitted += 1
+                    if emitted >= cap:
+                        break
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # shared cones with one child pinned: packed row masks
+    # ------------------------------------------------------------------
+    def _solve_shared_pinned(
+        self,
+        shape: _Shape,
+        gv_local: int,
+        fa_local: int | None,
+        fb_local: int | None,
         canonical: bool,
     ) -> Iterator[tuple[int, int, int]]:
-        """Power-reduce factorization (shared variables) via a binary
-        CSP solved with arc consistency + backtracking."""
-        na, nb = len(a_pos), len(b_pos)
-        size_a, size_b = 1 << na, 1 << nb
-        size_g = 1 << nu
+        """Shared-support factorization with exactly one child pinned.
 
-        # Fast paths: with at least one side pinned the constraint
-        # system decouples — every free cell's domain is an independent
-        # intersection — so no arc consistency or branching is needed.
-        if fixed_a is not None or fixed_b is not None:
-            yield from self._solve_shared_pinned(
-                gv_bits, nu, a_pos, b_pos, amap, bmap,
-                fixed_a, fixed_b, canonical,
-            )
+        With (say) ``g_a`` known, each constraint involves exactly one
+        unknown ``B_β`` cell, so the solution set is a per-cell domain
+        intersection followed by a cartesian expansion of the cells
+        left unconstrained — no search required.  The row verdicts are
+        packed ints over the γ rows; a cell is forced when its γ-class
+        mask intersects the failing rows of one value.
+        """
+        swap = fa_local is None
+        if swap:
+            pin = fb_local
+            pin_rows = shape.b_expand(pin)
+            class_masks = shape.aclass_masks
+            free_pos = shape.a_pos
+        else:
+            pin = fa_local
+            pin_rows = shape.a_expand(pin)
+            class_masks = shape.bclass_masks
+            free_pos = shape.b_pos
+        full_g = shape.full_g
+        npin_rows = ~pin_rows & full_g
+        cap = self._cap
+        nu = shape.nu
+        for code in self._ops:
+            # out0/out1: the chain output per γ row when the free child
+            # takes value 0/1 (row index of φ is (g_b << 1) | g_a).
+            if swap:
+                out0 = (pin_rows if (code >> 2) & 1 else 0) | (
+                    npin_rows if code & 1 else 0
+                )
+                out1 = (pin_rows if (code >> 3) & 1 else 0) | (
+                    npin_rows if (code >> 1) & 1 else 0
+                )
+            else:
+                out0 = (pin_rows if (code >> 1) & 1 else 0) | (
+                    npin_rows if code & 1 else 0
+                )
+                out1 = (pin_rows if (code >> 3) & 1 else 0) | (
+                    npin_rows if (code >> 2) & 1 else 0
+                )
+            mis0 = out0 ^ gv_local
+            mis1 = out1 ^ gv_local
+            if mis0 & mis1:
+                continue  # some row fails under both free values
+            forced = 0
+            freem = 0
+            ok = True
+            for cell, cls in enumerate(class_masks):
+                fail0 = mis0 & cls  # value 0 fails on some class row
+                fail1 = mis1 & cls  # value 1 fails on some class row
+                if fail0:
+                    if fail1:
+                        ok = False
+                        break
+                    forced |= 1 << cell
+                elif not fail1:
+                    freem |= 1 << cell
+            if not ok:
+                continue
+            if canonical:
+                if forced & 1:
+                    continue  # free child would not be normal
+                freem &= ~1
+            free_cells = []
+            m = freem
+            while m:
+                free_cells.append((m & -m).bit_length() - 1)
+                m &= m - 1
+            emitted = 0
+            for combo in range(1 << len(free_cells)):
+                bits = forced
+                for j, cell in enumerate(free_cells):
+                    if (combo >> j) & 1:
+                        bits |= 1 << cell
+                if not self._admissible_local(
+                    bits, free_pos, gv_local, nu, False
+                ):
+                    continue
+                if swap:
+                    yield (code, bits, pin)
+                else:
+                    yield (code, pin, bits)
+                emitted += 1
+                if emitted >= cap:
+                    break
+
+    # ------------------------------------------------------------------
+    # shared cones, both children free: cofactor product
+    # ------------------------------------------------------------------
+    def _solve_shared(
+        self, gv_bits: int, shape: _Shape, canonical: bool
+    ) -> Iterator[tuple[int, int, int]]:
+        """Power-reduce factorization (shared variables) by shared-set
+        cofactor split.
+
+        For each assignment ``s`` of the shared variables the
+        constraint rows touch only the ``s``-cofactors of the children,
+        so per operator the solution set is the product over ``s`` of
+        tiny independent subproblems (solved by
+        :func:`_cofactor_solutions` and memoized on the cofactor
+        β-profiles, which repeat heavily across demands).  Shapes with
+        a wide private side fall back to the generic CSP."""
+        info = shape.shared_info()
+        if info is None:
+            yield from self._solve_shared_csp(gv_bits, shape, canonical)
             return
+        sh_count, sap, sbp, gbase, offa, offb, a_spread, b_spread = info
+        fullb = (1 << sbp) - 1
+        prof = []
+        for s in range(sh_count):
+            base = gbase[s]
+            row = []
+            for ap in range(sap):
+                ba = base | offa[ap]
+                p = 0
+                for bp in range(sbp):
+                    p |= ((gv_bits >> (ba | offb[bp])) & 1) << bp
+                row.append(p)
+            prof.append(tuple(row))
+        memo = shape._cof_memo
+        nu = shape.nu
+        a_pos, b_pos = shape.a_pos, shape.b_pos
+        cap = self._cap
+        adm = self._admissible_local
+        product = _product
+        for code in self._ops:
+            per_s = []
+            for s in range(sh_count):
+                pin = canonical and s == 0
+                key = (code, prof[s], pin)
+                sols = memo.get(key)
+                if sols is None:
+                    sols = _cofactor_solutions(code, prof[s], fullb, pin)
+                    memo[key] = sols
+                if not sols:
+                    per_s = None
+                    break
+                per_s.append(sols)
+            if per_s is None:
+                continue
+            emitted = 0
+            for combo in product(*per_s):
+                a_bits = 0
+                b_bits = 0
+                for s in range(sh_count):
+                    ua, vb = combo[s]
+                    a_bits |= a_spread[s][ua]
+                    b_bits |= b_spread[s][vb]
+                if not adm(a_bits, a_pos, gv_bits, nu, False):
+                    continue
+                if not adm(b_bits, b_pos, gv_bits, nu, False):
+                    continue
+                yield (code, a_bits, b_bits)
+                emitted += 1
+                if emitted >= cap:
+                    break
 
-        # The CSP itself branches on scalar cells; plain lists index
-        # faster than 0-d array reads in that inner loop.
-        amap = amap.tolist()
-        bmap = bmap.tolist()
+    def _solve_shared_csp(
+        self, gv_bits: int, shape: _Shape, canonical: bool
+    ) -> Iterator[tuple[int, int, int]]:
+        """Power-reduce factorization (shared variables) via a binary
+        CSP solved with arc consistency + backtracking — the fallback
+        for shapes too wide for the cofactor split, and the reference
+        the fast path is differentially tested against."""
+        nu = shape.nu
+        a_pos, b_pos = shape.a_pos, shape.b_pos
+        size_a, size_b = shape.size_a, shape.size_b
+        size_g = 1 << nu
+        amap = shape.amap_list
+        bmap = shape.bmap_list
 
         cons_a: list[list[tuple[int, int]]] = [[] for _ in range(size_a)]
         cons_b: list[list[tuple[int, int]]] = [[] for _ in range(size_b)]
@@ -508,26 +1215,16 @@ class FactorizationEngine:
             cons_a[amap[gamma]].append((bmap[gamma], t))
             cons_b[bmap[gamma]].append((amap[gamma], t))
 
-        base_dom_a = (
-            [3] * size_a
-            if fixed_a is None
-            else [1 << ((fixed_a >> alpha) & 1) for alpha in range(size_a)]
-        )
-        base_dom_b = (
-            [3] * size_b
-            if fixed_b is None
-            else [1 << ((fixed_b >> beta) & 1) for beta in range(size_b)]
-        )
+        base_dom_a = [3] * size_a
+        base_dom_b = [3] * size_b
         if canonical:
             # Pin both free children to normal polarity (value 0 on the
             # all-zero row); sound because every polarity orbit has a
             # normal member under a complement-closed operator set.
-            if fixed_a is None:
-                base_dom_a[0] = 1
-            if fixed_b is None:
-                base_dom_b[0] = 1
+            base_dom_a[0] = 1
+            base_dom_b[0] = 1
 
-        g0 = (gv_bits >> 0) & 1
+        g0 = gv_bits & 1
         a0_dom = base_dom_a[amap[0]]
         b0_dom = base_dom_b[bmap[0]]
         for code in self._ops:
@@ -634,11 +1331,11 @@ class FactorizationEngine:
 
             for a_bits, b_bits in branch():
                 if not self._admissible_local(
-                    a_bits, a_pos, gv_bits, nu, fixed_a is not None
+                    a_bits, a_pos, gv_bits, nu, False
                 ):
                     continue
                 if not self._admissible_local(
-                    b_bits, b_pos, gv_bits, nu, fixed_b is not None
+                    b_bits, b_pos, gv_bits, nu, False
                 ):
                     continue
                 yield (code, a_bits, b_bits)
@@ -646,97 +1343,108 @@ class FactorizationEngine:
                 if emitted >= self._cap:
                     break
 
-    def _solve_shared_pinned(
-        self,
-        gv_bits: int,
-        nu: int,
-        a_pos: tuple[int, ...],
-        b_pos: tuple[int, ...],
-        amap: np.ndarray,
-        bmap: np.ndarray,
-        fixed_a: int | None,
-        fixed_b: int | None,
-        canonical: bool,
-    ) -> Iterator[tuple[int, int, int]]:
-        """Shared-support factorization with at least one child pinned.
 
-        With (say) ``g_a`` known, each constraint involves exactly one
-        unknown ``B_β`` cell, so the solution set is a per-cell domain
-        intersection followed by a cartesian expansion of the cells
-        left unconstrained — no search required.  Both the both-pinned
-        check and the one-sided domain intersection are vectorized over
-        the γ rows.
-        """
-        na, nb = len(a_pos), len(b_pos)
-        size_a, size_b = 1 << na, 1 << nb
-        size_g = 1 << nu
-        gv_arr = bits_to_array(gv_bits, size_g)
+def _cofactor_solutions(
+    code: int, profs: tuple[int, ...], fullb: int, pin: bool
+) -> tuple[tuple[int, int], ...]:
+    """All ``(ua, vb)`` cofactor pairs of one shared-split subproblem.
 
-        if fixed_a is not None and fixed_b is not None:
-            ua = bits_to_array(fixed_a, size_a)[amap]
-            vb = bits_to_array(fixed_b, size_b)[bmap]
-            rows = (vb.astype(np.int64) << 1) | ua
-            for code in self._ops:
-                if np.array_equal(
-                    (np.int64(code) >> rows) & 1, gv_arr
-                ):
-                    yield (code, fixed_a, fixed_b)
-            return
-
-        # Exactly one side pinned; orient so A is the pinned side.
-        swap = fixed_a is None
-        if swap:
-            pin, pin_size, pin_map = fixed_b, size_b, bmap
-            free_size, free_map, free_pos = size_a, amap, a_pos
-        else:
-            pin, pin_size, pin_map = fixed_a, size_a, amap
-            free_size, free_map, free_pos = size_b, bmap, b_pos
-
-        pin_vals = bits_to_array(pin, pin_size)[pin_map].astype(np.int64)
-        free_map_arr = np.asarray(free_map)
-
-        for code in self._ops:
-            # For each candidate free value v, which γ rows does the
-            # operator satisfy?  Fold those row verdicts into per-cell
-            # domains with an AND-scatter over the γ → cell map.
-            avs = []
-            for v in (0, 1):
-                rows = (
-                    ((pin_vals << 1) | v)
-                    if swap
-                    else ((np.int64(v) << 1) | pin_vals)
-                )
-                sat = ((np.int64(code) >> rows) & 1) == gv_arr
-                allowed_v = np.ones(free_size, dtype=bool)
-                np.logical_and.at(allowed_v, free_map_arr, sat)
-                avs.append(allowed_v)
-            allowed0, allowed1 = avs
-            if not (allowed0 | allowed1).all():
+    ``profs[α']`` packs the demanded bits over the β' cells for free-A
+    assignment α'; the subproblem asks for a bit per α' (the
+    ``g_a``-cofactor ``ua``) and a β'-profile ``vb`` (the
+    ``g_b``-cofactor) with ``φ_code(ua_{α'}, vb_{β'}) = profs[α'][β']``
+    everywhere.  Per α' each choice of ``u`` either pins ``vb`` to one
+    value (operator row acts as identity/negation) or leaves it free
+    (constant row, feasible only if the profile is that constant), so
+    the solutions enumerate by candidate ``vb`` value plus one
+    all-rows-constant regime where ``vb`` ranges freely.  ``pin``
+    forces normal polarity on both cofactors (the all-zero cells),
+    matching the CSP's canonical domains.
+    """
+    rows = (
+        ((code >> 0) & 1, (code >> 2) & 1),
+        ((code >> 1) & 1, (code >> 3) & 1),
+    )
+    opt = []
+    for ap, p in enumerate(profs):
+        o = []
+        for u in (0, 1):
+            if pin and ap == 0 and u == 1:
                 continue
-            if canonical:
-                # Free child must be normal: value 0 on the all-zero row.
-                if not allowed0[0]:
-                    continue
-                allowed1[0] = False
-            forced = array_to_bits(allowed1 & ~allowed0)
-            free_cells = np.flatnonzero(allowed0 & allowed1).tolist()
-            emitted = 0
-            for combo in range(1 << len(free_cells)):
-                bits = forced
-                for j, cell in enumerate(free_cells):
-                    if (combo >> j) & 1:
-                        bits |= 1 << cell
-                if not self._admissible_local(
-                    bits, free_pos, gv_bits, nu, False
-                ):
-                    continue
-                if swap:
-                    yield (code, bits, pin)
-                else:
-                    yield (code, pin, bits)
-                emitted += 1
-                if emitted >= self._cap:
-                    break
+            c0, c1 = rows[u]
+            if c0 == c1:
+                if p == (fullb if c0 else 0):
+                    o.append((u, None))
+            elif c1:
+                o.append((u, p))  # row is the identity in v
+            else:
+                o.append((u, p ^ fullb))  # row negates v
+        if not o:
+            return ()
+        opt.append(o)
+    sols = []
+    const_opts = [tuple(u for u, vc in o if vc is None) for o in opt]
+    if all(const_opts):
+        # No chosen row constrains vb: it ranges over every profile
+        # (even ones only, when pinned to normal polarity).
+        for combo in _product(*const_opts):
+            ua = 0
+            for ap, u in enumerate(combo):
+                ua |= u << ap
+            for vb in range(0, fullb + 1, 2 if pin else 1):
+                sols.append((ua, vb))
+    cands = {vc for o in opt for u, vc in o if vc is not None}
+    for vb in sorted(cands):
+        if pin and vb & 1:
+            continue
+        per = []
+        for o in opt:
+            us = tuple(
+                (u, vc is None)
+                for u, vc in o
+                if vc is None or vc == vb
+            )
+            if not us:
+                per = None
+                break
+            per.append(us)
+        if per is None:
+            continue
+        for combo in _product(*per):
+            ua = 0
+            allconst = True
+            for ap, (u, isc) in enumerate(combo):
+                ua |= u << ap
+                if not isc:
+                    allconst = False
+            if allconst:
+                continue  # counted under the free-vb regime above
+            sols.append((ua, vb))
+    return tuple(sols)
+
+
+_ADM_BASE: dict[tuple[int, tuple[int, ...], int], int] = {}
+
+
+def _admissible_base(
+    child_bits: int, child_pos: tuple[int, ...], nu: int
+) -> int:
+    """Demand-independent part of the minimality prunes: ``-1`` when
+    the child table is constant or a bare (complemented) projection,
+    else its expansion onto the union-local row space."""
+    nc = len(child_pos)
+    full = (1 << (1 << nc)) - 1
+    if child_bits == 0 or child_bits == full:
+        return -1
+    support = 0
+    for i in range(nc):
+        if _local_depends(child_bits, nc, i):
+            support += 1
+            if support > 1:
+                break
+    if support <= 1:
+        return -1
+    return _expand_positions_cached(child_bits, child_pos, nu)
 
 
 def _local_depends(bits: int, num_vars: int, var: int) -> bool:

@@ -135,11 +135,18 @@ class SynthesisSpec:
         solutions back through the inverse transform.  Off by default;
         when several targets share an NPN class this makes the
         cross-call factorization memo hit across all of them.
+    min_gates:
+        Smallest gate count worth searching (default 0 = no floor).
+        Gate counts below it are *skipped*, so only pass sizes already
+        proven infeasible for this exact function — e.g. the
+        :meth:`~repro.store.ChainStore.min_feasible_gates` negative
+        cache; a wrong floor silently yields non-minimal chains.
     """
 
     function: TruthTable | None = None
     operators: tuple[int, ...] = NONTRIVIAL_BINARY_OPS
     max_gates: int | None = None
+    min_gates: int = 0
     timeout: float | None = None
     all_solutions: bool = True
     verify: bool = True
@@ -226,6 +233,7 @@ class SynthesisStats:
 
     fences_examined: int = 0
     dags_examined: int = 0
+    dags_pruned_dsd: int = 0
     candidates_generated: int = 0
     candidates_verified: int = 0
     verification_failures: int = 0
@@ -272,6 +280,7 @@ class SynthesisStats:
         """Accumulate counters from a sub-run."""
         self.fences_examined += other.fences_examined
         self.dags_examined += other.dags_examined
+        self.dags_pruned_dsd += other.dags_pruned_dsd
         self.candidates_generated += other.candidates_generated
         self.candidates_verified += other.candidates_verified
         self.verification_failures += other.verification_failures
@@ -288,6 +297,7 @@ class SynthesisStats:
         return {
             "fences_examined": self.fences_examined,
             "dags_examined": self.dags_examined,
+            "dags_pruned_dsd": self.dags_pruned_dsd,
             "candidates_generated": self.candidates_generated,
             "candidates_verified": self.candidates_verified,
             "verification_failures": self.verification_failures,

@@ -60,8 +60,13 @@ def run_engine(
     """Dispatch a bare ``(function, timeout)`` call to a named engine.
 
     ``kwargs`` become spec overrides for knobs the engine supports;
-    the rest are ignored (the fallback-chain contract).
+    the rest are ignored (the fallback-chain contract).  ``min_gates``
+    is a spec knob shared by every engine: the store's negative cache
+    passes the proven-infeasible gate floor through it.
     """
+    min_gates = int(kwargs.pop("min_gates", 0) or 0)
     engine = create_engine(name, **kwargs)
-    spec = SynthesisSpec(function=function, timeout=timeout)
+    spec = SynthesisSpec(
+        function=function, timeout=timeout, min_gates=min_gates
+    )
     return engine.synthesize(spec, ctx)

@@ -52,8 +52,11 @@ from .factorization import (
     index_maps,
     localize_array,
     quartering_blocks,
+    quartering_blocks_batch,
+    quartering_profiles,
+    solve_disjoint_batch,
 )
-from .stats import KERNEL_STATS, KernelCounters
+from .stats import KERNEL_STATS, KernelCounters, SampledTimer
 from .tables import (
     cofactor_bits,
     depends_bits,
@@ -67,6 +70,7 @@ from .tables import (
 __all__ = [
     "KERNEL_STATS",
     "KernelCounters",
+    "SampledTimer",
     "array_to_bits",
     "bits_to_array",
     "chain_onset",
@@ -90,6 +94,9 @@ __all__ = [
     "packed_onset",
     "permute_bits",
     "quartering_blocks",
+    "quartering_blocks_batch",
+    "quartering_profiles",
+    "solve_disjoint_batch",
     "spread_indices",
     "stp_assignments",
     "support_bits",

@@ -23,6 +23,7 @@ __all__ = [
     "cubes_to_onset_ref",
     "verify_chain_ref",
     "quartering_blocks_ref",
+    "solve_disjoint_ref",
     "permute_bits_ref",
     "cofactor_bits_ref",
     "support_bits_ref",
@@ -155,6 +156,95 @@ def quartering_blocks_ref(
                 bits |= 1 << beta
         blocks.append(bits)
     return blocks
+
+
+def solve_disjoint_ref(
+    gv_bits: int,
+    gamma_of: Sequence[Sequence[int]],
+    ops: Sequence[int],
+    fixed_a: int | None = None,
+    fixed_b: int | None = None,
+    canonical: bool = True,
+) -> list[tuple[int, int, int, int]]:
+    """One-demand disjoint-cone solver, per-β Python loops throughout.
+
+    The scalar oracle for ``solve_disjoint_batch``: identical
+    ``(op_code, a_bits, forced_b, free_b_mask)`` descriptors in
+    identical order (candidate A-polarity outer, ``ops`` order inner),
+    derived with the pre-kernel row-at-a-time constraint scan instead
+    of the stacked gather.
+    """
+    size_a = len(gamma_of)
+    size_b = len(gamma_of[0])
+    profiles = quartering_blocks_ref(gv_bits, gamma_of, size_b)
+
+    # Candidate (viable, a_bits, c_profile, d_profile, has1, has0)
+    # tuples: c constrains the rows where the A-child is 1, d the rows
+    # where it is 0; hasX disables the side with no rows.
+    candidates = []
+    if fixed_a is None:
+        d_val = profiles[0]
+        lo, hi = min(profiles), max(profiles)
+        two = lo != hi and all(p in (lo, hi) for p in profiles)
+        c_val = lo + hi - d_val
+        a_bits = 0
+        for alpha, p in enumerate(profiles):
+            if p != d_val:
+                a_bits |= 1 << alpha
+        candidates.append((two, a_bits, c_val, d_val, True, True))
+        if not canonical:
+            full_a = (1 << size_a) - 1
+            candidates.append(
+                (two, full_a - a_bits, d_val, c_val, True, True)
+            )
+    else:
+        ones = [a for a in range(size_a) if (fixed_a >> a) & 1]
+        zeros = [a for a in range(size_a) if not (fixed_a >> a) & 1]
+        c_val = profiles[ones[0]] if ones else profiles[0]
+        d_val = profiles[zeros[0]] if zeros else profiles[0]
+        uniform = all(profiles[a] == c_val for a in ones) and all(
+            profiles[a] == d_val for a in zeros
+        )
+        candidates.append(
+            (uniform, fixed_a, c_val, d_val, bool(ones), bool(zeros))
+        )
+
+    out: list[tuple[int, int, int, int]] = []
+    for viable, a_bits, c_val, d_val, has1, has0 in candidates:
+        for code in ops:
+            # B value v is allowed at β iff the c profile matches
+            # φ(1, v) and the d profile matches φ(0, v) there.
+            forced = 0
+            freem = 0
+            sat = viable
+            for beta in range(size_b):
+                c_bit = (c_val >> beta) & 1
+                d_bit = (d_val >> beta) & 1
+                allowed = []
+                for v in (0, 1):
+                    ok = not has1 or c_bit == (code >> ((v << 1) | 1)) & 1
+                    ok = ok and (
+                        not has0 or d_bit == (code >> (v << 1)) & 1
+                    )
+                    allowed.append(ok)
+                if not (allowed[0] or allowed[1]):
+                    sat = False
+                    break
+                if allowed[0] and allowed[1]:
+                    freem |= 1 << beta
+                elif allowed[1]:
+                    forced |= 1 << beta
+            if not sat:
+                continue
+            if fixed_b is not None:
+                mask = (1 << size_b) - 1
+                agree = freem | (mask & ~(fixed_b ^ forced))
+                if agree != mask:
+                    continue
+                out.append((code, a_bits, fixed_b, 0))
+            else:
+                out.append((code, a_bits, forced, freem))
+    return out
 
 
 def permute_bits_ref(bits: int, num_vars: int, perm: Sequence[int]) -> int:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["KernelCounters", "KERNEL_STATS"]
+__all__ = ["KernelCounters", "KERNEL_STATS", "SampledTimer"]
 
 _perf = time.perf_counter
 
@@ -27,11 +27,14 @@ _perf = time.perf_counter
 class KernelCounters:
     """Process-global calls/seconds tallies, keyed by kernel name."""
 
-    __slots__ = ("calls", "seconds")
+    __slots__ = ("calls", "seconds", "sampled")
 
     def __init__(self) -> None:
         self.calls: dict[str, int] = {}
         self.seconds: dict[str, float] = {}
+        #: Kernels whose seconds are extrapolated from a sample rather
+        #: than measured on every call (see :class:`SampledTimer`).
+        self.sampled: set[str] = set()
 
     def count(self, name: str, n: int = 1) -> None:
         """Record ``n`` invocations of an untimed kernel."""
@@ -41,6 +44,17 @@ class KernelCounters:
         """Record ``n`` invocations plus their wall-clock cost."""
         self.calls[name] = self.calls.get(name, 0) + n
         self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def add_sampled(
+        self, name: str, seconds: float, stride: int, n: int = 1
+    ) -> None:
+        """Record ``n`` invocations whose wall clock was measured on a
+        one-in-``stride`` sample; the seconds tally is extrapolated."""
+        self.calls[name] = self.calls.get(name, 0) + n
+        self.seconds[name] = (
+            self.seconds.get(name, 0.0) + seconds * stride
+        )
+        self.sampled.add(name)
 
     def snapshot(self) -> tuple[dict[str, int], dict[str, float]]:
         """Copies of the current tallies, for :meth:`since`."""
@@ -67,7 +81,47 @@ class KernelCounters:
         """Drop all tallies (test isolation)."""
         self.calls.clear()
         self.seconds.clear()
+        self.sampled.clear()
 
 
 #: The process-global registry every kernel reports into.
 KERNEL_STATS = KernelCounters()
+
+
+class SampledTimer:
+    """One-in-``stride`` wall-clock sampling for hot micro-kernels.
+
+    A kernel that runs in a couple of microseconds pays more for two
+    ``perf_counter`` calls than for its own work, so timing every
+    invocation distorts exactly the path being measured.  This helper
+    counts every call but only reads the clock on every ``stride``-th
+    one, extrapolating the seconds tally — the per-call overhead drops
+    to one integer increment and a modulo.
+    """
+
+    __slots__ = ("name", "stride", "_tick", "_counters")
+
+    def __init__(
+        self,
+        name: str,
+        stride: int = 64,
+        counters: KernelCounters | None = None,
+    ) -> None:
+        self.name = name
+        self.stride = stride
+        self._tick = 0
+        self._counters = counters if counters is not None else KERNEL_STATS
+
+    def start(self) -> float | None:
+        """Begin one invocation; returns a tick or None off-sample."""
+        self._tick += 1
+        return _perf() if self._tick % self.stride == 0 else None
+
+    def stop(self, t0: float | None, n: int = 1) -> None:
+        """Finish the invocation begun by :meth:`start`."""
+        if t0 is None:
+            self._counters.count(self.name, n)
+        else:
+            self._counters.add_sampled(
+                self.name, _perf() - t0, self.stride, n
+            )

@@ -276,12 +276,14 @@ class FaultTolerantExecutor:
             outcome.result = stored
             outcome.runtime = deadline.elapsed
             return outcome
+        floor = self._infeasible_floor(function)
 
         for name, fn in self._engines:
             if first_engine is None:
                 first_engine = name
             engine_done, status, error = self._run_engine(
-                name, fn, function, deadline, fault_key, outcome
+                name, fn, function, deadline, fault_key, outcome,
+                floor,
             )
             if engine_done is not None:
                 outcome.status = "ok"
@@ -342,6 +344,22 @@ class FaultTolerantExecutor:
         )
         return result
 
+    def _infeasible_floor(self, function: TruthTable) -> int:
+        """The store's proven-infeasible gate floor (0 on any miss).
+
+        Passed to engines as a ``min_gates`` spec override so warm
+        runs skip gate counts an earlier exhaustive search already
+        proved empty for the NPN class.
+        """
+        if self._store is None:
+            return 0
+        try:
+            return int(self._store.min_feasible_gates(function))
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            return 0
+
     def _store_put(
         self, function: TruthTable, result: SynthesisResult, engine: str
     ) -> None:
@@ -366,6 +384,12 @@ class FaultTolerantExecutor:
             except TypeError:
                 if exact:  # legacy stores only take optimal rows
                     self._store.put(function, result, engine=engine)
+            if exact and result.num_gates > 0:
+                # An optimal r-gate result proves sizes below r empty;
+                # persist the mark so warm runs start at r directly.
+                mark = getattr(self._store, "mark_infeasible", None)
+                if mark is not None:
+                    mark(function, result.num_gates - 1)
         except KeyboardInterrupt:
             raise
         except Exception:
@@ -379,6 +403,7 @@ class FaultTolerantExecutor:
         deadline: Deadline,
         fault_key: str,
         outcome: ExecutionOutcome,
+        min_gates: int = 0,
     ) -> tuple[SynthesisResult | None, str, str]:
         """All attempts (first try + retries) on one engine."""
         pause = self._backoff
@@ -394,7 +419,9 @@ class FaultTolerantExecutor:
                 else None
             )
             try:
-                result = self._attempt(name, fn, function, budget, fault)
+                result = self._attempt(
+                    name, fn, function, budget, fault, min_gates
+                )
                 if self._verify:
                     self._check_result(result, function)
             except KeyboardInterrupt:
@@ -445,9 +472,12 @@ class FaultTolerantExecutor:
         function: TruthTable,
         budget: float | None,
         fault,
+        min_gates: int = 0,
     ) -> SynthesisResult:
         """One attempt: injected fault, isolated worker, or in-process."""
         kwargs = self._engine_kwargs.get(name, {})
+        if min_gates > 0:
+            kwargs = {**kwargs, "min_gates": min_gates}
         if self._isolate:
             task = WorkerTask(
                 engine=name,

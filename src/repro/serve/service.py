@@ -517,10 +517,19 @@ class SynthesisService:
                 outcome.result = stored
                 outcome.runtime = time.perf_counter() - started
                 return outcome
+        min_gates = 0
+        if self._store is not None and len(canon_tables) == 1:
+            try:
+                min_gates = int(
+                    self._store.min_feasible_gates(canon_tables[0])
+                )
+            except Exception:
+                min_gates = 0
         spec = SynthesisSpec(
             function=canon_tables[0],
             functions=tuple(canon_tables),
             timeout=timeout,
+            min_gates=min_gates,
         )
         for name in self.health.select(self._engines) or list(
             self._engines
@@ -559,6 +568,14 @@ class SynthesisService:
                         engine=name,
                         exact=exact,
                     )
+                    if (
+                        exact
+                        and len(canon_tables) == 1
+                        and engine_run.num_gates > 0
+                    ):
+                        self._store.mark_infeasible(
+                            canon_tables[0], engine_run.num_gates - 1
+                        )
                 except Exception:
                     pass
             return outcome

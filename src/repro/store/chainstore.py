@@ -77,6 +77,21 @@ CREATE TABLE IF NOT EXISTS chains (
 )
 """
 
+#: Negative cache: the largest gate count proven to admit *no* chain
+#: for an NPN class.  Gate counts are NPN-invariant and the exact
+#: search is bottom-up, so one monotone mark per class is enough —
+#: warm runs and ``repro-serve`` resume at ``max_gates + 1`` instead
+#: of re-proving the exhausted sizes.
+_INFEASIBLE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS infeasible (
+    num_vars  INTEGER NOT NULL,
+    canon_hex TEXT    NOT NULL,
+    max_gates INTEGER NOT NULL,
+    created   REAL    NOT NULL,
+    PRIMARY KEY (num_vars, canon_hex)
+)
+"""
+
 #: Columns added after the first shipped schema; existing databases
 #: are migrated in place with ``ALTER TABLE`` on open.
 _MIGRATIONS = (
@@ -123,6 +138,7 @@ class ChainStore:
         with self._lock:
             with conn:
                 conn.execute(_SCHEMA)
+                conn.execute(_INFEASIBLE_SCHEMA)
                 self._migrate(conn)
         #: Served lookups / fell-through lookups / completed write-backs,
         #: plus total wall-clock spent inside *served* lookups and the
@@ -248,6 +264,61 @@ class ChainStore:
         if result is None:
             return None
         return result, bool(getattr(result, "_store_exact", True))
+
+    # ------------------------------------------------------------------
+    # negative cache: proven-infeasible gate counts
+    # ------------------------------------------------------------------
+    def min_feasible_gates(self, function: TruthTable) -> int:
+        """Smallest gate count not yet proven infeasible for the class.
+
+        Returns 0 when nothing is known.  The result is safe to pass
+        as :attr:`~repro.core.spec.SynthesisSpec.min_gates`: gate
+        counts are NPN-invariant, so a size exhausted for the class
+        representative is exhausted for every orbit member.
+        """
+        canon, _ = self._canonical(function)
+        row = (
+            self._connection()
+            .execute(
+                "SELECT max_gates FROM infeasible "
+                "WHERE num_vars = ? AND canon_hex = ?",
+                (canon.num_vars, canon.to_hex()),
+            )
+            .fetchone()
+        )
+        return 0 if row is None else int(row[0]) + 1
+
+    def mark_infeasible(
+        self, function: TruthTable, num_gates: int
+    ) -> None:
+        """Record that no chain of up to ``num_gates`` gates realizes
+        the class (monotone: only ever raises the stored mark).
+
+        Call sites derive the mark from *exact* evidence only — an
+        exhaustive search that came up empty, or an optimal result of
+        ``r`` gates proving sizes below ``r`` empty.
+        """
+        if num_gates < 1:
+            return
+        canon, _ = self._canonical(function)
+        conn = self._connection()
+        with self._lock:
+            with conn:
+                conn.execute(
+                    "INSERT INTO infeasible "
+                    "(num_vars, canon_hex, max_gates, created) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(num_vars, canon_hex) DO UPDATE SET "
+                    "max_gates = excluded.max_gates, "
+                    "created = excluded.created "
+                    "WHERE excluded.max_gates > infeasible.max_gates",
+                    (
+                        canon.num_vars,
+                        canon.to_hex(),
+                        int(num_gates),
+                        time.time(),
+                    ),
+                )
 
     def _lookup(
         self,

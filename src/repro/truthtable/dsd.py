@@ -33,6 +33,7 @@ __all__ = [
     "DSDNode",
     "dsd_decompose",
     "dsd_kind",
+    "feasible_top_splits",
     "is_fully_dsd",
     "is_partially_dsd",
     "is_prime",
@@ -288,6 +289,82 @@ def _negate(node: DSDNode) -> DSDNode:
     # A bare complemented variable: represent as a NAND(x, x) gate so the
     # node vocabulary stays small.
     return DSDNode(kind="gate", op_code=0x7, children=(node, node))
+
+
+def feasible_top_splits(
+    table: TruthTable, ops: tuple[int, ...]
+) -> frozenset[int]:
+    """Variable bitmasks ``A`` such that ``f = op(g_a(A), g_b(B))`` can
+    exist for some ``op`` in ``ops`` and *some* children, where ``B`` is
+    the complementary variable set.
+
+    This is the disjoint-support profile used to reject pDAG topologies
+    before any factorization is attempted: a pDAG whose top node splits
+    the inputs into disjoint cones ``(A, B)`` covering all variables can
+    only realize ``f`` if ``A`` is in this set.  The existence check is
+    deliberately weaker than the factorization engine's — children may
+    be constants, projections, or equal to anything — so membership is
+    necessary for the engine to succeed and the prune is sound.
+
+    The test is the paper's two-unique-quartering-parts criterion: the
+    rows of ``f`` grouped by the ``A``-assignment must take at most two
+    distinct ``B``-profiles, and some operator column assignment must
+    cover every profile bit.  Both polarities of the ``A``-indicator are
+    tried.  Splits where the profiles are not 2-distinct (``f`` ignores
+    the ``A`` side) are conservatively kept.
+    """
+    n = table.num_vars
+    bits = table.bits
+    full = (1 << n) - 1
+    splits: set[int] = set()
+    for amask in range(1, full):
+        bmask = full & ~amask
+        apos = [i for i in range(n) if (amask >> i) & 1]
+        bpos = [i for i in range(n) if (bmask >> i) & 1]
+        size_a = 1 << len(apos)
+        size_b = 1 << len(bpos)
+        # beta-profile of each A-assignment: bit beta = f(alpha, beta).
+        profiles = []
+        for alpha in range(size_a):
+            base = 0
+            for j, p in enumerate(apos):
+                if (alpha >> j) & 1:
+                    base |= 1 << p
+            prof = 0
+            for beta in range(size_b):
+                row = base
+                for j, p in enumerate(bpos):
+                    if (beta >> j) & 1:
+                        row |= 1 << p
+                prof |= ((bits >> row) & 1) << beta
+            profiles.append(prof)
+        distinct = sorted(set(profiles))
+        if len(distinct) > 2:
+            continue
+        if len(distinct) < 2:
+            splits.add(amask)
+            continue
+        lo, hi = distinct
+        full_b = (1 << size_b) - 1
+        # c = profile of the g_a = 1 group, d = the g_a = 0 group; the
+        # operator's column (v << 1) | u gives op(u, v).
+        found = False
+        for c, d in ((hi, lo), (lo, hi)):
+            for op in ops:
+                cover = 0
+                for v in (0, 1):
+                    cb = (op >> ((v << 1) | 1)) & 1
+                    db = (op >> (v << 1)) & 1
+                    m = (c if cb else ~c) & (d if db else ~d)
+                    cover |= m & full_b
+                if cover == full_b:
+                    found = True
+                    break
+            if found:
+                break
+        if found:
+            splits.add(amask)
+    return frozenset(splits)
 
 
 def dsd_kind(table: TruthTable) -> str:

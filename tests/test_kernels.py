@@ -285,3 +285,120 @@ class TestWorkerSummaryStoreHits:
         assert summary[1]["store_hits"] == 1
         assert summary[1]["store_hit_seconds"] == pytest.approx(0.75)
         assert report.num_store_hits == 2
+
+
+class TestSolveDisjointBatchEquivalence:
+    """The batched disjoint-cone solver against its scalar oracle."""
+
+    @staticmethod
+    def _random_shape(rnd):
+        nu = rnd.randint(2, 5)
+        positions = list(range(nu))
+        rnd.shuffle(positions)
+        split = rnd.randint(1, nu - 1)
+        a_pos = tuple(sorted(positions[:split]))
+        b_pos = tuple(sorted(positions[split:]))
+        _, _, disjoint, gamma_of = index_maps(nu, a_pos, b_pos)
+        assert disjoint
+        return nu, a_pos, b_pos, gamma_of
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_free_children_match_reference(self, seed):
+        from repro.kernels import solve_disjoint_batch
+        from repro.kernels.reference import solve_disjoint_ref
+        from repro.truthtable.operations import NONTRIVIAL_BINARY_OPS
+
+        rnd = random.Random(seed)
+        nu, _, _, gamma_of = self._random_shape(rnd)
+        demands = [rnd.getrandbits(1 << nu) for _ in range(12)]
+        for canonical in (True, False):
+            got = solve_disjoint_batch(
+                demands,
+                nu,
+                gamma_of,
+                NONTRIVIAL_BINARY_OPS,
+                canonical=canonical,
+            )
+            for k, gv in enumerate(demands):
+                assert got[k] == solve_disjoint_ref(
+                    gv,
+                    gamma_of.tolist(),
+                    NONTRIVIAL_BINARY_OPS,
+                    canonical=canonical,
+                ), f"seed={seed} k={k} canonical={canonical}"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pinned_children_match_reference(self, seed):
+        """Pinned-A and pinned-B queries (the PI-projection case)."""
+        from repro.kernels import solve_disjoint_batch
+        from repro.kernels.reference import solve_disjoint_ref
+        from repro.truthtable.operations import NONTRIVIAL_BINARY_OPS
+
+        rnd = random.Random(1000 + seed)
+        nu, a_pos, b_pos, gamma_of = self._random_shape(rnd)
+        K = 12
+        demands = [rnd.getrandbits(1 << nu) for _ in range(K)]
+        fixed_a = [rnd.getrandbits(1 << len(a_pos)) for _ in range(K)]
+        fixed_b = [rnd.getrandbits(1 << len(b_pos)) for _ in range(K)]
+
+        got_a = solve_disjoint_batch(
+            demands, nu, gamma_of, NONTRIVIAL_BINARY_OPS,
+            fixed_a_seq=fixed_a,
+        )
+        got_b = solve_disjoint_batch(
+            demands, nu, gamma_of, NONTRIVIAL_BINARY_OPS,
+            fixed_b_seq=fixed_b,
+        )
+        for k, gv in enumerate(demands):
+            assert got_a[k] == solve_disjoint_ref(
+                gv, gamma_of.tolist(), NONTRIVIAL_BINARY_OPS,
+                fixed_a=fixed_a[k],
+            ), f"seed={seed} k={k} pinned=A"
+            assert got_b[k] == solve_disjoint_ref(
+                gv, gamma_of.tolist(), NONTRIVIAL_BINARY_OPS,
+                fixed_b=fixed_b[k],
+            ), f"seed={seed} k={k} pinned=B"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_prefetch_matches_unprefetched_engine(self, seed):
+        """Shared-cone fallback: a prefetch over mixed disjoint and
+        overlapping-cone queries must leave every later
+        ``decompositions_pairs`` answer identical to a cold engine's —
+        the non-batchable queries are skipped, not mis-solved."""
+        from repro.core.factorization import FactorizationEngine
+        from repro.truthtable.operations import NONTRIVIAL_BINARY_OPS
+
+        rnd = random.Random(2000 + seed)
+        num_vars = 4
+        warm = FactorizationEngine(num_vars, NONTRIVIAL_BINARY_OPS)
+        cold = FactorizationEngine(num_vars, NONTRIVIAL_BINARY_OPS)
+        cones = [
+            ((0, 1), (2, 3)),       # disjoint, full cover
+            ((0, 1, 2), (3,)),      # disjoint, full cover
+            ((0, 1, 2), (1, 2, 3)), # shared — scalar fallback
+            ((0, 2), (1, 2)),       # shared — scalar fallback
+        ]
+        queries = []
+        for cone_a, cone_b in cones:
+            pair_w = warm.pair_info(cone_a, cone_b)
+            for _ in range(6):
+                gv = rnd.getrandbits(1 << num_vars)
+                fa = None
+                if rnd.random() < 0.3:
+                    fa = rnd.getrandbits(1 << len(cone_a))
+                    fa = warm._expand_bits(fa, pair_w.a_vars)
+                queries.append((gv, cone_a, cone_b, fa))
+        warm.prefetch_pairs(
+            [
+                (gv, warm.pair_info(ca, cb), fa, None)
+                for gv, ca, cb, fa in queries
+            ]
+        )
+        for gv, cone_a, cone_b, fa in queries:
+            got = warm.decompositions_pairs(
+                gv, warm.pair_info(cone_a, cone_b), fa, None
+            )
+            want = cold.decompositions_pairs(
+                gv, cold.pair_info(cone_a, cone_b), fa, None
+            )
+            assert got == want, (gv, cone_a, cone_b, fa)

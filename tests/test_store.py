@@ -289,3 +289,64 @@ class TestSynthCli:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "[store]" in out
+
+
+class TestNegativeCache:
+    """The ``infeasible`` table: proven-empty gate counts per NPN class."""
+
+    def test_round_trip_and_monotone_upsert(self, tmp_path):
+        with ChainStore(tmp_path / "chains.db") as store:
+            t = from_hex("0016", 4)
+            assert store.min_feasible_gates(t) == 0
+            store.mark_infeasible(t, 3)
+            assert store.min_feasible_gates(t) == 4
+            store.mark_infeasible(t, 2)  # never downgrades
+            assert store.min_feasible_gates(t) == 4
+            store.mark_infeasible(t, 4)
+            assert store.min_feasible_gates(t) == 5
+            store.mark_infeasible(t, 0)  # no-op below 1
+            assert store.min_feasible_gates(t) == 5
+
+    def test_marks_are_npn_invariant(self, tmp_path):
+        """Gate counts are NPN-invariant, so a mark on one orbit member
+        must be visible from every other member of the class."""
+        probe = NPNTransform(
+            perm=(2, 0, 1, 3), input_flips=0b0101, output_flip=True
+        )
+        t = from_hex("0016", 4)
+        with ChainStore(tmp_path / "chains.db") as store:
+            store.mark_infeasible(t, 4)
+            assert store.min_feasible_gates(probe.apply(t)) == 5
+
+    def test_executor_marks_after_exact_solve(self, tmp_path):
+        t = from_hex("0007", 4)
+        with ChainStore(tmp_path / "chains.db") as store:
+            ex = FaultTolerantExecutor(engines=["stp"], store=store)
+            out = ex.run(t, timeout=60)
+            assert out.status == "ok"
+            n = out.result.num_gates
+            assert n > 0
+            # exact search at n proves sizes < n empty
+            assert store.min_feasible_gates(t) == n
+
+    def test_floored_run_returns_same_optimum(self, tmp_path):
+        """A pre-seeded floor skips the empty sizes without changing
+        the answer — and the chains still verify."""
+        t = from_hex("0007", 4)
+        baseline = run_engine("stp", t, 60.0)
+        with ChainStore(tmp_path / "chains.db") as store:
+            store.mark_infeasible(t, baseline.num_gates - 1)
+            ex = FaultTolerantExecutor(engines=["stp"], store=store)
+            out = ex.run(t, timeout=60)
+            assert out.status == "ok"
+            assert out.result.num_gates == baseline.num_gates
+            assert_chain_realizes(t, out.result.best)
+
+    def test_run_engine_min_gates_is_a_spec_override(self):
+        t = from_hex("0007", 4)
+        baseline = run_engine("stp", t, 60.0)
+        floored = run_engine(
+            "stp", t, 60.0, min_gates=baseline.num_gates
+        )
+        assert floored.num_gates == baseline.num_gates
+        assert len(floored.chains) == len(baseline.chains)
