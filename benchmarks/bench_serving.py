@@ -1,8 +1,8 @@
 """Async load benchmark for the ``repro-serve`` synthesis server.
 
-Boots the full serving stack in-process (store → persistent scheduler
-pool → NPN-coalescing service → HTTP front-end), pre-warms the chain
-store by requesting every NPN class representative once, then fires
+Boots the serving stack (store → persistent scheduler pool →
+NPN-coalescing service → HTTP front-end), pre-warms the chain store by
+requesting every NPN class representative once, then fires
 ``--requests`` concurrent requests whose *classes* follow a Zipf
 distribution — a few hot classes dominate, exactly the skew that makes
 coalescing and the warm store earn their keep.  Each request is a
@@ -12,20 +12,39 @@ rewrite::
 
     python benchmarks/bench_serving.py --requests 1000 \
         --json BENCH_serving.json
+    python benchmarks/bench_serving.py --requests 1000 --procs 2 \
+        --max-p99-ms 2000 --json BENCH_serving_procs2.json
+
+Two serving modes:
+
+* in-process (default) — the stack runs inside the bench's event
+  loop, zero subprocess noise; and
+* ``--procs N`` — a real ``repro-serve --procs N`` process group
+  (SO_REUSEPORT workers) is spawned and loaded over TCP; the group's
+  merged counters come from ``/metrics/all``, and the bench requires
+  a clean exit-0 SIGTERM drain at the end.
+
+The load can carry a priority mix (``--priority-mix
+high=0.2,normal=0.6,low=0.2``) and per-request deadlines
+(``--deadline-ms`` on a ``--deadline-fraction`` slice) — per-band
+client latency is reported, and a 504 on a deadline'd request counts
+as *deadline-expired*, not a failure (that is the contract working,
+not breaking).
 
 Every response body is **independently re-verified** here with the
 packed AllSAT verifier — the bench gates on zero incorrect chains,
-zero failed requests, and a strictly positive coalesce ratio, and
-optionally on a minimum warm-store hit ratio (``--min-hit-ratio``,
-used by CI against a pre-warmed store).  The JSON report carries
-client-side p50/p99 latency, throughput, and the server's own
-``/metrics`` snapshot.
+zero failed requests, a strictly positive coalesce ratio, and
+optionally a minimum warm-store hit ratio (``--min-hit-ratio``) and a
+maximum overall p99 (``--max-p99-ms``), both used by CI.
 """
 
 import argparse
 import asyncio
 import json
+import os
 import random
+import signal
+import subprocess
 import sys
 import time
 
@@ -62,6 +81,18 @@ def _random_orbit_member(rng, table):
         tuple(perm), rng.randrange(1 << n), bool(rng.randrange(2))
     )
     return transform.apply(table)
+
+
+def _parse_priority_mix(text):
+    """``high=0.2,normal=0.6,low=0.2`` → ([bands], [weights])."""
+    bands, weights = [], []
+    for part in text.split(","):
+        name, _, weight = part.partition("=")
+        bands.append(name.strip())
+        weights.append(float(weight) if weight else 1.0)
+    if not bands or all(w <= 0 for w in weights):
+        raise ValueError(f"bad --priority-mix {text!r}")
+    return bands, weights
 
 
 async def _post_json(host, port, path, payload, timeout):
@@ -105,13 +136,164 @@ async def _get_json(host, port, path, timeout=30.0):
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
-    _, _, payload_bytes = raw.partition(b"\r\n\r\n")
-    return json.loads(payload_bytes)
+    return json.loads(raw.partition(b"\r\n\r\n")[2])
 
 
-async def _drive(args):
+async def _load(args, host, port):
+    """Warm the store, fire the Zipf load, scrape server counters."""
     rng = random.Random(args.seed)
     reps = npn_classes(args.vars)
+    bands, band_weights = _parse_priority_mix(args.priority_mix)
+
+    warm_count = max(1, int(round(len(reps) * args.warm_fraction)))
+    warm_started = time.perf_counter()
+    for rep in reps[:warm_count]:
+        status, body = await _post_json(
+            host,
+            port,
+            "/synthesize",
+            {"function": rep.to_hex(), "vars": args.vars},
+            args.client_timeout,
+        )
+        if status != 200:
+            raise SystemExit(
+                f"warmup failed for 0x{rep.to_hex()}: "
+                f"{status} {body.get('error', '')}"
+            )
+    warm_seconds = time.perf_counter() - warm_started
+    print(
+        f"warmed {warm_count}/{len(reps)} classes "
+        f"in {warm_seconds:.2f}s"
+    )
+
+    # The load population: Zipf-skewed class choice, random orbit
+    # member per request, priority drawn from the mix, deadlines on a
+    # slice of the stream.
+    weights = _zipf_weights(len(reps), args.skew)
+    picks = rng.choices(range(len(reps)), weights, k=args.requests)
+    population = []
+    for index in picks:
+        table = _random_orbit_member(rng, reps[index])
+        priority = rng.choices(bands, band_weights)[0]
+        deadline = (
+            args.deadline_ms
+            if args.deadline_ms > 0
+            and rng.random() < args.deadline_fraction
+            else None
+        )
+        population.append((table, priority, deadline))
+
+    gate = asyncio.Semaphore(args.concurrency)
+    latencies = []
+    by_band = {band: [] for band in bands}
+    failures = []
+    bad_chains = []
+    statuses = {}
+    expired = [0]
+
+    async def one(table, priority, deadline):
+        payload = {
+            "function": table.to_hex(),
+            "vars": args.vars,
+            "max_chains": 1,
+            "priority": priority,
+        }
+        if deadline is not None:
+            payload["deadline_ms"] = deadline
+        async with gate:
+            started = time.perf_counter()
+            try:
+                status, body = await _post_json(
+                    host,
+                    port,
+                    "/synthesize",
+                    payload,
+                    args.client_timeout,
+                )
+            except Exception as exc:
+                failures.append(f"{table.to_hex()}: {exc!r}")
+                return
+            elapsed = time.perf_counter() - started
+            latencies.append(elapsed)
+            by_band[priority].append(elapsed)
+        statuses[status] = statuses.get(status, 0) + 1
+        if (
+            deadline is not None
+            and status == 504
+            and body.get("status") == "expired"
+        ):
+            # The deadline contract working as specified, not a
+            # failure: the server refused to burn a worker on an
+            # answer the client had already given up on.
+            expired[0] += 1
+            return
+        if status not in (200, 203):
+            failures.append(
+                f"{table.to_hex()}: HTTP {status} "
+                f"{body.get('error', '')}"
+            )
+            return
+        if not body.get("chains"):
+            failures.append(f"{table.to_hex()}: empty chain set")
+            return
+        chain = chain_from_record(body["chains"][0])
+        if not verify_chain(chain, table):
+            bad_chains.append(table.to_hex())
+
+    load_started = time.perf_counter()
+    await asyncio.gather(*(one(*entry) for entry in population))
+    load_seconds = time.perf_counter() - load_started
+
+    if args.procs > 0:
+        aggregate = await _get_json(host, port, "/metrics/all")
+        metrics = aggregate["merged"]
+        metrics["per_proc_count"] = aggregate["procs"]
+    else:
+        metrics = await _get_json(host, port, "/metrics")
+
+    serving = metrics.get("serving", {})
+    return {
+        "bench": "serving",
+        "vars": args.vars,
+        "classes": len(reps),
+        "warmed_classes": warm_count,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "procs": args.procs,
+        "zipf_skew": args.skew,
+        "priority_mix": args.priority_mix,
+        "deadline_ms": args.deadline_ms,
+        "deadline_fraction": args.deadline_fraction,
+        "seed": args.seed,
+        "warmup_seconds": round(warm_seconds, 3),
+        "load_seconds": round(load_seconds, 3),
+        "throughput_rps": round(args.requests / load_seconds, 2),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p90": round(_percentile(latencies, 0.90) * 1000, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 3),
+        },
+        "latency_by_priority_ms": {
+            band: {
+                "count": len(values),
+                "p50": round(_percentile(values, 0.50) * 1000, 3),
+                "p99": round(_percentile(values, 0.99) * 1000, 3),
+            }
+            for band, values in by_band.items()
+            if values
+        },
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "deadline_expired": expired[0],
+        "failed_requests": len(failures),
+        "failure_samples": failures[:10],
+        "incorrect_chains": len(bad_chains),
+        "coalesce_ratio": serving.get("coalesce_ratio", 0.0),
+        "hit_ratio": serving.get("hit_ratio", 0.0),
+        "server_metrics": metrics,
+    }
+
+
+async def _drive_inprocess(args):
     store = ChainStore(args.store)
     scheduler = BatchScheduler({}, args.jobs, queue_depth=0).start(
         recycle_after=500
@@ -123,122 +305,76 @@ async def _drive(args):
         max_backlog=max(args.requests, 256),
     )
     server = SynthesisServer(
-        service, port=0, rate_limiter=RateLimiter(None)
+        service,
+        port=0,
+        rate_limiter=RateLimiter(None),
+        max_connections=max(args.concurrency * 2, 512),
     )
     await server.start()
     host, port = server.address
-    print(f"serving on {host}:{port} ({len(reps)} NPN classes)")
-
-    warm_count = max(1, int(round(len(reps) * args.warm_fraction)))
+    print(f"serving on {host}:{port} (in-process)")
     try:
-        # Warm the *hot* classes (Zipf rank order): the timed run then
-        # measures a warm-store serving plane, while the cold tail
-        # still reaches the engine path — concurrent duplicates there
-        # are what exercises coalescing.
-        warm_started = time.perf_counter()
-        for rep in reps[:warm_count]:
-            status, body = await _post_json(
-                host,
-                port,
-                "/synthesize",
-                {"function": rep.to_hex(), "vars": args.vars},
-                args.client_timeout,
-            )
-            if status != 200:
-                raise SystemExit(
-                    f"warmup failed for 0x{rep.to_hex()}: "
-                    f"{status} {body.get('error', '')}"
-                )
-        warm_seconds = time.perf_counter() - warm_started
-        print(
-            f"warmed {warm_count}/{len(reps)} classes "
-            f"in {warm_seconds:.2f}s"
-        )
-
-        # The load population: Zipf-skewed class choice, random orbit
-        # member per request.
-        weights = _zipf_weights(len(reps), args.skew)
-        picks = rng.choices(range(len(reps)), weights, k=args.requests)
-        population = [
-            _random_orbit_member(rng, reps[index]) for index in picks
-        ]
-
-        gate = asyncio.Semaphore(args.concurrency)
-        latencies = []
-        failures = []
-        bad_chains = []
-        statuses = {}
-
-        async def one(table):
-            payload = {
-                "function": table.to_hex(),
-                "vars": args.vars,
-                "max_chains": 1,
-            }
-            async with gate:
-                started = time.perf_counter()
-                try:
-                    status, body = await _post_json(
-                        host,
-                        port,
-                        "/synthesize",
-                        payload,
-                        args.client_timeout,
-                    )
-                except Exception as exc:
-                    failures.append(f"{table.to_hex()}: {exc!r}")
-                    return
-                latencies.append(time.perf_counter() - started)
-            statuses[status] = statuses.get(status, 0) + 1
-            if status not in (200, 203):
-                failures.append(
-                    f"{table.to_hex()}: HTTP {status} "
-                    f"{body.get('error', '')}"
-                )
-                return
-            if not body.get("chains"):
-                failures.append(f"{table.to_hex()}: empty chain set")
-                return
-            chain = chain_from_record(body["chains"][0])
-            if not verify_chain(chain, table):
-                bad_chains.append(table.to_hex())
-
-        load_started = time.perf_counter()
-        await asyncio.gather(*(one(t) for t in population))
-        load_seconds = time.perf_counter() - load_started
-
-        metrics = await _get_json(host, port, "/metrics")
+        return await _load(args, host, port)
     finally:
         await server.shutdown(drain_timeout=30.0)
         scheduler.shutdown(cancel_queued=True)
         store.close()
 
-    serving = metrics.get("serving", {})
-    report = {
-        "bench": "serving",
-        "vars": args.vars,
-        "classes": len(reps),
-        "warmed_classes": warm_count,
-        "requests": args.requests,
-        "concurrency": args.concurrency,
-        "zipf_skew": args.skew,
-        "seed": args.seed,
-        "warmup_seconds": round(warm_seconds, 3),
-        "load_seconds": round(load_seconds, 3),
-        "throughput_rps": round(args.requests / load_seconds, 2),
-        "latency_ms": {
-            "p50": round(_percentile(latencies, 0.50) * 1000, 3),
-            "p90": round(_percentile(latencies, 0.90) * 1000, 3),
-            "p99": round(_percentile(latencies, 0.99) * 1000, 3),
-        },
-        "statuses": {str(k): v for k, v in sorted(statuses.items())},
-        "failed_requests": len(failures),
-        "failure_samples": failures[:10],
-        "incorrect_chains": len(bad_chains),
-        "coalesce_ratio": serving.get("coalesce_ratio", 0.0),
-        "hit_ratio": serving.get("hit_ratio", 0.0),
-        "server_metrics": metrics,
-    }
+
+async def _drive_subprocess(args):
+    """Load a real ``repro-serve --procs N`` group over TCP."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+    )
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--port",
+            "0",
+            "--procs",
+            str(args.procs),
+            "--jobs",
+            str(args.jobs),
+            "--store",
+            args.store,
+            "--timeout",
+            str(args.timeout),
+            "--max-connections",
+            str(max(args.concurrency * 2, 512)),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        if not banner.startswith("listening on "):
+            raise SystemExit(f"bad server banner: {banner!r}")
+        host, port = banner.rsplit(" ", 1)[1].rsplit(":", 1)
+        print(f"serving on {host}:{port} ({args.procs} processes)")
+        report = await _load(args, host, int(port))
+    except BaseException:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=120)
+    report["server_exit_code"] = rc
+    if rc != 0:
+        report["failed_requests"] += 1
+        report["failure_samples"].append(
+            f"server group exited {rc} on SIGTERM"
+        )
     return report
 
 
@@ -265,11 +401,36 @@ def main(argv=None):
         "the store; the cold tail exercises coalescing",
     )
     parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        help="0 = in-process stack; N >= 1 spawns a real "
+        "'repro-serve --procs N' group and loads it over TCP",
+    )
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument(
         "--client-timeout", type=float, default=120.0
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--priority-mix",
+        default="normal=1.0",
+        help="band=weight list, e.g. high=0.2,normal=0.6,low=0.2",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="deadline budget carried by a slice of requests "
+        "(0 = no deadlines)",
+    )
+    parser.add_argument(
+        "--deadline-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of requests carrying --deadline-ms",
+    )
     parser.add_argument(
         "--store",
         default=None,
@@ -284,6 +445,12 @@ def main(argv=None):
         default=0.0,
         help="gate: minimum warm-store hit ratio over the load run",
     )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=0.0,
+        help="gate: maximum client-side p99 latency (0 = no gate)",
+    )
     args = parser.parse_args(argv)
 
     cleanup = None
@@ -295,7 +462,10 @@ def main(argv=None):
         args.store = f"{tempdir}/chains.db"
         cleanup = lambda: shutil.rmtree(tempdir, ignore_errors=True)  # noqa: E731
     try:
-        report = asyncio.run(_drive(args))
+        if args.procs > 0:
+            report = asyncio.run(_drive_subprocess(args))
+        else:
+            report = asyncio.run(_drive_inprocess(args))
     finally:
         if cleanup is not None:
             cleanup()
@@ -307,8 +477,16 @@ def main(argv=None):
         f"p50={report['latency_ms']['p50']}ms "
         f"p99={report['latency_ms']['p99']}ms, "
         f"coalesce={report['coalesce_ratio']} "
-        f"hits={report['hit_ratio']}"
+        f"hits={report['hit_ratio']} "
+        f"expired={report['deadline_expired']}"
     )
+    for band, window in sorted(
+        report["latency_by_priority_ms"].items()
+    ):
+        print(
+            f"  {band}: n={window['count']} "
+            f"p50={window['p50']}ms p99={window['p99']}ms"
+        )
     print(f"wrote {args.json}")
 
     failed = []
@@ -328,6 +506,14 @@ def main(argv=None):
         failed.append(
             f"hit ratio {report['hit_ratio']} below gate "
             f"{args.min_hit_ratio}"
+        )
+    if (
+        args.max_p99_ms > 0
+        and report["latency_ms"]["p99"] > args.max_p99_ms
+    ):
+        failed.append(
+            f"p99 {report['latency_ms']['p99']}ms above gate "
+            f"{args.max_p99_ms}ms"
         )
     if failed:
         for line in failed:

@@ -10,6 +10,12 @@ progress (:mod:`~repro.parallel.progress`).  ``run_suite(jobs=N)``,
 (:mod:`~repro.parallel.cli`) all drive it.
 """
 
+from .dispatch import (
+    PRIORITY_BANDS,
+    DeadlineExpired,
+    DispatchQueue,
+    normalize_priority,
+)
 from .progress import ProgressReporter
 from .scheduler import BatchScheduler, BatchTask, WorkerStats, expected_cost
 
@@ -19,4 +25,8 @@ __all__ = [
     "WorkerStats",
     "expected_cost",
     "ProgressReporter",
+    "DispatchQueue",
+    "DeadlineExpired",
+    "PRIORITY_BANDS",
+    "normalize_priority",
 ]

@@ -1,0 +1,204 @@
+"""Priority- and deadline-aware dispatch queue for the resident pool.
+
+The serving layer admits requests carrying a **priority band** (high /
+normal / low) and an optional absolute **deadline**.  A plain FIFO
+``queue.Queue`` makes both meaningless: under overload a burst of
+low-priority work queued first starves an urgent request behind it,
+and a request whose deadline lapsed while queued still burns a worker
+slot producing an answer nobody is waiting for.
+
+:class:`DispatchQueue` replaces the FIFO for the resident pool with a
+heap ordered by ``(band, deadline, seq)``:
+
+* **strict priority bands** — a ready lower band (smaller number =
+  more urgent) always dispatches before any higher band;
+* **earliest-deadline-first within a band** — deadline-less entries
+  sort after every deadline'd entry of their band;
+* **FIFO within equal (band, deadline) keys** — the monotone ``seq``
+  breaks ties, so equal-key entries dispatch in arrival order.
+
+Expiry is checked at *pop* time against the queue's injectable clock:
+:meth:`get` hands expired entries back flagged, so the dispatcher can
+answer them (HTTP 504) in O(1) without ever running the payload — an
+expired request never occupies a worker.  The heap key keeps the
+*original* deadline even if the payload's deadline is later extended
+(ordering is advisory; expiry consults the flag returned here, and the
+caller re-checks its own payload state).
+
+Thread-safe (one lock + two conditions, mirroring ``queue.Queue``);
+``Full``/``Empty`` are the stdlib :mod:`queue` exceptions so existing
+submit loops keep their exception handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from queue import Empty, Full
+from typing import Callable
+
+__all__ = [
+    "DeadlineExpired",
+    "DispatchQueue",
+    "PRIORITY_BANDS",
+    "SENTINEL_BAND",
+    "normalize_priority",
+]
+
+#: Named priority bands accepted by the serving layer.  Smaller
+#: dispatches first.
+PRIORITY_BANDS = {"high": 0, "normal": 1, "low": 2}
+
+#: Band used for pool-control entries (shutdown sentinels): sorts
+#: after every real job so dispatchers exit only once the queue is
+#: worked off.
+SENTINEL_BAND = 1 << 30
+
+_NO_DEADLINE = float("inf")
+
+
+class DeadlineExpired(Exception):
+    """A queued job's deadline lapsed before a worker picked it up."""
+
+
+def normalize_priority(value) -> int:
+    """Map a request ``priority`` field onto a band number.
+
+    Accepts the named bands (``"high"``/``"normal"``/``"low"``,
+    case-insensitive), an integer band (clamped to ``0..9``), or
+    ``None`` (→ the normal band).  Raises :class:`ValueError` on
+    anything else — the serving layer surfaces this as a 400.
+    """
+    if value is None:
+        return PRIORITY_BANDS["normal"]
+    if isinstance(value, str):
+        try:
+            return PRIORITY_BANDS[value.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f'"priority" must be one of {sorted(PRIORITY_BANDS)} '
+                "or an integer band"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError('"priority" must be a band name or integer')
+    if not 0 <= value <= 9:
+        raise ValueError('"priority" integer bands range 0..9')
+    return value
+
+
+class DispatchQueue:
+    """Thread-safe (band, deadline, FIFO)-ordered work queue.
+
+    Parameters
+    ----------
+    maxsize:
+        Bound on queued entries (``0`` = unbounded), matching
+        ``queue.Queue`` semantics: :meth:`put` blocks/raises
+        :class:`queue.Full` when the bound is hit.
+    clock:
+        Monotonic clock used for expiry checks; injectable so property
+        tests drive time deterministically.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._maxsize = maxsize
+        self._clock = clock
+        self._heap: list[tuple[int, float, int, object]] = []
+        self._seq = itertools.count()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        payload,
+        *,
+        band: int = PRIORITY_BANDS["normal"],
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Enqueue ``payload`` under ``(band, deadline)``.
+
+        ``deadline`` is an absolute clock value (same clock as the
+        queue's); ``None`` sorts after every deadline'd entry of the
+        band.  Blocks while full; raises :class:`queue.Full` once
+        ``timeout`` elapses (``timeout=0`` never blocks).
+        """
+        key = _NO_DEADLINE if deadline is None else float(deadline)
+        with self._not_full:
+            if self._maxsize > 0:
+                endtime = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while len(self._heap) >= self._maxsize:
+                    remaining = (
+                        None
+                        if endtime is None
+                        else endtime - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise Full
+                    self._not_full.wait(timeout=remaining)
+            heapq.heappush(
+                self._heap, (band, key, next(self._seq), payload)
+            )
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def get(self, timeout: float | None = None):
+        """Pop the most urgent entry as ``(payload, expired)``.
+
+        ``expired`` is True when the entry's deadline lapsed before
+        this pop — the caller must answer it without running it.
+        Blocks while empty; raises :class:`queue.Empty` on timeout.
+        """
+        with self._not_empty:
+            endtime = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            while not self._heap:
+                remaining = (
+                    None if endtime is None else endtime - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise Empty
+                self._not_empty.wait(timeout=remaining)
+            band, key, _seq, payload = heapq.heappop(self._heap)
+            self._not_full.notify()
+            expired = key != _NO_DEADLINE and self._clock() >= key
+            return payload, expired
+
+    def get_nowait(self):
+        """Pop any entry without blocking (shutdown drains use this).
+
+        Returns the bare payload — expiry no longer matters once the
+        pool is cancelling everything.  Raises :class:`queue.Empty`.
+        """
+        with self._not_empty:
+            if not self._heap:
+                raise Empty
+            _band, _key, _seq, payload = heapq.heappop(self._heap)
+            self._not_full.notify()
+            return payload
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def qsize(self) -> int:
+        with self._mutex:
+            return len(self._heap)
+
+    def empty(self) -> bool:
+        return self.qsize() == 0

@@ -41,6 +41,12 @@ from typing import Callable, Mapping, Sequence
 
 from ..runtime.executor import ExecutionOutcome
 from ..truthtable.table import TruthTable
+from .dispatch import (
+    PRIORITY_BANDS,
+    SENTINEL_BAND,
+    DeadlineExpired,
+    DispatchQueue,
+)
 from .progress import ProgressReporter
 
 __all__ = [
@@ -86,6 +92,8 @@ class WorkerStats:
     #: Instances served as a non-exact upper bound after every exact
     #: engine exhausted its budget (racing's graceful degradation).
     degraded: int = 0
+    #: Queued jobs answered as deadline-expired without executing.
+    expired: int = 0
     #: Times this slot's dispatcher thread was recycled.
     recycled: int = 0
     busy_seconds: float = 0.0
@@ -117,6 +125,7 @@ class WorkerStats:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "degraded": self.degraded,
+            "expired": self.expired,
             "recycled": self.recycled,
             "busy_seconds": round(self.busy_seconds, 6),
         }
@@ -138,18 +147,22 @@ def expected_cost(function: TruthTable) -> tuple[int, int]:
 class _Job:
     """One queued unit of dispatcher work."""
 
-    __slots__ = ("label", "fn", "future", "task")
+    __slots__ = ("label", "fn", "future", "task", "band", "deadline")
 
     def __init__(
         self,
         label: str,
         fn: Callable[[], ExecutionOutcome],
         task: BatchTask | None = None,
+        band: int = PRIORITY_BANDS["normal"],
+        deadline: float | None = None,
     ) -> None:
         self.label = label
         self.fn = fn
         self.future: Future = Future()
         self.task = task
+        self.band = band
+        self.deadline = deadline
 
 
 class BatchScheduler:
@@ -207,7 +220,7 @@ class BatchScheduler:
         self._complete_lock = threading.Lock()
         self.worker_stats: list[WorkerStats] = []
         # Resident-pool state (all None/empty until start()).
-        self._queue: queue.Queue | None = None
+        self._queue: DispatchQueue | None = None
         self._threads: dict[int, threading.Thread] = {}
         self._threads_lock = threading.Lock()
         self._stop = threading.Event()
@@ -250,7 +263,7 @@ class BatchScheduler:
             raise RuntimeError("scheduler already started")
         if recycle_after is not None and recycle_after < 1:
             raise ValueError("recycle_after must be >= 1")
-        self._queue = queue.Queue(maxsize=self._queue_depth)
+        self._queue = DispatchQueue(maxsize=self._queue_depth)
         self._stop = threading.Event()
         self._accepting = True
         self._stop_on_error = stop_on_error
@@ -297,7 +310,12 @@ class BatchScheduler:
         return self._enqueue(_Job(task.label, fn, task))
 
     def submit_call(
-        self, label: str, fn: Callable[[], ExecutionOutcome]
+        self,
+        label: str,
+        fn: Callable[[], ExecutionOutcome],
+        *,
+        priority: int = PRIORITY_BANDS["normal"],
+        deadline: float | None = None,
     ) -> Future:
         """Queue an arbitrary synthesis closure on the pool.
 
@@ -306,8 +324,17 @@ class BatchScheduler:
         canonical-representative synthesis shared by coalesced
         requests.  ``fn`` runs on a dispatcher thread and its return
         value resolves the future.
+
+        ``priority`` is a dispatch band (smaller = dispatched first)
+        and ``deadline`` an absolute ``time.monotonic()`` instant: the
+        queue dispatches earliest-deadline-first within a band, and a
+        job still queued past its deadline resolves its future with
+        :class:`~repro.parallel.dispatch.DeadlineExpired` without ever
+        occupying a worker.
         """
-        return self._enqueue(_Job(label, fn))
+        return self._enqueue(
+            _Job(label, fn, band=priority, deadline=deadline)
+        )
 
     def _enqueue(self, job: _Job) -> Future:
         work = self._queue
@@ -323,7 +350,12 @@ class BatchScheduler:
                 self._cancel_job(job)
                 return job.future
             try:
-                work.put(job, timeout=0.1)
+                work.put(
+                    job,
+                    band=job.band,
+                    deadline=job.deadline,
+                    timeout=0.1,
+                )
                 return job.future
             except queue.Full:
                 continue
@@ -371,10 +403,14 @@ class BatchScheduler:
             self._cancel_queued(work)
         # One sentinel per slot; recycling is disabled once accepting
         # is off, so each sentinel retires exactly one dispatcher.
+        # Sentinels ride the lowest-urgency band so dispatchers only
+        # see them once every real job has been worked off.
         for _ in range(self._jobs):
             while True:
                 try:
-                    work.put(_SENTINEL, timeout=0.1)
+                    work.put(
+                        _SENTINEL, band=SENTINEL_BAND, timeout=0.1
+                    )
                     break
                 except queue.Full:  # pragma: no cover - timing dependent
                     if self._stop.is_set():
@@ -391,7 +427,7 @@ class BatchScheduler:
             self._threads.clear()
         self._queue = None
 
-    def _cancel_queued(self, work: queue.Queue) -> None:
+    def _cancel_queued(self, work: DispatchQueue) -> None:
         """Drop queued jobs, cancelling their futures."""
         while True:
             try:
@@ -496,13 +532,24 @@ class BatchScheduler:
         work = self._queue
         handled = 0
         while True:
-            job = work.get()
+            job, lapsed = work.get()
             if job is _SENTINEL:
                 return
             if self._stop.is_set():
                 self._cancel_job(job)
                 continue  # drain without executing
             if not job.future.set_running_or_notify_cancel():
+                self._job_done()
+                continue
+            if lapsed:
+                # Deadline lapsed while queued: answer in O(1), never
+                # occupy this worker with the actual synthesis.
+                stats.expired += 1
+                job.future.set_exception(
+                    DeadlineExpired(
+                        f"{job.label}: deadline lapsed in queue"
+                    )
+                )
                 self._job_done()
                 continue
             started = time.perf_counter()

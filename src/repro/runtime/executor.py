@@ -251,14 +251,36 @@ class FaultTolerantExecutor:
         timeout: float | None = None,
         *,
         key: str | None = None,
+        expire_at: float | None = None,
     ) -> ExecutionOutcome:
         """Synthesize ``function`` with full fault tolerance.
 
         Never raises for per-instance failures — the outcome records
         what happened.  ``KeyboardInterrupt`` is deliberately *not*
         swallowed so suite runners can checkpoint and stop.
+
+        ``expire_at`` is an absolute ``time.monotonic()`` deadline (the
+        serving layer's request deadline): the run's budget becomes
+        ``min(timeout, expire_at - now)``, so however long the job
+        waited in a queue, the engine's cooperative
+        :class:`~repro.core.spec.Deadline` (and through it every
+        ``SynthesisContext``) only ever sees the *remaining* wall
+        clock.  An already-lapsed ``expire_at`` returns a ``timeout``
+        outcome without dispatching any engine.
         """
         fault_key = key if key is not None else function.to_hex()
+        if expire_at is not None:
+            remaining = expire_at - time.monotonic()
+            if remaining <= 0:
+                return ExecutionOutcome(
+                    function_hex=function.to_hex(),
+                    num_vars=function.num_vars,
+                    status="timeout",
+                    error="request deadline lapsed before dispatch",
+                )
+            timeout = (
+                remaining if timeout is None else min(timeout, remaining)
+            )
         deadline = Deadline(timeout)
         outcome = ExecutionOutcome(
             function_hex=function.to_hex(),

@@ -12,12 +12,18 @@ persistent dispatcher pool.
 """
 
 from .metrics import ServingMetrics
+from .multiproc import SiblingRegistry, reserve_port, supervise
+from .prometheus import render_prometheus
 from .ratelimit import RateLimiter, TokenBucket
 from .server import SynthesisServer
 from .service import SynthesisRequest, SynthesisResponse, SynthesisService
 
 __all__ = [
     "ServingMetrics",
+    "SiblingRegistry",
+    "reserve_port",
+    "supervise",
+    "render_prometheus",
     "RateLimiter",
     "TokenBucket",
     "SynthesisServer",

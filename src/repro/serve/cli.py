@@ -7,22 +7,35 @@ pool empties, the listener closes) before exiting 0::
 
     repro-serve --port 8945 --store chains.db --jobs 4
     repro-serve --port 0 --race --rate 200 --burst 400
+    repro-serve --port 0 --procs 4 --store chains.db
 
 ``--port 0`` binds an ephemeral port; the actual address is printed as
 ``listening on HOST:PORT`` on stdout (and flushed) so harnesses can
 parse it.
+
+``--procs N`` forks N serving processes sharing the port via
+``SO_REUSEPORT`` (the kernel load-balances connections), each with
+its own event loop and scheduler pool but all sharing one chain store
+(SQLite WAL handles the multi-process readers).  One banner is
+printed, by the parent, once every worker is listening; SIGTERM to
+the parent drains the whole group.  ``GET /metrics/all`` on the
+shared port answers with every worker's counters merged.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import shutil
 import signal
 import sys
+import tempfile
 from typing import Sequence
 
 from ..parallel.scheduler import BatchScheduler
 from ..runtime.engines import DEFAULT_FALLBACK_CHAIN, ENGINE_NAMES
+from .multiproc import SiblingRegistry, reserve_port, supervise
 from .ratelimit import RateLimiter
 from .server import SynthesisServer
 from .service import SynthesisService
@@ -45,10 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (0 = ephemeral; the bound port is printed)",
     )
     parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="serving processes sharing the port via SO_REUSEPORT "
+        "(default: 1, no forking)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=2,
-        help="resident dispatcher threads (default: 2)",
+        help="resident dispatcher threads per process (default: 2)",
     )
     parser.add_argument(
         "--store",
@@ -98,6 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed new engine work past this scheduler backlog",
     )
     parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=512,
+        help="concurrent sockets per process; excess connections are "
+        "answered 503 immediately and closed (default: 512)",
+    )
+    parser.add_argument(
+        "--max-conn-requests",
+        type=int,
+        default=1000,
+        help="pipelined requests one connection may send before the "
+        "server forces Connection: close (default: 1000)",
+    )
+    parser.add_argument(
         "--recycle-after",
         type=int,
         default=1000,
@@ -109,10 +143,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to wait for in-flight work on shutdown",
     )
+    parser.add_argument(
+        "--procdir",
+        default=None,
+        help="sibling-registry directory for --procs mode (default: "
+        "a fresh temp directory)",
+    )
     return parser
 
 
-async def _amain(args: argparse.Namespace) -> int:
+async def _amain(
+    args: argparse.Namespace,
+    *,
+    proc_index: int = 0,
+    reuse_port: bool = False,
+    registry: SiblingRegistry | None = None,
+    banner: bool = True,
+) -> int:
     store = None
     if args.store:
         from ..store import ChainStore
@@ -141,11 +188,28 @@ async def _amain(args: argparse.Namespace) -> int:
         max_backlog=args.max_backlog,
     )
     server = SynthesisServer(
-        service, host=args.host, port=args.port, rate_limiter=limiter
+        service,
+        host=args.host,
+        port=args.port,
+        rate_limiter=limiter,
+        max_connections=args.max_connections,
+        max_requests_per_conn=args.max_conn_requests,
+        pause_accept_on_drain=reuse_port,
+        registry=registry,
+        proc_index=proc_index,
     )
-    await server.start()
+    await server.start(reuse_port=reuse_port)
+    if registry is not None:
+        # The admin listener (private loopback port) lets siblings
+        # scrape this worker's /metrics for the /metrics/all merge;
+        # registering only after the public listener is up means a
+        # registry entry implies "accepting traffic" — the parent
+        # waits on that to print the banner.
+        admin_host, admin_port = await server.start_admin()
+        registry.register(proc_index, admin_host, admin_port)
     host, port = server.address
-    print(f"listening on {host}:{port}", flush=True)
+    if banner:
+        print(f"listening on {host}:{port}", flush=True)
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -159,6 +223,8 @@ async def _amain(args: argparse.Namespace) -> int:
         print("draining", file=sys.stderr, flush=True)
         await server.shutdown(drain_timeout=args.drain_timeout)
     finally:
+        if registry is not None:
+            registry.unregister(proc_index)
         scheduler.shutdown(cancel_queued=True)
         if store is not None:
             store.close()
@@ -166,9 +232,54 @@ async def _amain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _main_multiproc(args: argparse.Namespace) -> int:
+    """Fork ``--procs`` reuseport workers and supervise them."""
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo
+        print("--procs needs os.fork (POSIX)", file=sys.stderr)
+        return 2
+    placeholder, port = reserve_port(args.host, args.port)
+    args.port = port
+    procdir = args.procdir or tempfile.mkdtemp(prefix="repro-serve-")
+    made_procdir = args.procdir is None
+    registry = SiblingRegistry(procdir)
+
+    def child(index: int) -> int:
+        placeholder.close()
+        return asyncio.run(
+            _amain(
+                args,
+                proc_index=index,
+                reuse_port=True,
+                registry=registry,
+                banner=False,
+            )
+        )
+
+    def wait_ready_and_announce() -> None:
+        import time as _time
+
+        deadline = _time.monotonic() + 30.0
+        while _time.monotonic() < deadline:
+            if len(registry.entries()) >= args.procs:
+                break
+            _time.sleep(0.05)
+        print(f"listening on {args.host}:{port}", flush=True)
+
+    try:
+        return supervise(
+            args.procs, child, after_fork=wait_ready_and_announce
+        )
+    finally:
+        placeholder.close()
+        if made_procdir:
+            shutil.rmtree(procdir, ignore_errors=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.procs > 1:
+        return _main_multiproc(args)
     try:
         return asyncio.run(_amain(args))
     except KeyboardInterrupt:  # pragma: no cover - direct ^C race

@@ -1,0 +1,258 @@
+"""Multi-process serving: SO_REUSEPORT workers under one supervisor.
+
+A single asyncio event loop saturates one core parsing HTTP long
+before the synthesis pool does; ``repro-serve --procs N`` forks N
+fully independent serving processes — each with its own event loop,
+scheduler pool, and :class:`~repro.store.ChainStore` handle — all
+listening on **one** TCP port via ``SO_REUSEPORT`` (the kernel
+load-balances accepted connections across the listeners).  The store
+is shared safely because SQLite WAL already supports concurrent
+multi-process readers with serialized writers, which is exactly the
+store's access pattern.
+
+Three small pieces live here:
+
+* :func:`reserve_port` — the parent binds the requested port once
+  (resolving ``--port 0`` to a concrete ephemeral port) and *holds*
+  the bound-but-never-listening socket, so the port stays reserved
+  while children bind their own listening sockets with
+  ``SO_REUSEPORT``.  A TCP socket that never listens receives no
+  connections, so the placeholder never steals traffic.
+* :class:`SiblingRegistry` — a directory of ``proc-<i>.json`` files,
+  one per worker, each naming the worker's private **admin** address
+  (a loopback listener *outside* the reuseport group).  Any worker
+  answering ``GET /metrics/all`` on the public port scrapes its
+  siblings' admin ``/metrics`` and merges the snapshots
+  (:func:`repro.stats.merge_numeric`) — the "tiny aggregator"
+  endpoint, no extra daemon.
+* :func:`supervise` — forks the workers, forwards SIGTERM/SIGINT to
+  every child (coordinated graceful drain: each child stops
+  accepting, finishes in-flight work, drains its pool), and reaps
+  them all before returning the worst exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+from typing import Callable
+
+from ..stats import merge_numeric
+
+__all__ = [
+    "SiblingRegistry",
+    "fetch_json",
+    "aggregate_snapshots",
+    "reserve_port",
+    "supervise",
+]
+
+
+def reserve_port(host: str, port: int) -> tuple[socket.socket, int]:
+    """Bind (but never listen on) ``host:port`` with ``SO_REUSEPORT``.
+
+    Returns the placeholder socket — the caller must keep it open for
+    as long as the port should stay reserved — and the concrete port
+    (meaningful when ``port`` was 0).  Raises :class:`RuntimeError`
+    where the platform has no ``SO_REUSEPORT``.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover - linux CI
+        raise RuntimeError(
+            "multi-process serving needs SO_REUSEPORT, which this "
+            "platform does not provide"
+        )
+    placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        placeholder.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+        )
+        placeholder.bind((host, port))
+    except BaseException:
+        placeholder.close()
+        raise
+    return placeholder, placeholder.getsockname()[1]
+
+
+class SiblingRegistry:
+    """Directory-backed registry of per-worker admin addresses.
+
+    Registration is an atomic write (temp file + rename), so a
+    sibling scraping mid-register sees either the old file or the new
+    one, never a torn JSON document.
+    """
+
+    def __init__(self, procdir: str) -> None:
+        self._dir = procdir
+        os.makedirs(procdir, exist_ok=True)
+
+    @property
+    def procdir(self) -> str:
+        return self._dir
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self._dir, f"proc-{index}.json")
+
+    def register(
+        self, index: int, host: str, port: int, pid: int | None = None
+    ) -> None:
+        entry = {
+            "index": index,
+            "host": host,
+            "port": port,
+            "pid": pid if pid is not None else os.getpid(),
+        }
+        tmp = f"{self._path(index)}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, self._path(index))
+
+    def unregister(self, index: int) -> None:
+        try:
+            os.unlink(self._path(index))
+        except FileNotFoundError:
+            pass
+
+    def entries(self) -> list[dict]:
+        """Every registered worker, sorted by index."""
+        found = []
+        try:
+            names = os.listdir(self._dir)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not (name.startswith("proc-") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(self._dir, name)) as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(entry, dict) and "port" in entry:
+                found.append(entry)
+        return sorted(found, key=lambda e: e.get("index", 0))
+
+
+async def fetch_json(
+    host: str, port: int, path: str, timeout: float = 5.0
+):
+    """Minimal async HTTP GET returning the decoded JSON body."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: aggregator\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    if status != 200:
+        raise RuntimeError(f"sibling scrape failed: HTTP {status}")
+    return json.loads(body)
+
+
+async def aggregate_snapshots(
+    registry: SiblingRegistry | None,
+    local_index: int,
+    local_snapshot: dict,
+    *,
+    timeout: float = 5.0,
+) -> dict:
+    """The ``/metrics/all`` document: every worker's snapshot, merged.
+
+    The scraped worker contributes its own snapshot locally (no HTTP
+    round-trip to itself) and fetches each registered sibling's admin
+    ``/metrics``.  Unreachable siblings (mid-restart, crashed) are
+    reported by index instead of failing the whole scrape.
+    """
+    per_proc: dict[str, dict] = {str(local_index): local_snapshot}
+    unreachable: list[int] = []
+    if registry is not None:
+        for entry in registry.entries():
+            index = int(entry.get("index", -1))
+            if index == local_index:
+                continue
+            try:
+                per_proc[str(index)] = await fetch_json(
+                    entry["host"], entry["port"], "/metrics", timeout
+                )
+            except (OSError, RuntimeError, ValueError, asyncio.TimeoutError):
+                unreachable.append(index)
+    return {
+        "procs": len(per_proc),
+        "aggregated_from": local_index,
+        "unreachable": sorted(unreachable),
+        "merged": merge_numeric(list(per_proc.values())),
+        "per_proc": per_proc,
+    }
+
+
+def supervise(
+    count: int,
+    child_main: Callable[[int], int],
+    *,
+    signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+    after_fork: Callable[[], None] | None = None,
+) -> int:
+    """Fork ``count`` workers, forward signals, reap them all.
+
+    ``child_main(index)`` runs in each forked child; its return value
+    becomes the child's exit code (children never return here —
+    ``os._exit`` guarantees no double-running of parent cleanup).
+    The parent's SIGTERM/SIGINT are forwarded to every child so the
+    whole group drains together; the worst child exit code is
+    returned.  ``after_fork`` runs in the parent once every child is
+    forked, before reaping — the CLI uses it to wait for worker
+    readiness and print the single banner.
+    """
+    pids: list[int] = []
+    for index in range(count):
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                code = int(child_main(index) or 0)
+            except KeyboardInterrupt:
+                code = 0
+            except SystemExit as exc:  # argparse/CLI exits
+                code = int(exc.code or 0)
+            finally:
+                os._exit(code & 0xFF)
+        pids.append(pid)
+
+    def forward(signum, _frame):
+        for pid in pids:
+            try:
+                os.kill(pid, signum)
+            except ProcessLookupError:
+                pass
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, forward)
+    worst = 0
+    try:
+        if after_fork is not None:
+            after_fork()
+        for pid in pids:
+            try:
+                _, status = os.waitpid(pid, 0)
+            except ChildProcessError:  # pragma: no cover - already reaped
+                continue
+            code = os.waitstatus_to_exitcode(status)
+            worst = max(worst, abs(code))
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return worst

@@ -106,6 +106,20 @@ class RateLimiter:
             return 0.0
         return bucket.retry_after(self._clock())
 
+    def stats(self) -> dict:
+        """Gauges for ``/metrics``: configuration + table pressure."""
+        exhausted = sum(
+            1 for b in self._buckets.values() if b.tokens < 1.0
+        ) if self._rate is not None else 0
+        return {
+            "enabled": self._rate is not None,
+            "rate": self._rate if self._rate is not None else 0.0,
+            "burst": self._burst if self._rate is not None else 0.0,
+            "clients_tracked": len(self._buckets),
+            "clients_exhausted": exhausted,
+            "max_clients": self._max_clients,
+        }
+
     def _reap(self, now: float) -> None:
         """Drop buckets idle long enough to have refilled completely."""
         assert self._rate is not None

@@ -4,25 +4,43 @@ No third-party web framework is available in the target environment,
 so this is a deliberately small hand-rolled HTTP/1.1 server over
 ``asyncio.start_server`` streams: request-line + headers + sized body
 in, JSON + ``Content-Length`` out, keep-alive by default.  It serves
-three routes:
+four routes:
 
 ``POST /synthesize``
     The request funnel (rate limit → drain check → service).  The
     service status maps onto distinct HTTP codes so load generators
     and operators can tell outcomes apart without parsing bodies —
     in particular **degraded** answers are 203 (an answer, just not
-    authoritative/optimal), not a 5xx.
+    authoritative/optimal), not a 5xx, and **expired** deadlines are
+    504 without the request ever having occupied a worker.
 ``GET /metrics``
     The merged counter snapshot (:meth:`SynthesisService
-    .metrics_snapshot`).
+    .metrics_snapshot`), content-negotiated: JSON by default,
+    Prometheus text exposition when the ``Accept`` header asks for
+    ``text/plain`` (what a Prometheus scraper sends).
+``GET /metrics/all``
+    Multi-process aggregation: this worker's snapshot merged with
+    every registered sibling's (scraped over their admin listeners).
+    Single-process servers answer with a one-entry aggregate.
 ``GET /healthz``
     Liveness + drain state.
 
+Backpressure is connection-level and independent of the scheduler's
+backlog shed: at most ``max_connections`` sockets are served
+concurrently (excess connections get an immediate 503 and close —
+fast shedding, no queueing), and one connection may pipeline at most
+``max_requests_per_conn`` requests before the server forces
+``Connection: close`` (so long-lived clients rotate and load spreads
+across multi-process workers).
+
 Graceful drain: :meth:`SynthesisServer.shutdown` (wired to SIGTERM by
-the CLI) stops accepting synthesis work (503 with ``Connection:
+the CLI) stops admitting synthesis work (503 with ``Connection:
 close``), waits for in-flight requests to finish, drains the
 scheduler, and only then closes the listener — no request is ever
-dropped mid-synthesis.
+dropped mid-synthesis.  With ``pause_accept_on_drain`` (the
+multi-process default) the listener closes at drain *start* instead,
+ejecting the worker from the ``SO_REUSEPORT`` group so the kernel
+routes new connections to its siblings rather than at a 503 wall.
 """
 
 from __future__ import annotations
@@ -30,6 +48,9 @@ from __future__ import annotations
 import asyncio
 import json
 
+from .multiproc import SiblingRegistry, aggregate_snapshots
+from .prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from .prometheus import render_prometheus
 from .ratelimit import RateLimiter
 from .service import SynthesisRequest, SynthesisService
 
@@ -43,6 +64,7 @@ STATUS_HTTP = {
     "degraded": 203,
     "infeasible": 422,
     "timeout": 504,
+    "expired": 504,
     "crash": 500,
     "corrupt": 500,
     "unavailable": 503,
@@ -66,9 +88,19 @@ _REASONS = {
 _MAX_HEADER_LINE = 16 * 1024
 _MAX_BODY = 1024 * 1024
 
+#: Internal marker a route puts in its ``extra`` dict to force
+#: ``Connection: close`` on the response; popped before headers render.
+_CLOSE = "__close__"
+
 
 class _BadRequest(Exception):
     """Unparseable HTTP — the connection is answered 400 and closed."""
+
+
+def _wants_prometheus(accept: str) -> bool:
+    """True when an ``Accept`` header asks for the text exposition."""
+    accept = accept.lower()
+    return "text/plain" in accept or "openmetrics" in accept
 
 
 class SynthesisServer:
@@ -81,6 +113,11 @@ class SynthesisServer:
         host: str = "127.0.0.1",
         port: int = 0,
         rate_limiter: RateLimiter | None = None,
+        max_connections: int = 512,
+        max_requests_per_conn: int = 1000,
+        pause_accept_on_drain: bool = False,
+        registry: SiblingRegistry | None = None,
+        proc_index: int = 0,
     ) -> None:
         self._service = service
         self._host = host
@@ -88,37 +125,90 @@ class SynthesisServer:
         self._limiter = (
             rate_limiter if rate_limiter is not None else RateLimiter(None)
         )
+        self._max_connections = max(1, int(max_connections))
+        self._max_requests_per_conn = max(1, int(max_requests_per_conn))
+        self._pause_accept_on_drain = pause_accept_on_drain
+        self._registry = registry
+        self._proc_index = proc_index
         self._server: asyncio.AbstractServer | None = None
+        self._admin_server: asyncio.AbstractServer | None = None
+        self._address: tuple[str, int] | None = None
+        self._admin_address: tuple[str, int] | None = None
         self._draining = False
         self._active = 0
+        self._writers: set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Bind and start accepting connections."""
+    async def start(self, *, reuse_port: bool = False) -> None:
+        """Bind and start accepting connections.
+
+        ``reuse_port`` joins an ``SO_REUSEPORT`` listener group — the
+        multi-process mode, where sibling workers bind the same port
+        and the kernel load-balances accepted connections.
+        """
+        kwargs = {"reuse_port": True} if reuse_port else {}
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
             self._port,
             limit=_MAX_HEADER_LINE,
+            **kwargs,
         )
+        sock = self._server.sockets[0].getsockname()
+        self._address = (sock[0], sock[1])
+
+    async def start_admin(self, host: str = "127.0.0.1") -> tuple[str, int]:
+        """Start the private admin listener (ephemeral loopback port).
+
+        Serves the same routes as the public listener; siblings scrape
+        ``/metrics`` here because the shared reuseport port cannot
+        target a *specific* process.  Stays up through drain so a
+        dying worker's counters remain scrapable until exit.
+        """
+        self._admin_server = await asyncio.start_server(
+            self._handle_connection,
+            host,
+            0,
+            limit=_MAX_HEADER_LINE,
+        )
+        sock = self._admin_server.sockets[0].getsockname()
+        self._admin_address = (sock[0], sock[1])
+        return self._admin_address
 
     @property
     def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` (actual port when 0 was asked)."""
-        if self._server is None or not self._server.sockets:
+        if self._address is None:
             raise RuntimeError("server is not started")
-        host, port = self._server.sockets[0].getsockname()[:2]
-        return host, port
+        return self._address
+
+    @property
+    def admin_address(self) -> tuple[str, int] | None:
+        return self._admin_address
 
     @property
     def draining(self) -> bool:
         return self._draining
 
-    def begin_drain(self) -> None:
-        """Stop admitting synthesis work; metrics/health stay up."""
+    @property
+    def active_connections(self) -> int:
+        return self._service.metrics.connections_active
+
+    def begin_drain(self, *, pause_accept: bool | None = None) -> None:
+        """Stop admitting synthesis work; metrics/health stay up.
+
+        With ``pause_accept`` (default: the constructor's
+        ``pause_accept_on_drain``) the public listener closes now, so
+        new connections go to reuseport siblings instead of being
+        answered 503.  The admin listener always stays up.
+        """
         self._draining = True
+        if pause_accept is None:
+            pause_accept = self._pause_accept_on_drain
+        if pause_accept and self._server is not None:
+            self._server.close()
 
     async def shutdown(self, *, drain_timeout: float = 30.0) -> None:
         """Graceful stop: drain in-flight work, then close the listener.
@@ -136,9 +226,17 @@ class SynthesisServer:
             self._service.scheduler.drain,
             max(0.1, deadline - asyncio.get_running_loop().time()),
         )
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in (self._server, self._admin_server):
+            if server is not None:
+                server.close()
+        # Idle keep-alive connections would otherwise hold wait_closed
+        # open forever; in-flight work is already drained, so force
+        # the stragglers shut.
+        for writer in list(self._writers):
+            writer.close()
+        for server in (self._server, self._admin_server):
+            if server is not None:
+                await server.wait_closed()
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Run until ``stop`` is set, then drain gracefully."""
@@ -155,8 +253,43 @@ class SynthesisServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        metrics = self._service.metrics
+        if metrics.connections_active >= self._max_connections:
+            # Fast shed: one 503, no accounting, socket closed.  The
+            # cap bounds event-loop memory no matter how hard clients
+            # push — the scheduler backlog shed never sees these.
+            # The client's request bytes are deliberately never read,
+            # so close with a short linger (FIN, then drain to EOF)
+            # or the kernel answers the unread data with an RST that
+            # can destroy the in-flight 503.
+            metrics.connections_shed += 1
+            try:
+                await self._respond(
+                    writer,
+                    503,
+                    {"error": "overloaded", "status": "overloaded"},
+                    close=True,
+                )
+                writer.write_eof()
+                async def _drain_to_eof():
+                    while await reader.read(_MAX_HEADER_LINE):
+                        pass
+                await asyncio.wait_for(_drain_to_eof(), 1.0)
+            except (
+                ConnectionError,
+                OSError,
+                RuntimeError,
+                asyncio.TimeoutError,
+            ):
+                pass
+            finally:
+                await self._close_writer(writer)
+            return
         peername = writer.get_extra_info("peername")
         peer = peername[0] if peername else "unknown"
+        metrics.connection_opened()
+        self._writers.add(writer)
+        served = 0
         try:
             while True:
                 try:
@@ -176,7 +309,15 @@ class SynthesisServer:
                 status, payload, extra = await self._route(
                     method, path, headers, body, peer
                 )
-                close = not keep_alive or status in (400, 413)
+                served += 1
+                close = (
+                    not keep_alive
+                    or status in (400, 413)
+                    or bool(extra.pop(_CLOSE, False))
+                )
+                if served >= self._max_requests_per_conn and not close:
+                    metrics.pipeline_closed += 1
+                    close = True
                 await self._respond(
                     writer, status, payload, close=close, extra=extra
                 )
@@ -189,11 +330,17 @@ class SynthesisServer:
         ):
             pass
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+            self._writers.discard(writer)
+            metrics.connection_closed()
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """One HTTP/1.1 request, or None on a clean EOF between requests."""
@@ -231,6 +378,11 @@ class SynthesisServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        return self._service.metrics_snapshot(
+            extra={"ratelimit": self._limiter.stats()}
+        )
+
     async def _route(
         self,
         method: str,
@@ -238,7 +390,7 @@ class SynthesisServer:
         headers: dict[str, str],
         body: bytes,
         peer: str,
-    ) -> tuple[int, dict, dict]:
+    ) -> tuple[int, dict | str, dict]:
         path = path.split("?", 1)[0]
         if path == "/synthesize":
             if method != "POST":
@@ -247,7 +399,21 @@ class SynthesisServer:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "GET required"}, {}
-            return 200, self._service.metrics_snapshot(), {}
+            snapshot = self._snapshot()
+            if _wants_prometheus(headers.get("accept", "")):
+                return (
+                    200,
+                    render_prometheus(snapshot),
+                    {"Content-Type": _PROM_CONTENT_TYPE},
+                )
+            return 200, snapshot, {}
+        if path == "/metrics/all":
+            if method != "GET":
+                return 405, {"error": "GET required"}, {}
+            aggregate = await aggregate_snapshots(
+                self._registry, self._proc_index, self._snapshot()
+            )
+            return 200, aggregate, {}
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "GET required"}, {}
@@ -261,7 +427,11 @@ class SynthesisServer:
         metrics = self._service.metrics
         if self._draining:
             metrics.draining_rejected += 1
-            return 503, {"error": "draining", "status": "draining"}, {}
+            return (
+                503,
+                {"error": "draining", "status": "draining"},
+                {_CLOSE: True},
+            )
         client = headers.get("x-client", peer) or peer
         if not self._limiter.allow(client):
             metrics.rate_limited += 1
@@ -294,20 +464,29 @@ class SynthesisServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         *,
         close: bool,
         extra: dict | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        extra = dict(extra) if extra else {}
+        extra.pop(_CLOSE, None)
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = extra.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         reason = _REASONS.get(status, "Unknown")
         head = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
-        for name, value in (extra or {}).items():
+        for name, value in extra.items():
             head.append(f"{name}: {value}")
         writer.write(
             ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body

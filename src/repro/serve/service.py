@@ -38,6 +38,7 @@ dispatcher threads and are marshalled back with
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -46,6 +47,11 @@ from typing import Mapping, Sequence
 from ..chain.transform import npn_transform_chain, npn_transform_chain_multi
 from ..core.circuit_sat import verify_chain, verify_chain_outputs
 from ..core.spec import SynthesisSpec, SynthesisStats
+from ..parallel.dispatch import (
+    PRIORITY_BANDS,
+    DeadlineExpired,
+    normalize_priority,
+)
 from ..runtime.engines import DEFAULT_FALLBACK_CHAIN
 from ..runtime.errors import classify_failure
 from ..runtime.executor import ExecutionOutcome, FaultTolerantExecutor
@@ -56,6 +62,13 @@ from ..truthtable.table import TruthTable
 from .metrics import ServingMetrics
 
 __all__ = ["SynthesisRequest", "SynthesisResponse", "SynthesisService"]
+
+_BAND_LABELS = {band: name for name, band in PRIORITY_BANDS.items()}
+
+
+def _band_label(band: int) -> str:
+    """Human label for a priority band (named bands, else ``bandN``)."""
+    return _BAND_LABELS.get(band, f"band{band}")
 
 #: Largest arity a request may carry.  Above this the packed verifier
 #: and the semi-canonical form still work, but table payloads grow as
@@ -78,6 +91,12 @@ class SynthesisRequest:
     timeout: float | None = None
     max_chains: int = 4
     client: str = "anonymous"
+    #: Dispatch band (0 = most urgent); see
+    #: :data:`~repro.parallel.dispatch.PRIORITY_BANDS`.
+    priority: int = PRIORITY_BANDS["normal"]
+    #: Absolute ``time.monotonic()`` deadline (``None`` = no deadline),
+    #: stamped at parse time from the ``deadline_ms`` request field.
+    expire_at: float | None = None
 
     @property
     def num_vars(self) -> int:
@@ -87,6 +106,22 @@ class SynthesisRequest:
     def is_multi(self) -> bool:
         return len(self.functions) > 1
 
+    @property
+    def priority_label(self) -> str:
+        return _band_label(self.priority)
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the caller's deadline has lapsed."""
+        if self.expire_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.expire_at
+
+    def remaining(self) -> float | None:
+        """Seconds of deadline budget left (``None`` = unbounded)."""
+        if self.expire_at is None:
+            return None
+        return max(0.0, self.expire_at - time.monotonic())
+
     @staticmethod
     def from_payload(
         payload: Mapping, *, client: str = "anonymous"
@@ -95,8 +130,11 @@ class SynthesisRequest:
 
         Accepts ``{"function": "8ff8", "vars": 4}`` or
         ``{"functions": ["8ff8", "0660"], "vars": 4}`` plus optional
-        ``timeout`` (seconds) and ``max_chains``.  Raises
-        :class:`ValueError` with a client-safe message on any
+        ``timeout`` (seconds), ``max_chains``, ``priority`` (band name
+        ``high``/``normal``/``low`` or integer band), and
+        ``deadline_ms`` (milliseconds of budget from *now* — past it
+        the request is answered 504 without occupying a worker).
+        Raises :class:`ValueError` with a client-safe message on any
         malformed field.
         """
         if not isinstance(payload, Mapping):
@@ -144,11 +182,24 @@ class SynthesisRequest:
             or max_chains < 1
         ):
             raise ValueError('"max_chains" must be a positive integer')
+        priority = normalize_priority(payload.get("priority", "normal"))
+        deadline_ms = payload.get("deadline_ms")
+        expire_at = None
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) or not isinstance(
+                deadline_ms, (int, float)
+            ):
+                raise ValueError('"deadline_ms" must be a number')
+            if deadline_ms <= 0:
+                raise ValueError('"deadline_ms" must be positive')
+            expire_at = time.monotonic() + float(deadline_ms) / 1000.0
         return SynthesisRequest(
             functions=tuple(tables),
             timeout=timeout,
             max_chains=min(max_chains, 64),
             client=client,
+            priority=priority,
+            expire_at=expire_at,
         )
 
 
@@ -156,7 +207,7 @@ class SynthesisRequest:
 class SynthesisResponse:
     """What the service answered for one request."""
 
-    status: str  # "ok" | "degraded" | "timeout" | "crash" | ...
+    status: str  # "ok" | "degraded" | "timeout" | "expired" | ...
     exact: bool = False
     source: str = ""  # "store" | "engine" | ""
     engine: str = ""
@@ -167,6 +218,10 @@ class SynthesisResponse:
     npn_class: str = ""
     coalesced: bool = False
     error: str = ""
+    #: Monotone per-process admission id (1, 2, 3, ...); 0 before the
+    #: service stamps it.
+    request_id: int = 0
+    priority: str = "normal"
 
     @property
     def answered(self) -> bool:
@@ -188,6 +243,8 @@ class SynthesisResponse:
             "coalesced": self.coalesced,
             "runtime": round(self.runtime, 6),
             "error": self.error,
+            "request_id": self.request_id,
+            "priority": self.priority,
             "chains": [chain_to_record(c) for c in self.chains],
         }
 
@@ -251,6 +308,10 @@ class SynthesisService:
         self._fault_plan = fault_plan
         self._engine_kwargs = engine_kwargs or {}
         self._verify_responses = verify_responses
+        #: Monotone admission ids: every admitted request gets the
+        #: next integer, so a gap-free, strictly increasing sequence
+        #: is an invariant the soak harness can assert.
+        self._request_seq = itertools.count(1)
         #: (num_vars, num_outputs, canon_key) -> shared asyncio future
         #: resolving to the canonical-space ExecutionOutcome.
         self._inflight: dict[tuple, asyncio.Future] = {}
@@ -277,10 +338,26 @@ class SynthesisService:
         """Serve one admitted request (rate limiting happens upstream)."""
         started = time.perf_counter()
         self.metrics.requests += 1
+        request_id = next(self._request_seq)
         response = await self._synthesize(request)
         response.runtime = time.perf_counter() - started
-        self.metrics.observe_latency(response.runtime)
+        response.request_id = request_id
+        response.priority = request.priority_label
+        self.metrics.observe_latency(
+            response.runtime, request.priority_label
+        )
         return response
+
+    def _expired_response(
+        self, request: SynthesisRequest, where: str, **kwargs
+    ) -> SynthesisResponse:
+        """A 504-mapped answer for a lapsed deadline; never ran."""
+        self.metrics.expired += 1
+        return SynthesisResponse(
+            status="expired",
+            error=f"deadline lapsed {where}",
+            **kwargs,
+        )
 
     async def _synthesize(
         self, request: SynthesisRequest
@@ -291,6 +368,10 @@ class SynthesisService:
             else self._default_timeout,
             self._max_timeout,
         )
+        # 0. A request that arrives already past its deadline is
+        # answered 504 up front — it must never occupy a worker.
+        if request.expired():
+            return self._expired_response(request, "before admission")
 
         # 1. Warm path: the store rewrites chains into the caller's own
         # input space, so no transform is needed here.
@@ -317,41 +398,76 @@ class SynthesisService:
             len(canon_tables),
             ",".join(t.to_hex() for t in canon_tables),
         )
-        shared = self._inflight.get(key)
-        coalesced = shared is not None
-        if shared is None:
-            if self._scheduler.backlog() >= self._max_backlog:
-                self.metrics.shed += 1
-                return SynthesisResponse(
-                    status="overloaded",
-                    error="scheduler backlog full; retry later",
-                    npn_class=key[2],
-                )
-            shared = self._launch(key, canon_tables, timeout)
+        # Two admission attempts: if this caller coalesced onto (or
+        # launched) a shared job that then expired in the queue on the
+        # *launcher's* tighter deadline, a caller with budget left
+        # relaunches once instead of inheriting the 504.
+        outcome = None
+        coalesced = False
+        for attempt in (0, 1):
+            shared = self._inflight.get(key)
+            coalesced = shared is not None
             if shared is None:
+                if self._scheduler.backlog() >= self._max_backlog:
+                    self.metrics.shed += 1
+                    return SynthesisResponse(
+                        status="overloaded",
+                        error="scheduler backlog full; retry later",
+                        npn_class=key[2],
+                    )
+                shared = self._launch(key, canon_tables, timeout, request)
+                if shared is None:
+                    self.metrics.failures += 1
+                    return SynthesisResponse(
+                        status="unavailable",
+                        error="scheduler is not accepting work",
+                        npn_class=key[2],
+                    )
+                self.metrics.engine_runs += 1
+            else:
+                self.metrics.coalesced += 1
+
+            # 3. Await the shared canonical outcome.  shield(): one
+            # caller timing out or disconnecting must not cancel the
+            # synthesis the other coalesced callers are waiting on.
+            wait_budget = timeout * 3.0 + 30.0
+            remaining = request.remaining()
+            if remaining is not None:
+                # A deadline'd caller stops waiting shortly after its
+                # own deadline (small grace: an answer that resolves
+                # right at the boundary is still worth serving).
+                wait_budget = min(wait_budget, remaining + 0.05)
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(shared), wait_budget
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                if request.expired():
+                    return self._expired_response(
+                        request,
+                        "awaiting the in-flight synthesis",
+                        npn_class=key[2],
+                        coalesced=coalesced,
+                    )
                 self.metrics.failures += 1
                 return SynthesisResponse(
-                    status="unavailable",
-                    error="scheduler is not accepting work",
+                    status="timeout",
+                    error="timed out waiting for the in-flight synthesis",
                     npn_class=key[2],
+                    coalesced=coalesced,
                 )
-            self.metrics.engine_runs += 1
-        else:
-            self.metrics.coalesced += 1
+            if (
+                outcome.status == "expired"
+                and attempt == 0
+                and not request.expired()
+            ):
+                continue
+            break
 
-        # 3. Await the shared canonical outcome.  shield(): one caller
-        # timing out or disconnecting must not cancel the synthesis the
-        # other coalesced callers are waiting on.
-        wait_budget = timeout * 3.0 + 30.0
-        try:
-            outcome = await asyncio.wait_for(
-                asyncio.shield(shared), wait_budget
-            )
-        except (asyncio.TimeoutError, TimeoutError):
-            self.metrics.failures += 1
-            return SynthesisResponse(
-                status="timeout",
-                error="timed out waiting for the in-flight synthesis",
+        if outcome.status == "expired":
+            return self._expired_response(
+                request,
+                "in the dispatch queue",
                 npn_class=key[2],
                 coalesced=coalesced,
             )
@@ -369,23 +485,42 @@ class SynthesisService:
         key: tuple,
         canon_tables: tuple[TruthTable, ...],
         timeout: float,
+        request: SynthesisRequest,
     ) -> asyncio.Future | None:
-        """Submit the canonical representative; register the shared future."""
+        """Submit the canonical representative; register the shared future.
+
+        The launcher's priority band orders the job in the dispatch
+        queue (earliest-deadline-first within the band) and its
+        ``expire_at`` rides along twice: as the queue deadline (a job
+        still queued past it is answered without running) and into the
+        engine budget (a dispatched job only gets the wall clock the
+        deadline has left).
+        """
         loop = asyncio.get_running_loop()
         shared: asyncio.Future = loop.create_future()
+        expire_at = request.expire_at
         if len(canon_tables) == 1:
             canon = canon_tables[0]
 
             def job() -> ExecutionOutcome:
-                return self._run_canonical_single(canon, timeout)
+                return self._run_canonical_single(
+                    canon, timeout, expire_at
+                )
 
         else:
 
             def job() -> ExecutionOutcome:
-                return self._run_canonical_multi(canon_tables, timeout)
+                return self._run_canonical_multi(
+                    canon_tables, timeout, expire_at
+                )
 
         try:
-            handle = self._scheduler.submit_call(f"serve {key[2]}", job)
+            handle = self._scheduler.submit_call(
+                f"serve {key[2]}",
+                job,
+                priority=request.priority,
+                deadline=expire_at,
+            )
         except RuntimeError:
             return None
         self._inflight[key] = shared
@@ -412,7 +547,17 @@ class SynthesisService:
             )
         else:
             exc = done.exception()
-            if exc is not None:
+            if isinstance(exc, DeadlineExpired):
+                # The dispatch queue answered the job without running
+                # it; waiters map this onto HTTP 504 (or relaunch if
+                # their own deadline still has budget).
+                outcome = ExecutionOutcome(
+                    function_hex=key[2],
+                    num_vars=key[0],
+                    status="expired",
+                    error=str(exc),
+                )
+            elif exc is not None:
                 outcome = ExecutionOutcome(
                     function_hex=key[2],
                     num_vars=key[0],
@@ -426,13 +571,19 @@ class SynthesisService:
         shared.set_result(outcome)
 
     def _run_canonical_single(
-        self, canon: TruthTable, timeout: float
+        self,
+        canon: TruthTable,
+        timeout: float,
+        expire_at: float | None = None,
     ) -> ExecutionOutcome:
         """One exact synthesis of a canonical representative.
 
         Health-aware: the breaker picks the lanes; outcomes are folded
         back so a persistently failing engine stops being dispatched.
         Failures degrade to the store's best upper bound for the class.
+        ``expire_at`` caps the engine budget at the request deadline's
+        remaining wall clock (computed here, at dispatch, so queueing
+        time is charged against the deadline).
         """
         lanes = tuple(self.health.select(self._engines))
         if not lanes:  # pragma: no cover - select() never returns empty
@@ -440,6 +591,10 @@ class SynthesisService:
         if self._race and len(lanes) > 1:
             from ..runtime.racing import RacingExecutor
 
+            if expire_at is not None:
+                timeout = min(
+                    timeout, max(0.05, expire_at - time.monotonic())
+                )
             executor = RacingExecutor(
                 lanes,
                 health=self.health,
@@ -457,7 +612,7 @@ class SynthesisService:
             fault_plan=self._fault_plan,
             engine_kwargs=self._engine_kwargs,
         )
-        outcome = executor.run(canon, timeout=timeout)
+        outcome = executor.run(canon, timeout=timeout, expire_at=expire_at)
         for record in outcome.trail:
             self.health.record(
                 record.engine,
@@ -487,7 +642,10 @@ class SynthesisService:
         return outcome
 
     def _run_canonical_multi(
-        self, canon_tables: tuple[TruthTable, ...], timeout: float
+        self,
+        canon_tables: tuple[TruthTable, ...],
+        timeout: float,
+        expire_at: float | None = None,
     ) -> ExecutionOutcome:
         """Joint multi-output synthesis of a canonical vector.
 
@@ -499,6 +657,10 @@ class SynthesisService:
         from ..engine import create_engine, engine_capabilities
         from ..engine.multioutput import decompose_and_share
 
+        if expire_at is not None:
+            timeout = min(
+                timeout, max(0.05, expire_at - time.monotonic())
+            )
         key_hex = ",".join(t.to_hex() for t in canon_tables)
         outcome = ExecutionOutcome(
             function_hex=key_hex,
@@ -691,26 +853,37 @@ class SynthesisService:
         canon_tables, transform = canonicalize_multi(functions)
         return canon_tables, transform.inverse()
 
-    def metrics_snapshot(self) -> dict:
-        """The merged ``/metrics`` document (JSON-safe)."""
+    def metrics_snapshot(self, extra: Mapping | None = None) -> dict:
+        """The merged ``/metrics`` document (JSON-safe).
+
+        ``extra`` adds caller-owned sections (the HTTP layer injects
+        its rate-limiter gauges; colliding keys last-win).
+        """
         from ..stats import stats_snapshot
 
+        sections: dict = {
+            "serving": self.metrics.to_record(
+                queue_depth=self._scheduler.backlog(),
+                inflight_classes=self.inflight_classes,
+            ),
+            "health": self.health.to_record(),
+            "scheduler": {
+                "jobs": self._scheduler.jobs,
+                "backlog": self._scheduler.backlog(),
+                "expired_in_queue": sum(
+                    stats.expired
+                    for stats in self._scheduler.worker_stats
+                ),
+                "workers": [
+                    stats.to_record()
+                    for stats in self._scheduler.worker_stats
+                ],
+            },
+        }
+        if extra:
+            sections.update(extra)
         return stats_snapshot(
             stats=self.stats,
             store=self._store,
-            extra={
-                "serving": self.metrics.to_record(
-                    queue_depth=self._scheduler.backlog(),
-                    inflight_classes=self.inflight_classes,
-                ),
-                "health": self.health.to_record(),
-                "scheduler": {
-                    "jobs": self._scheduler.jobs,
-                    "backlog": self._scheduler.backlog(),
-                    "workers": [
-                        stats.to_record()
-                        for stats in self._scheduler.worker_stats
-                    ],
-                },
-            },
+            extra=sections,
         )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-__all__ = ["stats_snapshot"]
+__all__ = ["stats_snapshot", "flatten_numeric", "merge_numeric"]
 
 
 def stats_snapshot(
@@ -67,3 +67,78 @@ def stats_snapshot(
         for key, value in extra.items():
             snapshot[key] = value
     return snapshot
+
+
+#: Leaf keys that are point-in-time distribution statistics, not
+#: accumulating counters.  Cross-process merges take their max (a
+#: conservative operator view), everything else sums.
+_GAUGE_LEAVES = frozenset(
+    {"p50", "p90", "p99", "mean", "uptime_seconds"}
+)
+_RATIO_SUFFIXES = ("_ratio",)
+
+
+def flatten_numeric(
+    snapshot: Mapping, prefix: str = ""
+) -> dict[str, float]:
+    """Flatten a nested snapshot into ``{"a_b_c": value}`` leaves.
+
+    Only numeric leaves survive (bools count as 0/1); strings, lists,
+    and ``None`` are dropped — the result is exactly the series a
+    text-exposition scrape can carry.  Nested keys join with ``_``.
+    """
+    flat: dict[str, float] = {}
+    for key, value in snapshot.items():
+        name = f"{prefix}_{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_numeric(value, name))
+        elif isinstance(value, bool):
+            flat[name] = float(value)
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat
+
+
+def merge_numeric(snapshots: list) -> dict:
+    """Merge per-process snapshots into one operator view.
+
+    Counters (the default) sum across processes; distribution leaves
+    (percentiles, means, uptimes — :data:`_GAUGE_LEAVES`) and ratio
+    leaves take the max, which is the conservative reading ("the worst
+    process's p99").  Non-numeric leaves keep the first process's
+    value.  The shape of the result is the union of the inputs'
+    shapes, so a scrape of the merged view exposes the same series as
+    any single process.
+    """
+    merged: dict = {}
+    for snapshot in snapshots:
+        if not isinstance(snapshot, Mapping):
+            continue
+        _merge_into(merged, snapshot)
+    return merged
+
+
+def _merge_into(merged: dict, snapshot: Mapping) -> None:
+    for key, value in snapshot.items():
+        if isinstance(value, Mapping):
+            slot = merged.setdefault(key, {})
+            if isinstance(slot, dict):
+                _merge_into(slot, value)
+            continue
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float)
+        ):
+            merged.setdefault(key, value)
+            continue
+        current = merged.get(key)
+        if not isinstance(current, (int, float)) or isinstance(
+            current, bool
+        ):
+            merged[key] = value
+        elif str(key) in _GAUGE_LEAVES or str(key).endswith(
+            _RATIO_SUFFIXES
+        ):
+            merged[key] = max(current, value)
+        else:
+            merged[key] = current + value
+

@@ -1,0 +1,236 @@
+"""Property tests for the priority/deadline dispatch queue.
+
+The :class:`repro.parallel.dispatch.DispatchQueue` is the ordering
+heart of deadline-aware serving — every dispatcher thread trusts it
+for three invariants that are awkward to pin down with example tests
+but trivial to state as properties over random workloads:
+
+1. **Band ordering** — a lower-urgency item is never handed out while
+   a higher-urgency item is already waiting in the queue.
+2. **No silent expiry** — an item whose deadline has lapsed by pop
+   time is always flagged ``expired=True`` (the dispatcher answers it
+   504 in O(1) without occupying a worker), and an item with deadline
+   slack is never flagged.
+3. **FIFO within a key** — items with equal ``(band, deadline)`` come
+   out in insertion order, so equal-priority clients are served
+   fairly.
+
+Hypothesis drives interleavings with a fake clock injected through
+the queue's ``clock`` parameter; nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+from queue import Empty
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.dispatch import (
+    PRIORITY_BANDS,
+    DispatchQueue,
+    normalize_priority,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# One queued item: (band, deadline-offset-or-None, advance-after-put).
+_items = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.one_of(
+        st.none(),
+        st.floats(
+            min_value=0.001,
+            max_value=100.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+    ),
+    st.floats(
+        min_value=0.0,
+        max_value=5.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+)
+
+
+def _drain(queue: DispatchQueue) -> list:
+    popped = []
+    while True:
+        try:
+            popped.append(queue.get(timeout=0))
+        except Empty:
+            return popped
+
+
+class TestBandOrdering:
+    @given(st.lists(_items, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_never_dispatch_lower_band_before_ready_higher(self, items):
+        """Pops come out in non-decreasing band order (all puts first)."""
+        clock = FakeClock()
+        queue = DispatchQueue(clock=clock)
+        for index, (band, deadline_off, _advance) in enumerate(items):
+            deadline = (
+                None if deadline_off is None else clock.now + deadline_off
+            )
+            queue.put((index, band), band=band, deadline=deadline)
+        popped = _drain(queue)
+        assert len(popped) == len(items)
+        bands = [payload[1] for payload, _expired in popped]
+        assert bands == sorted(bands)
+
+    @given(st.lists(_items, min_size=2, max_size=30), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_pops_respect_waiting_higher_band(
+        self, items, data
+    ):
+        """Even with puts and pops interleaved, a pop never returns a
+        band when a strictly more urgent item is already queued."""
+        clock = FakeClock()
+        queue = DispatchQueue(clock=clock)
+        waiting: list[int] = []  # bands currently in the queue
+        for index, (band, deadline_off, _advance) in enumerate(items):
+            deadline = (
+                None if deadline_off is None else clock.now + deadline_off
+            )
+            queue.put((index, band), band=band, deadline=deadline)
+            waiting.append(band)
+            if waiting and data.draw(st.booleans()):
+                (payload, _expired) = queue.get(timeout=0)
+                waiting.remove(payload[1])
+                assert payload[1] == min(
+                    w for w in waiting + [payload[1]]
+                )
+        for payload, _expired in _drain(queue):
+            waiting.remove(payload[1])
+            assert payload[1] <= min(waiting, default=payload[1])
+        assert not waiting
+
+
+class TestExpiryFlag:
+    @given(st.lists(_items, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_expired_iff_deadline_lapsed_at_pop(self, items):
+        """The expired flag is exactly ``deadline <= now`` at pop time —
+        lapsed deadlines are never dispatched unflagged, and live ones
+        are never flagged."""
+        clock = FakeClock()
+        queue = DispatchQueue(clock=clock)
+        deadlines: dict[int, float | None] = {}
+        for index, (band, deadline_off, advance) in enumerate(items):
+            deadline = (
+                None if deadline_off is None else clock.now + deadline_off
+            )
+            deadlines[index] = deadline
+            queue.put(index, band=band, deadline=deadline)
+            clock.now += advance
+        for payload, expired in _drain(queue):
+            deadline = deadlines[payload]
+            should_expire = (
+                deadline is not None and clock.now >= deadline
+            )
+            assert expired == should_expire
+
+    def test_deadline_crossing_between_puts(self):
+        """An item can expire while queued behind a long-running pop."""
+        clock = FakeClock()
+        queue = DispatchQueue(clock=clock)
+        queue.put("a", band=1, deadline=10.0)
+        queue.put("b", band=1, deadline=1000.0)
+        clock.now = 50.0
+        assert queue.get(timeout=0) == ("a", True)
+        assert queue.get(timeout=0) == ("b", False)
+
+
+class TestFifoWithinKey:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fifo_within_equal_band_no_deadline(self, bands):
+        """Same (band, no-deadline) items come out in insertion order."""
+        queue = DispatchQueue(clock=FakeClock())
+        for index, band in enumerate(bands):
+            queue.put((band, index), band=band)
+        last_seen: dict[int, int] = {}
+        for (band, index), _expired in _drain(queue):
+            assert last_seen.get(band, -1) < index
+            last_seen[band] = index
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.sampled_from([10.0, 20.0]),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fifo_within_equal_band_and_deadline(self, keyed):
+        """Ties on (band, deadline) break by arrival sequence."""
+        queue = DispatchQueue(clock=FakeClock())
+        for index, (band, deadline) in enumerate(keyed):
+            queue.put((band, deadline, index), band=band, deadline=deadline)
+        last_seen: dict[tuple, int] = {}
+        for (band, deadline, index), _expired in _drain(queue):
+            key = (band, deadline)
+            assert last_seen.get(key, -1) < index
+            last_seen[key] = index
+
+    @given(st.lists(_items, min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_edf_within_band(self, items):
+        """Within one band, pops are earliest-deadline-first (None
+        deadlines sort last)."""
+        clock = FakeClock()
+        queue = DispatchQueue(clock=clock)
+        for index, (_band, deadline_off, _advance) in enumerate(items):
+            deadline = (
+                None if deadline_off is None else clock.now + deadline_off
+            )
+            queue.put((index, deadline), band=1, deadline=deadline)
+        keys = [
+            float("inf") if deadline is None else deadline
+            for (_index, deadline), _expired in _drain(queue)
+        ]
+        assert keys == sorted(keys)
+
+
+class TestNormalizePriority:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("high", PRIORITY_BANDS["high"]),
+            ("HIGH", PRIORITY_BANDS["high"]),
+            ("normal", PRIORITY_BANDS["normal"]),
+            ("low", PRIORITY_BANDS["low"]),
+            (0, 0),
+            (9, 9),
+            (None, PRIORITY_BANDS["normal"]),
+        ],
+    )
+    def test_accepted(self, value, expected):
+        assert normalize_priority(value) == expected
+
+    @pytest.mark.parametrize(
+        "value", ["urgent", -1, 10, 1.5, True, [], {}]
+    )
+    def test_rejected(self, value):
+        with pytest.raises(ValueError):
+            normalize_priority(value)

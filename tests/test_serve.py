@@ -544,6 +544,36 @@ class TestGracefulDrain:
         assert_chain_realizes(from_hex("8ff8", 4), chain)
         assert service.metrics.draining_rejected == 1
 
+    def test_drain_with_accept_pause_closes_listener(self):
+        """pause_accept drain ejects the listener: new connections are
+        refused (reuseport siblings would absorb them) instead of
+        being answered 503."""
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service, pause_accept_on_drain=True)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            server.begin_drain()
+            await asyncio.sleep(0.05)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except ConnectionError:
+                refused = True
+            else:
+                # Accept may race the close; either refusal or an
+                # immediate EOF counts as "not serving".
+                refused = (await reader.read()) == b""
+                writer.close()
+            await server.shutdown(drain_timeout=5.0)
+            return refused
+
+        try:
+            refused = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert refused
+
     def test_sigterm_drains_and_exits_zero(self, tmp_path):
         """A real repro-serve process exits 0 on SIGTERM."""
         src_root = os.path.dirname(os.path.dirname(repro.__file__))
@@ -589,3 +619,496 @@ class TestGracefulDrain:
         stderr = proc.stderr.read()
         assert "draining" in stderr
         assert "stopped" in stderr
+
+
+class TestPriorityAndDeadlines:
+    def test_priority_and_deadline_parsing(self):
+        request = SynthesisRequest.from_payload(
+            {
+                "function": "e8",
+                "vars": 3,
+                "priority": "high",
+                "deadline_ms": 5000,
+            }
+        )
+        assert request.priority == 0
+        assert request.priority_label == "high"
+        assert request.expire_at is not None
+        assert 0.0 < (request.remaining() or 0.0) <= 5.0
+        assert not request.expired()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"function": "e8", "vars": 3, "priority": "urgent"},
+            {"function": "e8", "vars": 3, "priority": 12},
+            {"function": "e8", "vars": 3, "deadline_ms": 0},
+            {"function": "e8", "vars": 3, "deadline_ms": -5},
+            {"function": "e8", "vars": 3, "deadline_ms": "soon"},
+        ],
+    )
+    def test_bad_priority_or_deadline_rejected(self, payload):
+        with pytest.raises(ValueError):
+            SynthesisRequest.from_payload(payload)
+
+    def test_expired_at_admission_is_504_without_engine_run(self):
+        """A request whose deadline already lapsed never reaches the
+        pool: HTTP 504, status "expired", zero engine runs."""
+        assert STATUS_HTTP["expired"] == 504
+        scheduler, service = _service_stack(engines=("fen",))
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            status, body, _ = await _post(
+                host,
+                port,
+                "/synthesize",
+                {"function": "e8", "vars": 3, "deadline_ms": 0.001},
+            )
+            await server.shutdown(drain_timeout=5.0)
+            return status, body
+
+        try:
+            status, body = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status == 504
+        assert body["status"] == "expired"
+        assert service.metrics.expired == 1
+        assert service.metrics.engine_runs == 0
+
+    def test_deadline_lapses_in_queue_never_occupies_worker(self):
+        """With the single worker pinned, a queued request whose
+        deadline lapses is answered expired at pop time — the engine
+        never runs for it."""
+        import threading
+        import time
+
+        scheduler, service = _service_stack(jobs=1, engines=("fen",))
+        release = threading.Event()
+        pinned = threading.Event()
+
+        def pin():
+            pinned.set()
+            release.wait(10.0)
+
+        blocker = scheduler.submit_call("pin", pin)
+        assert pinned.wait(5.0)  # the worker is genuinely occupied
+        request = SynthesisRequest(
+            functions=(_CLASS_REP,),
+            expire_at=time.monotonic() + 0.15,
+        )
+
+        async def drive():
+            task = asyncio.ensure_future(service.synthesize(request))
+            await asyncio.sleep(0.4)  # deadline lapses while queued
+            release.set()
+            return await task
+
+        try:
+            response = asyncio.run(drive())
+            blocker.result(timeout=10.0)
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert response.status == "expired"
+        assert service.metrics.expired == 1
+        # The job was launched (queued) but never executed: the pop
+        # flagged it lapsed and the dispatcher answered in O(1).
+        expired_in_queue = sum(
+            stats.expired for stats in scheduler.worker_stats
+        )
+        assert expired_in_queue == 1
+
+    def test_high_band_dispatches_before_low(self):
+        """With the worker pinned, queued jobs drain high-before-low
+        regardless of submission order."""
+        import threading
+
+        from repro.parallel import PRIORITY_BANDS
+
+        scheduler = BatchScheduler({}, 1, queue_depth=0).start()
+        release = threading.Event()
+        pinned = threading.Event()
+        order = []
+
+        def pin():
+            pinned.set()
+            release.wait(10.0)
+
+        try:
+            scheduler.submit_call("pin", pin)
+            assert pinned.wait(5.0)
+            futures = [
+                scheduler.submit_call(
+                    "low",
+                    lambda: order.append("low"),
+                    priority=PRIORITY_BANDS["low"],
+                ),
+                scheduler.submit_call(
+                    "normal",
+                    lambda: order.append("normal"),
+                    priority=PRIORITY_BANDS["normal"],
+                ),
+                scheduler.submit_call(
+                    "high",
+                    lambda: order.append("high"),
+                    priority=PRIORITY_BANDS["high"],
+                ),
+            ]
+            release.set()
+            for future in futures:
+                future.result(timeout=10.0)
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert order == ["high", "normal", "low"]
+
+    def test_request_ids_monotone_and_priority_echoed(self):
+        scheduler, service = _service_stack(engines=("fen",))
+
+        async def drive():
+            responses = []
+            for priority in ("high", "normal", "low"):
+                responses.append(
+                    await service.synthesize(
+                        SynthesisRequest.from_payload(
+                            {
+                                "function": "e8",
+                                "vars": 3,
+                                "priority": priority,
+                            }
+                        )
+                    )
+                )
+            return responses
+
+        try:
+            responses = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        ids = [response.request_id for response in responses]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+        assert [r.priority for r in responses] == [
+            "high",
+            "normal",
+            "low",
+        ]
+        by_priority = service.metrics.to_record()[
+            "latency_by_priority_ms"
+        ]
+        assert set(by_priority) == {"high", "normal", "low"}
+
+
+async def _raw_get(host, port, path, headers=None):
+    """GET returning (status, raw body bytes, header block)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = f"GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        writer.write(head.encode() + b"\r\n")
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), 30.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body, head
+
+
+class TestBackpressure:
+    def test_connection_cap_sheds_immediately_503(self):
+        """Connections past the cap get one fast 503 and a close; the
+        accounting recovers once the holders leave."""
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service, max_connections=2)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            holders = [
+                await asyncio.open_connection(host, port)
+                for _ in range(2)
+            ]
+            await asyncio.sleep(0.05)  # handlers reach their read loop
+            shed_status, shed_body, shed_head = await _post(
+                host, port, "/synthesize", {"function": "e8", "vars": 3}
+            )
+            for _reader, writer in holders:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            await asyncio.sleep(0.05)
+            ok_status, _, _ = await _post(
+                host, port, "/synthesize", {"function": "e8", "vars": 3}
+            )
+            await server.shutdown(drain_timeout=10.0)
+            return shed_status, shed_body, shed_head, ok_status
+
+        try:
+            shed_status, shed_body, shed_head, ok_status = asyncio.run(
+                drive()
+            )
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert shed_status == 503
+        assert shed_body["status"] == "overloaded"
+        assert b"connection: close" in shed_head.lower()
+        assert ok_status == 200
+        assert service.metrics.connections_shed == 1
+        assert service.metrics.connections_active == 0
+        assert service.metrics.connections_peak == 2
+
+    def test_per_connection_request_cap_forces_close(self):
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service, max_requests_per_conn=2)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            heads = []
+            try:
+                for _ in range(2):
+                    writer.write(
+                        b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    await reader.readexactly(length)
+                    heads.append(head.lower())
+                trailing = await asyncio.wait_for(reader.read(), 5.0)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            await server.shutdown(drain_timeout=5.0)
+            return heads, trailing
+
+        try:
+            heads, trailing = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert b"connection: keep-alive" in heads[0]
+        assert b"connection: close" in heads[1]
+        assert trailing == b""  # server closed after the capped response
+        assert service.metrics.pipeline_closed == 1
+
+    def test_client_disconnect_mid_coalesce_survives(self):
+        """Regression: the launcher of a shared synthesis hangs up
+        mid-flight; the coalesced waiter still gets a correct chain,
+        one engine run total, and the connection gauge returns to zero
+        (no double-decrement, no leaked in-flight entry)."""
+        import threading
+
+        scheduler, service = _service_stack(jobs=1, engines=("fen",))
+        server = SynthesisServer(service)
+        table = from_hex("8ff8", 4)
+        release = threading.Event()
+        pinned = threading.Event()
+
+        def pin():
+            pinned.set()
+            release.wait(10.0)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            # Pin the only worker so the launched synthesis stays
+            # in flight while the launcher disconnects.
+            scheduler.submit_call("pin", pin)
+            assert pinned.wait(5.0)
+            # Launcher: send the request, then slam the socket shut
+            # without reading the response.
+            reader, writer = await asyncio.open_connection(host, port)
+            body = json.dumps({"function": "8ff8", "vars": 4}).encode()
+            writer.write(
+                (
+                    "POST /synthesize HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            await asyncio.sleep(0.1)  # launch reaches the pool
+            writer.transport.abort()  # hard RST, not FIN
+            waiter = asyncio.ensure_future(
+                _post(
+                    host,
+                    port,
+                    "/synthesize",
+                    {"function": "8ff8", "vars": 4},
+                )
+            )
+            await asyncio.sleep(0.2)  # waiter coalesces onto the job
+            release.set()
+            status, payload, _ = await waiter
+            await server.shutdown(drain_timeout=30.0)
+            return status, payload
+
+        try:
+            status, payload = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status == 200
+        assert_chain_realizes(
+            table, chain_from_record(payload["chains"][0])
+        )
+        assert service.metrics.engine_runs == 1
+        assert service.metrics.coalesced == 1
+        assert not service._inflight
+        assert service.metrics.connections_active == 0
+
+
+class TestPrometheusExposition:
+    _SAMPLE = __import__("re").compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]* "
+        r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+    )
+    _HELP = __import__("re").compile(
+        r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$"
+    )
+    _TYPE = __import__("re").compile(
+        r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge)$"
+    )
+
+    def test_metrics_text_negotiation_golden(self):
+        """Every exposition line parses under the 0.0.4 grammar, and
+        the exposed name set matches the flattened JSON snapshot
+        exactly — one snapshot, two encodings, no drift."""
+        from repro.serve.prometheus import CONTENT_TYPE, metric_name
+        from repro.stats import flatten_numeric
+
+        scheduler, service = _service_stack(engines=("fen",))
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            await _post(
+                host,
+                port,
+                "/synthesize",
+                {
+                    "function": "e8",
+                    "vars": 3,
+                    "priority": "high",
+                    "deadline_ms": 60000,
+                },
+            )
+            status_text, text_body, text_head = await _raw_get(
+                host, port, "/metrics", headers={"Accept": "text/plain"}
+            )
+            status_json, json_snapshot = await _get(
+                host, port, "/metrics"
+            )
+            await server.shutdown(drain_timeout=10.0)
+            return (
+                status_text,
+                text_body,
+                text_head,
+                status_json,
+                json_snapshot,
+            )
+
+        try:
+            (
+                status_text,
+                text_body,
+                text_head,
+                status_json,
+                json_snapshot,
+            ) = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+
+        assert status_text == 200 and status_json == 200
+        assert CONTENT_TYPE.encode() in text_head.lower() or (
+            b"text/plain" in text_head.lower()
+        )
+        exposed = set()
+        lines = text_body.decode().splitlines()
+        assert lines, "empty exposition"
+        for line in lines:
+            if line.startswith("# HELP"):
+                assert self._HELP.match(line), line
+            elif line.startswith("# TYPE"):
+                assert self._TYPE.match(line), line
+            else:
+                assert self._SAMPLE.match(line), line
+                exposed.add(line.split(" ", 1)[0])
+        expected = {
+            metric_name(key)
+            for key in flatten_numeric(json_snapshot)
+        }
+        assert exposed == expected
+        # The new backpressure/deadline series are present by name.
+        for needle in (
+            "repro_serving_expired",
+            "repro_serving_connections_shed",
+            "repro_serving_pipeline_closed",
+            "repro_serving_connections_active",
+            "repro_ratelimit_clients_tracked",
+        ):
+            assert needle in exposed, needle
+
+    def test_json_remains_default(self):
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            status, body, head = await _raw_get(host, port, "/metrics")
+            await server.shutdown(drain_timeout=5.0)
+            return status, body, head
+
+        try:
+            status, body, head = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status == 200
+        assert b"application/json" in head.lower()
+        assert "serving" in json.loads(body)
+
+    def test_metrics_all_single_process(self):
+        """/metrics/all degenerates to a one-entry aggregate without a
+        sibling registry."""
+        scheduler, service = _service_stack()
+        server = SynthesisServer(service)
+
+        async def drive():
+            await server.start()
+            host, port = server.address
+            await _post(
+                host, port, "/synthesize", {"function": "e8", "vars": 3}
+            )
+            status, body = await _get(host, port, "/metrics/all")
+            await server.shutdown(drain_timeout=10.0)
+            return status, body
+
+        try:
+            status, body = asyncio.run(drive())
+        finally:
+            scheduler.shutdown(cancel_queued=True)
+        assert status == 200
+        assert body["procs"] == 1
+        assert body["unreachable"] == []
+        assert body["merged"]["serving"]["requests"] == 1
+        assert set(body["per_proc"]) == {"0"}
